@@ -1,0 +1,212 @@
+// Package repro's root benchmarks regenerate every figure of the paper's
+// evaluation as testing.B benchmarks. Each BenchmarkFig* sub-benchmark
+// runs one protocol at a contended point of the corresponding figure and
+// reports the figure's metric via b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the paper's comparison rows next to wall-clock cost. The full
+// sweeps (all rates, full 4000-commit runs, confidence intervals) are
+// produced by cmd/sccbench; these benchmarks are the scaled, repeatable
+// regression points.
+package repro
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/rtdbs"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchPoint runs one protocol at one arrival rate and reports metrics.
+func benchPoint(b *testing.B, proto string, rate float64, twoClass bool,
+	metrics map[string]func(*stats.Metrics) float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		wl := workload.Baseline(rate, int64(i)+1)
+		if twoClass {
+			wl = workload.TwoClass(rate, int64(i)+1)
+		}
+		res := rtdbs.Run(rtdbs.Config{
+			Workload: wl, Target: 400, Warmup: 40, MaxActive: 4000,
+		}, harness.Protocol(proto).New())
+		for name, f := range metrics {
+			b.ReportMetric(f(res.Metrics), name)
+		}
+	}
+}
+
+func missed(m *stats.Metrics) float64 { return m.MissedRatio() }
+func tardy(m *stats.Metrics) float64  { return m.AvgTardiness() * 1000 } // ms
+func sysval(m *stats.Metrics) float64 { return m.SystemValuePct() }
+
+// BenchmarkFig13aMissedRatio — Fig. 13-a at 150 txn/s: Missed Ratio of
+// SCC-2S vs OCC-BC vs WAIT-50 vs 2PL-PA (paper: 30 / 78 / 92 / ~100 %).
+func BenchmarkFig13aMissedRatio(b *testing.B) {
+	for _, p := range []string{"SCC-2S", "OCC-BC", "WAIT-50", "2PL-PA"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 150, false, map[string]func(*stats.Metrics) float64{"missed_%": missed})
+		})
+	}
+}
+
+// BenchmarkFig13bTardiness — Fig. 13-b at 150 txn/s: Average Tardiness.
+func BenchmarkFig13bTardiness(b *testing.B) {
+	for _, p := range []string{"SCC-2S", "OCC-BC", "WAIT-50", "2PL-PA"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 150, false, map[string]func(*stats.Metrics) float64{"tardy_ms": tardy})
+		})
+	}
+}
+
+// BenchmarkFig14aSystemValue — Fig. 14-a at 150 txn/s, one value class.
+func BenchmarkFig14aSystemValue(b *testing.B) {
+	for _, p := range []string{"SCC-VW", "SCC-2S", "OCC-BC", "WAIT-50"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 150, false, map[string]func(*stats.Metrics) float64{"sysval_%": sysval})
+		})
+	}
+}
+
+// BenchmarkFig14bSystemValue — Fig. 14-b at 150 txn/s, two value classes
+// (10% long/tight/high-value): SCC-VW's advantage shows here.
+func BenchmarkFig14bSystemValue(b *testing.B) {
+	for _, p := range []string{"SCC-VW", "SCC-2S", "OCC-BC", "WAIT-50"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 150, true, map[string]func(*stats.Metrics) float64{"sysval_%": sysval})
+		})
+	}
+}
+
+// BenchmarkFig15aMissedRatio — Fig. 15-a: SCC-VW misses more deadlines
+// than SCC-2S...
+func BenchmarkFig15aMissedRatio(b *testing.B) {
+	for _, p := range []string{"SCC-VW", "SCC-2S"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 150, false, map[string]func(*stats.Metrics) float64{"missed_%": missed})
+		})
+	}
+}
+
+// BenchmarkFig15bTardiness — ...Fig. 15-b: but by a smaller margin.
+func BenchmarkFig15bTardiness(b *testing.B) {
+	for _, p := range []string{"SCC-VW", "SCC-2S"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 150, false, map[string]func(*stats.Metrics) float64{"tardy_ms": tardy})
+		})
+	}
+}
+
+// BenchmarkSecondaryMeasures — Sec. 4's explanatory counters at 100 txn/s.
+func BenchmarkSecondaryMeasures(b *testing.B) {
+	for _, p := range []string{"SCC-2S", "OCC-BC", "2PL-PA"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 100, false, map[string]func(*stats.Metrics) float64{
+				"restarts/commit": func(m *stats.Metrics) float64 { return m.RestartsPerCommit() },
+				"wasted_frac":     func(m *stats.Metrics) float64 { return m.WastedFraction() },
+			})
+		})
+	}
+}
+
+// BenchmarkAblationKShadows — Sec. 2.1: missed ratio as the shadow budget
+// k grows (k=1 is the OCC-BC degenerate case).
+func BenchmarkAblationKShadows(b *testing.B) {
+	for _, k := range []int{1, 2, 3, 5} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			benchPoint(b, fmt.Sprintf("SCC-kS(%d)", k), 150, false,
+				map[string]func(*stats.Metrics) float64{"missed_%": missed})
+		})
+	}
+}
+
+// BenchmarkAblationPolicy — LBFO vs FIFO vs Priority shadow replacement.
+func BenchmarkAblationPolicy(b *testing.B) {
+	for _, p := range []string{"SCC-kS(2)", "SCC-kS-FIFO(2)", "SCC-kS-PRIO(2)"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 150, false, map[string]func(*stats.Metrics) float64{"missed_%": missed})
+		})
+	}
+}
+
+// BenchmarkAblationAdaptiveK — SCC-AK rations shadows by class worth on
+// the two-class workload.
+func BenchmarkAblationAdaptiveK(b *testing.B) {
+	for _, p := range []string{"SCC-AK", "SCC-2S", "SCC-CB"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 150, true, map[string]func(*stats.Metrics) float64{"sysval_%": sysval})
+		})
+	}
+}
+
+// BenchmarkAblationDelta — SCC-DC (exact Termination Rule) vs SCC-VW (the
+// cheap approximation) on system value.
+func BenchmarkAblationDelta(b *testing.B) {
+	for _, p := range []string{"SCC-DC", "SCC-VW"} {
+		b.Run(p, func(b *testing.B) {
+			benchPoint(b, p, 100, false, map[string]func(*stats.Metrics) float64{"sysval_%": sysval})
+		})
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw event throughput of the
+// discrete-event substrate (events/sec across a full SCC-2S run).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rtdbs.Run(rtdbs.Config{
+			Workload: workload.Baseline(100, 1), Target: 400, Warmup: 0,
+		}, harness.Protocol("SCC-2S").New())
+	}
+}
+
+// BenchmarkEngineContended compares the live engine's modes on a hot-key
+// increment workload: SCC-2S resolves conflicts by promotion, OCC-BC by
+// restart.
+func BenchmarkEngineContended(b *testing.B) {
+	for _, mode := range []engine.Mode{engine.SCC2S, engine.OCCBC} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s := engine.Open(engine.Config{Mode: mode})
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					_ = s.Update(func(tx *engine.Tx) error {
+						v, err := tx.Get("hot")
+						if err != nil {
+							return err
+						}
+						var buf [8]byte
+						binary.BigEndian.PutUint64(buf[:], binary.BigEndian.Uint64(pad(v))+1)
+						return tx.Set("hot", buf[:])
+					})
+				}
+			})
+			st := s.Stats()
+			b.ReportMetric(float64(st.Restarts)/float64(st.Commits+1), "restarts/commit")
+			b.ReportMetric(float64(st.Promotions)/float64(st.Commits+1), "promotions/commit")
+		})
+	}
+}
+
+func pad(b []byte) []byte {
+	if len(b) == 8 {
+		return b
+	}
+	return make([]byte, 8)
+}
+
+// BenchmarkEngineDisjoint is the uncontended fast path.
+func BenchmarkEngineDisjoint(b *testing.B) {
+	s := engine.Open(engine.Config{Mode: engine.SCC2S})
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("k%d", i%4096)
+			i++
+			_ = s.Update(func(tx *engine.Tx) error { return tx.Set(key, []byte{1}) })
+		}
+	})
+}

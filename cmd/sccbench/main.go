@@ -1,0 +1,90 @@
+// Command sccbench regenerates the paper's evaluation (Figs. 13-15 of
+// Bestavros & Braoudakis 1995) plus the ablations in DESIGN.md.
+//
+// Usage:
+//
+//	sccbench -exp fig13a            # one experiment, full scale
+//	sccbench -exp all -quick       # every experiment, scaled down
+//	sccbench -exp secondary        # the secondary-measures table
+//	sccbench -exp fig14b -nochart  # table only
+//
+// Full-scale runs use the paper's parameters (4000 committed transactions
+// per point, 3 seeds, rates 10..200 txn/s) and can take several minutes;
+// -quick keeps the shape at a fraction of the cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (fig13a fig13b fig14a fig14b fig15a fig15b ablk ablpolicy abldelta secondary ablres all)")
+	quick := flag.Bool("quick", false, "scaled-down run (fewer commits, seeds, rates)")
+	nochart := flag.Bool("nochart", false, "suppress ASCII charts")
+	rate := flag.Float64("rate", 100, "arrival rate for -exp secondary")
+	flag.Parse()
+
+	switch *exp {
+	case "secondary":
+		runSecondary(*rate, *quick)
+		return
+	case "ablres":
+		runResources(*rate, *quick)
+		return
+	case "all":
+		for _, id := range harness.ExperimentIDs() {
+			runOne(id, *quick, *nochart)
+		}
+		runSecondary(*rate, *quick)
+		runResources(*rate, *quick)
+		return
+	default:
+		if _, ok := harness.Experiments()[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		runOne(*exp, *quick, *nochart)
+	}
+}
+
+func runOne(id string, quick, nochart bool) {
+	e := harness.Experiments()[id]
+	fmt.Printf("== %s: %s ==\n", e.ID, e.Title)
+	fmt.Printf("paper: %s\n\n", e.Paper)
+	start := time.Now()
+	res := e.Run(quick)
+	fmt.Print(res.Table())
+	if !nochart {
+		fmt.Println()
+		fmt.Print(res.Chart())
+	}
+	fmt.Printf("(%s in %.1fs)\n\n", mode(quick), time.Since(start).Seconds())
+}
+
+func runResources(rate float64, quick bool) {
+	fmt.Printf("== ablres: finite resources (the paper assumes an infinite pool) ==\n\n")
+	rows := harness.ResourceAblation(rate, []int{0, 60, 40, 30, 25}, quick)
+	fmt.Print(harness.ResourceTable(rows, rate))
+	fmt.Println("scarce servers make speculation's redundant work expensive;")
+	fmt.Println("abundance is where SCC (and OCC) pull ahead — the paper's Sec. 1 argument.")
+	fmt.Println()
+}
+
+func runSecondary(rate float64, quick bool) {
+	fmt.Printf("== secondary: restarts / wasted work / shadow counters ==\n\n")
+	rows := harness.Secondary(rate, 2000, quick)
+	fmt.Print(harness.SecondaryTable(rows, rate))
+	fmt.Println()
+}
+
+func mode(quick bool) string {
+	if quick {
+		return "quick mode"
+	}
+	return "full scale"
+}

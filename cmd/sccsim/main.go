@@ -1,0 +1,88 @@
+// Command sccsim runs a single RTDBS simulation with one protocol and
+// prints every performance measure, for exploring configurations outside
+// the paper's sweeps.
+//
+// Usage:
+//
+//	sccsim -protocol SCC-2S -rate 120 -txns 4000
+//	sccsim -protocol "SCC-kS(4)" -rate 150 -pages 500 -ops 24 -writeprob 0.4
+//	sccsim -protocol SCC-VW -rate 100 -twoclass -check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/harness"
+	"repro/internal/rtdbs"
+	"repro/internal/workload"
+)
+
+func main() {
+	proto := flag.String("protocol", "SCC-2S", "protocol name (see sccbench)")
+	rate := flag.Float64("rate", 100, "arrival rate (txn/s)")
+	txns := flag.Int("txns", 4000, "committed transactions to measure")
+	warmup := flag.Int("warmup", 200, "warm-up commits excluded from metrics")
+	seed := flag.Int64("seed", 1, "random seed")
+	pages := flag.Int("pages", 1000, "database size in pages")
+	ops := flag.Int("ops", 16, "page accesses per transaction")
+	writeProb := flag.Float64("writeprob", 0.25, "probability an access is a write")
+	slack := flag.Float64("slack", 2, "deadline slack factor")
+	twoClass := flag.Bool("twoclass", false, "use the two-class value mix of Fig. 14(b)")
+	check := flag.Bool("check", false, "verify serializability of the committed history")
+	flag.Parse()
+
+	var wl workload.Config
+	if *twoClass {
+		wl = workload.TwoClass(*rate, *seed)
+	} else {
+		wl = workload.Baseline(*rate, *seed)
+		wl.DBPages = *pages
+		wl.Classes[0].NumOps = *ops
+		wl.Classes[0].WriteProb = *writeProb
+		wl.Classes[0].SlackFactor = *slack
+	}
+	if err := wl.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := rtdbs.Config{
+		Workload:      wl,
+		Target:        *txns,
+		Warmup:        *warmup,
+		CheckReads:    *check,
+		RecordHistory: *check,
+		MaxActive:     8000,
+	}
+	res := rtdbs.Run(cfg, harness.Protocol(*proto).New())
+	m := res.Metrics
+
+	fmt.Printf("protocol           %s\n", res.Protocol)
+	fmt.Printf("arrival rate       %.1f txn/s\n", *rate)
+	fmt.Printf("simulated time     %.1f s\n", float64(res.SimTime))
+	fmt.Printf("committed          %d (warm-up excluded: %d)\n", m.Committed, *warmup)
+	if res.Truncated {
+		fmt.Printf("NOTE               saturated: population cap reached before the target\n")
+	}
+	fmt.Printf("missed ratio       %.2f %%\n", m.MissedRatio())
+	fmt.Printf("avg tardiness      %.3f s\n", m.AvgTardiness())
+	fmt.Printf("system value       %.1f %%\n", m.SystemValuePct())
+	fmt.Printf("restarts           %d (%.3f per commit)\n", m.Restarts, m.RestartsPerCommit())
+	fmt.Printf("wasted fraction    %.3f\n", m.WastedFraction())
+	fmt.Printf("shadow forks       %d\n", m.ShadowForks)
+	fmt.Printf("shadow aborts      %d\n", m.ShadowAborts)
+	fmt.Printf("promotions         %d\n", m.Promotions)
+	fmt.Printf("commit waits       %d\n", m.CommitWaits)
+	fmt.Printf("blocked waits      %d\n", m.BlockedWaits)
+	fmt.Printf("priority aborts    %d\n", m.DeadlockAvert)
+
+	if *check {
+		if err := res.History.Check(); err != nil {
+			fmt.Fprintf(os.Stderr, "SERIALIZABILITY VIOLATION: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("serializability    OK (%d commits verified)\n", res.History.Len())
+	}
+}

@@ -1,0 +1,56 @@
+// Redundancy rationing: Sec. 2.1's "value of k reflects the transaction's
+// urgency and criticalness" made concrete.
+//
+// A mixed workload has a small class of critical transactions and a bulk
+// of routine ones. Giving everyone a big shadow budget (SCC-kS(4),
+// SCC-CB) buys timeliness with a lot of redundant work; giving everyone
+// the minimum (SCC-2S) is cheap but value-blind. SCC-AK rations: 4
+// shadows for the critical class, 2 for the rest — and keeps nearly all
+// of the uniform-big-budget system value while forking far fewer shadows.
+//
+//	go run ./examples/rationing
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/rtdbs"
+	"repro/internal/workload"
+)
+
+func main() {
+	type variant struct {
+		name string
+		mk   func() rtdbs.CCM
+	}
+	variants := []variant{
+		{"SCC-2S (k=2 for all)", func() rtdbs.CCM { return core.NewTwoShadow() }},
+		{"SCC-kS(4) (k=4 for all)", func() rtdbs.CCM { return core.NewKS(4, core.LBFO) }},
+		{"SCC-AK (4 critical / 2 routine)", func() rtdbs.CCM {
+			return core.NewAdaptive(core.ValueRationedK(200, 4, 2), core.LBFO)
+		}},
+		{"SCC-CB (unbounded)", func() rtdbs.CCM { return core.NewCB() }},
+	}
+
+	const rate = 125.0
+	fmt.Printf("two-class workload at %.0f txn/s (10%% critical, 90%% routine)\n\n", rate)
+	fmt.Printf("%-34s %12s %14s %12s\n", "variant", "sys value", "shadow forks", "restarts")
+	for _, v := range variants {
+		var val, forks, restarts float64
+		const seeds = 2
+		for seed := int64(1); seed <= seeds; seed++ {
+			res := rtdbs.Run(rtdbs.Config{
+				Workload: workload.TwoClass(rate, seed),
+				Target:   1000, Warmup: 100, MaxActive: 4000,
+			}, v.mk())
+			val += res.Metrics.SystemValuePct()
+			forks += float64(res.Metrics.ShadowForks)
+			restarts += float64(res.Metrics.Restarts)
+		}
+		fmt.Printf("%-34s %11.1f%% %14.0f %12.0f\n", v.name, val/seeds, forks/seeds, restarts/seeds)
+	}
+	fmt.Println("\nSCC-AK grants the large budget to only a tenth of the transactions,")
+	fmt.Println("yet lands within noise of the uniform k=4 system value: redundancy")
+	fmt.Println("is a budget to be rationed by criticalness, not a dial to max out.")
+}

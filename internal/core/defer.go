@@ -1,0 +1,479 @@
+// This file implements SCC-DC and SCC-VW (Sec. 3): value-cognizant commit
+// deferment on top of SCC-kS. Finished optimistic shadows do not commit
+// immediately; a Termination Rule weighs the value-added of committing now
+// against deferring, using transaction value functions and (for SCC-DC)
+// the shadow finish and adoption probabilities of Defs. 3-7.
+
+package core
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sim"
+	"repro/internal/value"
+)
+
+// deferral is the hook set a commit-deferment policy plugs into SCC.
+type deferral interface {
+	name() string
+	attach(c *SCC)
+	// onFinish is invoked when an optimistic shadow finishes; the policy
+	// decides when it commits.
+	onFinish(st *txnState)
+	// onCommitted is invoked after any commit (waiters may now proceed).
+	onCommitted(id model.TxnID)
+	// cancel is invoked when a finished shadow is aborted by a
+	// higher-value commit: its transaction resumed executing.
+	cancel(st *txnState)
+}
+
+// execDist returns the Def. 3 execution-time distribution of a class. The
+// workload draws per-transaction execution rates from a truncated normal
+// around the class mean, which is exactly what this models.
+func execDist(cl *model.Class) value.ExecDist {
+	mean := cl.MeanExec()
+	return value.ExecDist{
+		Mean:  mean,
+		Sigma: cl.ExecJitter * mean,
+		Min:   0.4 * mean,
+	}
+}
+
+// conflictSet returns the IDs of active transactions conflicting with st
+// in either direction (they read st's writes, or st read theirs), sorted.
+func (c *SCC) conflictSet(st *txnState) []model.TxnID {
+	r := st.t.ID
+	seen := map[model.TxnID]struct{}{}
+	for _, p := range c.regWrites[r] {
+		for id := range c.readers[p] {
+			if id != r && c.txns[id] != nil {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+	for _, p := range c.regReads[r] {
+		for id := range c.writers[p] {
+			if id != r && c.txns[id] != nil {
+				seen[id] = struct{}{}
+			}
+		}
+	}
+	return sortedIDs(seen)
+}
+
+// ---------------------------------------------------------------------------
+// SCC-DC
+// ---------------------------------------------------------------------------
+
+// DC implements SCC with Deferred Commit. Every Delta seconds the
+// Termination Rule examines each finished shadow T_o_u: commit now if the
+// expected value-added V_now is at least the expected value-added V_later
+// of deferring, computed from expected-finish probabilities (Def. 6) and
+// value functions (Def. 7).
+//
+// Following the paper, the infinite sums are truncated at the horizon l_i
+// where the finish probability reaches 1-eps. The per-tick contribution
+// uses the probability mass of finishing in that tick (EF(k) - EF(k-1));
+// the cumulative form printed in the paper double-counts ticks and would
+// make deferring always win.
+type DC struct {
+	c       *SCC
+	Delta   float64 // Termination Rule period (seconds)
+	Eps     float64 // horizon tolerance (default 0.01)
+	pending map[model.TxnID]*txnState
+}
+
+// NewDC returns SCC-kS extended with the SCC-DC Termination Rule.
+func NewDC(k int, delta float64) *SCC {
+	c := NewKS(k, LBFO)
+	c.defr = &DC{Delta: delta, Eps: 0.01, pending: make(map[model.TxnID]*txnState)}
+	c.name = "SCC-DC"
+	return c
+}
+
+func (d *DC) name() string { return "SCC-DC" }
+
+func (d *DC) attach(c *SCC) {
+	d.c = c
+	d.tickLoop()
+}
+
+func (d *DC) tickLoop() {
+	d.c.rt.K.After(sim.Time(d.Delta), func() {
+		d.terminationRule()
+		d.tickLoop()
+	})
+}
+
+func (d *DC) onFinish(st *txnState) {
+	d.pending[st.t.ID] = st
+	d.c.rt.Metrics.CommitWaits++
+	// Commits happen only at clock ticks ("they wait at least until the
+	// next periodic invocation of the Termination Rule").
+}
+
+func (d *DC) onCommitted(id model.TxnID) { delete(d.pending, id) }
+func (d *DC) cancel(st *txnState)        { delete(d.pending, st.t.ID) }
+
+// terminationRule is invoked at each tick.
+func (d *DC) terminationRule() {
+	now := float64(d.c.rt.K.Now())
+	for {
+		committed := false
+		// Adoption probabilities and conflict sets are recomputed once
+		// per sweep, not once per pending transaction: the fixed point is
+		// global and the sweep restarts after every commit anyway.
+		confCache := make(map[model.TxnID][]model.TxnID)
+		confOf := func(id model.TxnID) []model.TxnID {
+			if c, ok := confCache[id]; ok {
+				return c
+			}
+			c := d.c.conflictSet(d.c.txns[id])
+			confCache[id] = c
+			return c
+		}
+		pO := d.adoptionForCached(now, confOf)
+		// Stall safety (documented in DESIGN.md): in a cluster of finished
+		// transactions all deferring to each other, the V_now/V_later
+		// comparison can stay on "defer" indefinitely while every value
+		// function decays in lockstep. If a pending transaction's conflict
+		// set has no transaction still executing, waiting cannot produce
+		// the commit V_later assumes; commit the most valuable such
+		// transaction.
+		var stalled *txnState
+		for _, id := range sortedKeys(d.pending) {
+			st, ok := d.pending[id]
+			if !ok || !st.finished {
+				delete(d.pending, id)
+				continue
+			}
+			conf := confOf(id)
+			if len(conf) == 0 || d.commitNowWins(st, conf, pO, confOf, now) {
+				delete(d.pending, id)
+				d.c.rt.Commit(st.opt)
+				committed = true
+				break // commit reshapes every conflict set; rescan
+			}
+			allFinished := true
+			for _, cid := range conf {
+				if !d.c.txns[cid].finished {
+					allFinished = false
+					break
+				}
+			}
+			if allFinished && (stalled == nil ||
+				st.t.Value(d.c.rt.K.Now()) > stalled.t.Value(d.c.rt.K.Now())) {
+				stalled = st
+			}
+		}
+		if !committed && stalled != nil {
+			delete(d.pending, stalled.t.ID)
+			d.c.rt.Commit(stalled.opt)
+			committed = true
+		}
+		if !committed {
+			return
+		}
+	}
+}
+
+// adoptionForCached computes Def. 5 adoption probabilities for all active
+// transactions by fixed-point iteration (the definition is mutually
+// recursive through the conflicting transactions' P_o), reusing the
+// caller's conflict-set cache.
+func (d *DC) adoptionForCached(now float64, confOf func(model.TxnID) []model.TxnID) map[model.TxnID]float64 {
+	pOpt := make(map[model.TxnID]float64)
+	ids := d.c.rt.ActiveIDs()
+	for _, id := range ids {
+		pOpt[id] = 1
+	}
+	for iter := 0; iter < 3; iter++ {
+		for _, id := range ids {
+			st := d.c.txns[id]
+			if st == nil {
+				continue
+			}
+			conf := confOf(id)
+			vs := make([]float64, len(conf))
+			ps := make([]float64, len(conf))
+			for i, cid := range conf {
+				vs[i] = d.c.txns[cid].t.Value(sim.Time(now))
+				ps[i] = pOpt[cid]
+			}
+			po, _ := value.Adoption(st.t.Value(sim.Time(now)), vs, ps)
+			pOpt[id] = po
+		}
+	}
+	return pOpt
+}
+
+// shadowStates assembles the Def. 6 shadow list of transaction st. The
+// optimistic shadow carries pO adoption mass; speculative shadows split
+// the rest proportionally to the value-weight of the conflict they cover
+// (Def. 5's P_i_u).
+func (d *DC) shadowStates(st *txnState, pO map[model.TxnID]float64, confOf func(model.TxnID) []model.TxnID, now float64) []value.ShadowState {
+	conf := confOf(st.t.ID)
+	vs := make([]float64, len(conf))
+	ps := make([]float64, len(conf))
+	for i, cid := range conf {
+		vs[i] = d.c.txns[cid].t.Value(sim.Time(now))
+		ps[i] = pO[cid]
+	}
+	po, pSpec := value.Adoption(st.t.Value(sim.Time(now)), vs, ps)
+	out := []value.ShadowState{{
+		Executed: st.opt.EstExecutedTime(),
+		Adoption: po,
+		Finished: st.finished,
+	}}
+	for i, cid := range conf {
+		sp := st.specs[cid]
+		if sp == nil {
+			continue // unaccounted conflict: no shadow carries its mass
+		}
+		out = append(out, value.ShadowState{
+			Executed: sp.sh.EstExecutedTime(),
+			Adoption: pSpec[i],
+		})
+	}
+	return out
+}
+
+// expectedDeferredValue returns sum_k V(t+k*Delta) * P[finish in tick k]
+// truncated at the 1-eps horizon.
+func (d *DC) expectedDeferredValue(t *model.Txn, shadows []value.ShadowState, now float64) float64 {
+	dist := execDist(t.Class)
+	horizon := dist.TailHorizon(d.Eps)
+	kMax := int(horizon/d.Delta) + 2
+	if kMax > 200 {
+		kMax = 200
+	}
+	total, prev := 0.0, 0.0
+	for k := 1; k <= kMax; k++ {
+		dt := float64(k) * d.Delta
+		ef := value.ExpectedFinish(dist, shadows, dt)
+		mass := ef - prev
+		prev = ef
+		if mass <= 0 {
+			continue
+		}
+		total += t.Value(sim.Time(now+dt)) * mass
+	}
+	return total
+}
+
+// commitNowWins evaluates the Termination Rule comparison for finished st.
+//
+// V_now  = V_u(t) + sum_i EV_i(after u commits)
+// V_later = sum_k EV_u(t+k*Delta) + sum_i EV_i(current shadows)
+//
+// The EV_i terms differ between the two sides through T_i's shadow
+// configuration: committing u now aborts each conflicting T_i's exposed
+// optimistic shadow, leaving its speculative shadow (or a restart) to
+// carry on.
+func (d *DC) commitNowWins(st *txnState, conf []model.TxnID, pO map[model.TxnID]float64, confOf func(model.TxnID) []model.TxnID, now float64) bool {
+	u := st.t
+
+	vNow := u.Value(sim.Time(now))
+	vLater := d.expectedDeferredValue(u, d.shadowStates(st, pO, confOf, now), now)
+
+	ws := st.opt.Log.WritePages()
+	for _, cid := range conf {
+		ist := d.c.txns[cid]
+		// Later: T_i continues with its current shadows.
+		vLater += d.expectedDeferredValue(ist.t, d.shadowStates(ist, pO, confOf, now), now)
+		// Now: if T_i read u's writes its optimistic shadow dies; the
+		// shadow waiting for u (or a scratch restart) carries on alone.
+		f := ist.opt.Log.FirstReadOfAny(ws)
+		var after []value.ShadowState
+		if f < 0 {
+			after = d.shadowStates(ist, pO, confOf, now)
+		} else if sp := ist.specs[u.ID]; sp != nil && sp.sh.NextOp <= f {
+			after = []value.ShadowState{{Executed: sp.sh.EstExecutedTime(), Adoption: 1}}
+		} else {
+			after = []value.ShadowState{{Executed: 0, Adoption: 1}}
+		}
+		vNow += d.expectedDeferredValue(ist.t, after, now)
+	}
+	return vNow >= vLater
+}
+
+// ---------------------------------------------------------------------------
+// SCC-VW
+// ---------------------------------------------------------------------------
+
+// VW implements SCC with Voted Waiting (Sec. 3.3), the cheap approximation
+// of SCC-DC: each executing transaction conflicting with a finished shadow
+// votes for or against committing it by comparing two value estimates
+// built from class-mean remaining execution times; votes are weighed by
+// relative transaction value and the shadow commits iff the weighted
+// commit indicator exceeds 50%.
+type VW struct {
+	c       *SCC
+	Delta   float64 // re-evaluation period for parked waiters
+	pending map[model.TxnID]*txnState
+	// evaluating guards against re-entrant sweeps: a commit inside
+	// evaluateAll triggers onCommitted, which calls evaluateAll again.
+	evaluating bool
+}
+
+// NewVW returns SCC-kS extended with the SCC-VW Termination Rule.
+func NewVW(k int, delta float64) *SCC {
+	c := NewKS(k, LBFO)
+	c.defr = &VW{Delta: delta, pending: make(map[model.TxnID]*txnState)}
+	c.name = "SCC-VW"
+	return c
+}
+
+func (v *VW) name() string { return "SCC-VW" }
+
+func (v *VW) attach(c *SCC) {
+	v.c = c
+	v.tickLoop()
+}
+
+func (v *VW) tickLoop() {
+	v.c.rt.K.After(sim.Time(v.Delta), func() {
+		v.evaluateAll()
+		v.tickLoop()
+	})
+}
+
+// onFinish evaluates the finished shadow immediately (the paper's
+// Termination Rule fires "whenever an optimistic shadow finishes").
+func (v *VW) onFinish(st *txnState) {
+	if v.shouldCommit(st) {
+		v.c.rt.Commit(st.opt)
+		return
+	}
+	v.pending[st.t.ID] = st
+	v.c.rt.Metrics.CommitWaits++
+}
+
+func (v *VW) onCommitted(id model.TxnID) {
+	delete(v.pending, id)
+	v.evaluateAll()
+}
+
+func (v *VW) cancel(st *txnState) { delete(v.pending, st.t.ID) }
+
+// evaluateAll re-runs the vote for every parked waiter until none can
+// commit (each commit changes the conflict sets of the rest).
+func (v *VW) evaluateAll() {
+	if v.evaluating {
+		return
+	}
+	v.evaluating = true
+	defer func() { v.evaluating = false }()
+	for {
+		committed := false
+		for _, id := range sortedKeys(v.pending) {
+			st, ok := v.pending[id]
+			if !ok || !st.finished {
+				delete(v.pending, id)
+				continue
+			}
+			if v.shouldCommit(st) {
+				delete(v.pending, id)
+				v.c.rt.Commit(st.opt)
+				committed = true
+				break
+			}
+		}
+		if !committed {
+			return
+		}
+	}
+}
+
+// shouldCommit computes the commit indicator CI_u (Defs. 8-10).
+func (v *VW) shouldCommit(st *txnState) bool {
+	now := float64(v.c.rt.K.Now())
+	conf := v.c.conflictSet(st)
+	if len(conf) == 0 {
+		return true
+	}
+	// Stall safety (engineering addition, documented in DESIGN.md): if no
+	// conflicting transaction is still executing, waiting cannot help —
+	// the V_later estimates assumed a conflicter would finish and commit.
+	anyRunning := false
+	for _, cid := range conf {
+		if !v.c.txns[cid].finished {
+			anyRunning = true
+			break
+		}
+	}
+	if !anyRunning {
+		return true
+	}
+
+	u := st.t
+	vU := u.Value(sim.Time(now))
+	// Relative weights w_i(t) with a small positive floor so transactions
+	// deep past their deadlines cannot produce negative weights.
+	weight := make(map[model.TxnID]float64, len(conf))
+	totalW := 0.0
+	for _, cid := range conf {
+		w := v.c.txns[cid].t.Value(sim.Time(now))
+		if w < 1e-9 {
+			w = 1e-9
+		}
+		weight[cid] = w
+		totalW += w
+	}
+
+	ci := 0.0
+	ws := st.opt.Log.WritePages()
+	for _, cid := range conf {
+		ist := v.c.txns[cid]
+		ti := ist.t
+		eci := ti.Class.MeanExec()
+
+		// sigma_u_i: executed time of T_i's shadow that accounts for the
+		// conflict with u — the shadow T_i falls back on if u commits now.
+		var sigmaUI float64
+		f := ist.opt.Log.FirstReadOfAny(ws)
+		switch {
+		case f < 0:
+			// T_i did not read u's writes; its optimistic shadow survives.
+			sigmaUI = ist.opt.EstExecutedTime()
+		case ist.specs[u.ID] != nil && ist.specs[u.ID].sh.NextOp <= f:
+			sigmaUI = ist.specs[u.ID].sh.EstExecutedTime()
+		default:
+			sigmaUI = 0 // restart from scratch
+		}
+		vNow := vU + ti.Value(sim.Time(now+eci-sigmaUI))
+
+		// later: when T_i's own optimistic shadow is expected to finish.
+		sigmaOI := ist.opt.EstExecutedTime()
+		later := now + eci - sigmaOI
+		if later < now {
+			later = now
+		}
+		var vLater float64
+		if sp := st.specs[cid]; sp != nil {
+			// u has a shadow for the conflict with T_i: T_i's commit
+			// aborts u's finished shadow; u resumes from the fork.
+			ecu := u.Class.MeanExec()
+			sigmaIU := sp.sh.EstExecutedTime()
+			vLater = ti.Value(sim.Time(later)) + u.Value(sim.Time(later+ecu-sigmaIU))
+		} else {
+			// No shadow: u's finished shadow survives T_i's commit only
+			// if u never read T_i's writes; it commits right after.
+			vLater = ti.Value(sim.Time(later)) + u.Value(sim.Time(later))
+		}
+		if vNow >= vLater {
+			ci += weight[cid] / totalW
+		}
+	}
+	return ci > 0.5
+}
+
+func sortedKeys(m map[model.TxnID]*txnState) []model.TxnID {
+	ids := make([]model.TxnID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,44 @@
+// This file covers SCC-OB (Order-Based SCC, Sec. 2), the most general
+// member of the family. SCC-OB maintains one shadow per Speculated Order
+// of Serialization (SOS): for a transaction in a set of n pairwise
+// conflicting transactions that is sum over i of (n-1)!/(n-i)! shadows —
+// O((n-1)!) — which is why the paper analyzes it but never simulates it,
+// and why SCC-CB (NewCB) exists: one shadow can cover many serialization
+// orders, reducing the bound to n live shadows (at most n(n-1)/2 ever
+// created). We follow the paper: the combinatorics are implemented and
+// verified here, the practical protocols (CB, kS) are the executable ones.
+
+package core
+
+// OBShadowCount returns the number of shadows SCC-OB maintains for one
+// transaction in a set of n pairwise conflicting transactions:
+//
+//	sum_{i=1..n} (n-1)! / (n-i)!
+//
+// (the paper's formula in Sec. 2). n must be >= 1.
+func OBShadowCount(n int) int {
+	if n < 1 {
+		panic("core: OBShadowCount needs n >= 1")
+	}
+	total := 0
+	for i := 1; i <= n; i++ {
+		// (n-1)! / (n-i)! = (n-1)(n-2)...(n-i+1), a falling product of
+		// i-1 terms.
+		term := 1
+		for k := 0; k < i-1; k++ {
+			term *= n - 1 - k
+		}
+		total += term
+	}
+	return total
+}
+
+// CBLiveShadowBound returns SCC-CB's bound on simultaneously live shadows
+// per transaction with n pairwise conflicting transactions: n (the
+// optimistic shadow plus one speculative shadow per conflicting
+// transaction covers every serialization order).
+func CBLiveShadowBound(n int) int { return n }
+
+// CBTotalShadowBound returns SCC-CB's bound on shadows ever created over
+// a transaction's lifetime: sum_{i=1..n} (n-i) = n(n-1)/2.
+func CBTotalShadowBound(n int) int { return n * (n - 1) / 2 }

@@ -1,0 +1,526 @@
+// Package engine is a live, concurrent in-memory key-value store using
+// Speculative Concurrency Control with goroutine shadows — the systems
+// counterpart of the simulator in internal/rtdbs.
+//
+// A transaction is a deterministic closure over Tx. Its optimistic shadow
+// runs the closure immediately, reading committed values. When a
+// read-write conflict with another in-flight transaction is detected, the
+// engine forks a speculative shadow: a second goroutine re-running the
+// closure that parks at the conflicting read (a channel gate) until the
+// conflicting transaction resolves. If the conflict materializes — the
+// other transaction commits first — the optimistic shadow is aborted and
+// the speculative shadow wakes instantly with the freshly committed value,
+// finishing the work without a from-scratch restart after the fact. In
+// OCC-BC mode the engine restarts the closure instead, which is exactly
+// the baseline the paper compares against.
+//
+// Closures must be deterministic functions of the values read through Tx
+// and must not leak side effects before Update returns: a closure may run
+// several times concurrently (shadows) and all but one run is discarded.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode selects the concurrency control protocol.
+type Mode int
+
+const (
+	// SCC2S runs an optimistic shadow plus up to one speculative shadow
+	// per transaction (the paper's SCC-2S).
+	SCC2S Mode = iota
+	// OCCBC runs optimistically and restarts on broadcast commit.
+	OCCBC
+)
+
+func (m Mode) String() string {
+	if m == OCCBC {
+		return "OCC-BC"
+	}
+	return "SCC-2S"
+}
+
+// ErrAborted is returned by Tx operations inside a shadow that lost its
+// conflict; the closure must propagate it (or any error wrapping it).
+var ErrAborted = errors.New("engine: shadow aborted")
+
+// Config configures a Store.
+type Config struct {
+	Mode Mode
+	// MaxAttempts bounds closure re-executions per transaction
+	// (0 = 100). Exhausted attempts surface as an error.
+	MaxAttempts int
+}
+
+// Stats are cumulative engine counters.
+type Stats struct {
+	Commits    int64
+	Aborts     int64 // optimistic shadows aborted by conflicting commits
+	Restarts   int64 // from-scratch re-executions (OCC-BC path)
+	Forks      int64 // speculative shadows forked
+	Promotions int64 // speculative shadows that finished the transaction
+	Deferrals  int64 // commits deferred for a higher-value conflicter
+}
+
+// Store is the engine.
+type Store struct {
+	cfg Config
+
+	mu        sync.Mutex
+	committed map[string]versioned
+	active    map[*txnHandle]struct{}
+	stats     Stats
+	closed    bool
+}
+
+type versioned struct {
+	val []byte
+	ver uint64
+}
+
+// Open returns an empty store.
+func Open(cfg Config) *Store {
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 100
+	}
+	return &Store{
+		cfg:       cfg,
+		committed: make(map[string]versioned),
+		active:    make(map[*txnHandle]struct{}),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Get reads a committed value outside any transaction.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.committed[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v.val))
+	copy(out, v.val)
+	return out, true
+}
+
+// txnHandle is one logical transaction: the closure plus its shadows.
+type txnHandle struct {
+	store *Store
+	fn    func(*Tx) error
+	value float64
+
+	// done is closed when the transaction commits or gives up; shadows of
+	// other transactions gate on it.
+	done chan struct{}
+
+	// guarded by store.mu:
+	opt      *attempt
+	shadow   *attempt
+	writes   map[string][]byte // optimistic shadow's write buffer
+	resolved bool
+}
+
+// attempt is one shadow: a single run of the closure.
+type attempt struct {
+	h    *txnHandle
+	spec bool // speculative: parks at gateIdx until the gate opens
+	// gateIdx is the read ordinal to park at. The gate opens when the
+	// conflicting transaction resolves (gateOn.done) or when its current
+	// optimistic attempt aborts (gateAtt.aborted) — the latter keeps the
+	// engine live when two transactions' shadows would otherwise gate on
+	// each other after a third party aborts both optimistic runs.
+	gateIdx int
+	gateOn  *txnHandle
+	gateAtt *attempt
+
+	aborted chan struct{} // closed under store.mu exactly once
+	reads   map[string]uint64
+	readAt  map[string]int // first-read ordinal per key
+	readSeq int
+	writes  map[string][]byte
+	report  chan verdict
+}
+
+func (a *attempt) abortLocked(s *Store) {
+	select {
+	case <-a.aborted:
+	default:
+		close(a.aborted)
+		s.stats.Aborts++
+	}
+}
+
+// Tx is the transactional view a closure operates on.
+type Tx struct {
+	a *attempt
+}
+
+// Get returns the value of key as of this shadow's serialization view.
+func (tx *Tx) Get(key string) ([]byte, error) {
+	a := tx.a
+	s := a.h.store
+
+	// A speculative shadow parks at its gate until the conflicting
+	// transaction resolves (commit or give-up) — the channel equivalent
+	// of the simulator's Blocking Rule.
+	if a.spec && a.readSeq == a.gateIdx && a.gateOn != nil {
+		gate, gateAtt := a.gateOn, a.gateAtt
+		a.gateOn, a.gateAtt = nil, nil
+		if gateAtt != nil {
+			select {
+			case <-gate.done:
+			case <-gateAtt.aborted:
+			case <-a.aborted:
+				return nil, ErrAborted
+			}
+		} else {
+			select {
+			case <-gate.done:
+			case <-a.aborted:
+				return nil, ErrAborted
+			}
+		}
+	}
+	select {
+	case <-a.aborted:
+		return nil, ErrAborted
+	default:
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, mine := a.writes[key]; mine {
+		// Read-your-writes from the private buffer.
+		out := make([]byte, len(a.writes[key]))
+		copy(out, a.writes[key])
+		a.readSeq++
+		return out, nil
+	}
+	v := s.committed[key]
+	if a.reads == nil {
+		a.reads = make(map[string]uint64)
+		a.readAt = make(map[string]int)
+	}
+	if _, seen := a.reads[key]; !seen {
+		a.reads[key] = v.ver
+		a.readAt[key] = a.readSeq
+	}
+	idx := a.readAt[key]
+	a.readSeq++
+
+	// Read Rule: this read conflicts with every in-flight writer of key.
+	if !a.spec && s.cfg.Mode == SCC2S {
+		for other := range s.active {
+			if other == a.h || other.resolved {
+				continue
+			}
+			if _, wrote := other.writes[key]; wrote {
+				s.forkShadowLocked(a.h, other, idx)
+			}
+		}
+	}
+	out := make([]byte, len(v.val))
+	copy(out, v.val)
+	return out, nil
+}
+
+// Set buffers a write.
+func (tx *Tx) Set(key string, val []byte) error {
+	a := tx.a
+	s := a.h.store
+	select {
+	case <-a.aborted:
+		return ErrAborted
+	default:
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, len(val))
+	copy(buf, val)
+	a.writes[key] = buf
+	if !a.spec {
+		a.h.writes[key] = buf
+		// Write Rule: in-flight readers of key gain a conflict with us.
+		if s.cfg.Mode == SCC2S {
+			for other := range s.active {
+				if other == a.h || other.resolved || other.opt == nil {
+					continue
+				}
+				if at, read := other.opt.readAt[key]; read {
+					s.forkShadowLocked(other, a.h, at)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// forkShadowLocked gives h a speculative shadow gated on the resolution of
+// gateOn. SCC-2S keeps a single shadow: an existing one is kept (it parks
+// at the earliest conflict already; re-running the closure from the start
+// subsumes any later gate).
+func (s *Store) forkShadowLocked(h, gateOn *txnHandle, gateIdx int) {
+	if h.shadow != nil || h.resolved {
+		return
+	}
+	sh := &attempt{
+		h: h, spec: true, gateIdx: gateIdx, gateOn: gateOn, gateAtt: gateOn.opt,
+		aborted: make(chan struct{}),
+		writes:  make(map[string][]byte),
+	}
+	h.shadow = sh
+	s.stats.Forks++
+	go h.runAttempt(sh)
+}
+
+// Update executes fn transactionally and blocks until an execution of fn
+// commits (or the attempt budget is exhausted / fn returns a non-conflict
+// error). All Update transactions have equal worth; see UpdateValued for
+// the value-cognizant variant.
+func (s *Store) Update(fn func(*Tx) error) error {
+	return s.UpdateValued(0, fn)
+}
+
+// UpdateValued is Update with a transaction value, the live-engine
+// counterpart of SCC-VW's commit deferment: a finished transaction whose
+// in-flight conflicters include one of strictly higher value yields to it
+// (waits for it to resolve, then revalidates) instead of committing
+// immediately and destroying the more valuable work. Strict value
+// dominance makes deferral cycles impossible. Zero-value transactions
+// never defer and are never yielded to.
+func (s *Store) UpdateValued(value float64, fn func(*Tx) error) error {
+	h := &txnHandle{
+		store:  s,
+		fn:     fn,
+		value:  value,
+		done:   make(chan struct{}),
+		writes: make(map[string][]byte),
+	}
+	defer close(h.done)
+
+	for attempts := 0; attempts < s.cfg.MaxAttempts; attempts++ {
+		a := &attempt{
+			h:       h,
+			aborted: make(chan struct{}),
+			writes:  make(map[string][]byte),
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return errors.New("engine: store closed")
+		}
+		h.opt = a
+		h.shadow = nil
+		h.writes = make(map[string][]byte)
+		s.active[h] = struct{}{}
+		if attempts > 0 {
+			s.stats.Restarts++
+		}
+		s.mu.Unlock()
+
+		err, committed := h.runSync(a)
+		if committed {
+			return nil
+		}
+		if err != nil && !errors.Is(err, ErrAborted) {
+			// A shadow may have already committed the transaction while
+			// the optimistic run surfaced an error; the commit wins.
+			s.mu.Lock()
+			resolved := h.resolved
+			s.mu.Unlock()
+			s.retire(h)
+			if resolved {
+				return nil
+			}
+			return err
+		}
+		// Aborted: if a speculative shadow is running it may finish the
+		// transaction; wait for its verdict before restarting.
+		s.mu.Lock()
+		sh := h.shadow
+		s.mu.Unlock()
+		if sh != nil {
+			verdict := <-h.shadowDone(sh)
+			if verdict.committed {
+				s.retire(h)
+				return nil
+			}
+			if verdict.err != nil && !errors.Is(verdict.err, ErrAborted) {
+				s.retire(h)
+				return verdict.err
+			}
+		}
+		s.retire(h)
+		// Fall through to a fresh optimistic attempt (restart).
+	}
+	s.retire(h)
+	return fmt.Errorf("engine: transaction exceeded %d attempts", s.cfg.MaxAttempts)
+}
+
+// retire removes h from the active set.
+func (s *Store) retire(h *txnHandle) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h.shadow != nil {
+		h.shadow.abortLocked(s)
+		h.shadow = nil
+	}
+	delete(s.active, h)
+}
+
+type verdict struct {
+	err       error
+	committed bool
+}
+
+// runSync runs an attempt in the calling goroutine.
+func (h *txnHandle) runSync(a *attempt) (error, bool) {
+	err := h.fn(&Tx{a: a})
+	if err != nil {
+		return err, false
+	}
+	h.store.deferForValue(a)
+	return nil, h.store.tryCommit(a)
+}
+
+// deferForValue implements the VW-style Termination Rule: while a strictly
+// higher-value transaction conflicts with the finished attempt, wait for
+// it to resolve (bounded rounds keep the engine robust against value
+// churn). The subsequent validation handles whatever happened meanwhile.
+func (s *Store) deferForValue(a *attempt) {
+	for round := 0; round < 3; round++ {
+		s.mu.Lock()
+		var wait *txnHandle
+		for other := range s.active {
+			if other == a.h || other.resolved || other.value <= a.h.value || other.opt == nil {
+				continue
+			}
+			conflict := false
+			for key := range a.writes {
+				if _, read := other.opt.reads[key]; read {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				for key := range a.reads {
+					if _, wrote := other.writes[key]; wrote {
+						conflict = true
+						break
+					}
+				}
+			}
+			if conflict && (wait == nil || other.value > wait.value) {
+				wait = other
+			}
+		}
+		if wait != nil {
+			s.stats.Deferrals++
+		}
+		s.mu.Unlock()
+		if wait == nil {
+			return
+		}
+		select {
+		case <-wait.done:
+		case <-a.aborted:
+			return
+		}
+	}
+}
+
+// shadowDone runs nothing; it returns the channel the shadow goroutine
+// reports on. (The goroutine was started at fork time.)
+func (h *txnHandle) shadowDone(sh *attempt) chan verdict {
+	h.store.mu.Lock()
+	defer h.store.mu.Unlock()
+	if sh.report == nil {
+		sh.report = make(chan verdict, 1)
+	}
+	return sh.report
+}
+
+// runAttempt executes a speculative shadow to completion and reports.
+func (h *txnHandle) runAttempt(sh *attempt) {
+	err := h.fn(&Tx{a: sh})
+	committed := false
+	if err == nil {
+		committed = h.store.tryCommit(sh)
+	}
+	h.store.mu.Lock()
+	if sh.report == nil {
+		sh.report = make(chan verdict, 1)
+	}
+	h.store.mu.Unlock()
+	sh.report <- verdict{err: err, committed: committed}
+}
+
+// tryCommit validates and installs an attempt's writes. It returns false
+// if the attempt read stale data (a conflicting transaction committed
+// first); the caller falls back to its shadow or restarts.
+func (s *Store) tryCommit(a *attempt) bool {
+	h := a.h
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case <-a.aborted:
+		return false
+	default:
+	}
+	if h.resolved {
+		return false // another shadow of this transaction already won
+	}
+	for key, ver := range a.reads {
+		if s.committed[key].ver != ver {
+			a.abortLocked(s)
+			return false
+		}
+	}
+	for key, val := range a.writes {
+		s.committed[key] = versioned{val: val, ver: s.committed[key].ver + 1}
+	}
+	h.resolved = true
+	delete(s.active, h)
+	s.stats.Commits++
+	if a.spec {
+		s.stats.Promotions++
+	}
+
+	// Broadcast commit: abort in-flight optimistic shadows that read what
+	// we wrote. Their speculative shadows (often gated on us) take over —
+	// the gate opens when our handle's done channel closes.
+	for other := range s.active {
+		if other.resolved || other.opt == nil {
+			continue
+		}
+		stale := false
+		for key := range a.writes {
+			if _, read := other.opt.reads[key]; read {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			other.opt.abortLocked(s)
+		}
+	}
+	return true
+}
+
+// Close marks the store closed; subsequent Updates fail. In-flight
+// transactions drain normally.
+func (s *Store) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}

@@ -1,0 +1,135 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestProtocolRegistry(t *testing.T) {
+	for _, name := range []string{"2PL-PA", "OCC-BC", "WAIT-50", "SCC-2S", "SCC-VW", "SCC-DC", "SCC-kS(3)", "SCC-kS-FIFO(2)"} {
+		p := Protocol(name)
+		if p.New() == nil {
+			t.Fatalf("%s: nil CCM", name)
+		}
+		// Fresh instances each call.
+		if p.New() == p.New() {
+			t.Fatalf("%s: New returned a shared instance", name)
+		}
+	}
+}
+
+func TestUnknownProtocolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown protocol did not panic")
+		}
+	}()
+	Protocol("MVCC")
+}
+
+func TestExperimentRegistryComplete(t *testing.T) {
+	reg := Experiments()
+	for _, id := range ExperimentIDs() {
+		e, ok := reg[id]
+		if !ok {
+			t.Fatalf("experiment %s missing from registry", id)
+		}
+		if e.ID != id {
+			t.Fatalf("experiment %s has ID %s", id, e.ID)
+		}
+		if e.Metric == nil || len(e.Protos) == 0 || len(e.Rates) == 0 {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+		if e.Target < 1000 {
+			t.Fatalf("experiment %s full-scale target %d too small", id, e.Target)
+		}
+		if e.Paper == "" {
+			t.Fatalf("experiment %s lacks the paper's expected shape", id)
+		}
+	}
+}
+
+// TestQuickSweepShape runs a scaled-down fig13a and checks the structural
+// properties of the output: all series present, all rates sampled, and the
+// headline ordering (SCC-2S <= OCC-BC missed ratio at the top rate).
+func TestQuickSweepShape(t *testing.T) {
+	e := Experiments()["fig13a"]
+	// Shrink further than quick mode for test speed.
+	e.Rates = []float64{20, 120}
+	e.Target, e.Warmup, e.Seeds = 250, 25, 2
+	res := e.Run(false)
+
+	if len(res.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(res.Series))
+	}
+	byName := map[string][]Point{}
+	for _, s := range res.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("%s has %d points", s.Protocol, len(s.Points))
+		}
+		byName[s.Protocol] = s.Points
+	}
+	scc := byName["SCC-2S"][1].Est.Mean
+	occb := byName["OCC-BC"][1].Est.Mean
+	if scc > occb {
+		t.Fatalf("SCC-2S missed %.1f%% > OCC-BC %.1f%% at 120 txn/s", scc, occb)
+	}
+	// Missed ratios grow with load for every protocol.
+	for name, pts := range byName {
+		if pts[1].Est.Mean+1e-9 < pts[0].Est.Mean {
+			t.Fatalf("%s: missed ratio fell with load (%.2f -> %.2f)", name, pts[0].Est.Mean, pts[1].Est.Mean)
+		}
+	}
+
+	tbl := res.Table()
+	for _, want := range []string{"fig13a", "SCC-2S", "2PL-PA", "120"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	chart := res.Chart()
+	if !strings.Contains(chart, "Missed Ratio") {
+		t.Fatalf("chart missing y label:\n%s", chart)
+	}
+}
+
+func TestSecondaryQuick(t *testing.T) {
+	rows := Secondary(100, 2000, true)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sccRow, occRow, pccRow SecondaryRow
+	for _, r := range rows {
+		switch r.Protocol {
+		case "SCC-2S":
+			sccRow = r
+		case "OCC-BC":
+			occRow = r
+		case "2PL-PA":
+			pccRow = r
+		}
+	}
+	if sccRow.Promotions == 0 || sccRow.ShadowForks == 0 {
+		t.Fatalf("SCC-2S secondary counters empty: %+v", sccRow)
+	}
+	if occRow.RestartsPerCommit <= sccRow.RestartsPerCommit {
+		t.Fatalf("OCC-BC restarts/commit %.3f not above SCC-2S %.3f",
+			occRow.RestartsPerCommit, sccRow.RestartsPerCommit)
+	}
+	if pccRow.PriorityAborts == 0 {
+		t.Fatalf("2PL-PA priority aborts missing: %+v", pccRow)
+	}
+	tbl := SecondaryTable(rows, 100)
+	if !strings.Contains(tbl, "SCC-2S") || !strings.Contains(tbl, "p-aborts") {
+		t.Fatalf("secondary table malformed:\n%s", tbl)
+	}
+}
+
+func TestAggregatePointEstimates(t *testing.T) {
+	e := stats.Aggregate([]float64{4, 6})
+	if e.Mean != 5 {
+		t.Fatalf("mean %v", e.Mean)
+	}
+}

@@ -1,0 +1,198 @@
+// Package history verifies serializability of committed executions.
+//
+// The simulator records, for every committed transaction, the versions it
+// observed on reads (the TxnID of the last committed writer at the moment
+// of the read) and the pages it wrote. From those observations this
+// package builds the version-order conflict graph over committed
+// transactions and checks it is acyclic — an execution is (conflict)
+// serializable iff the graph has no cycle.
+//
+// This is a test oracle: it is independent of every protocol's own
+// validation logic, so a protocol bug that commits a non-serializable
+// schedule is caught even if the protocol's internal bookkeeping agrees
+// with itself.
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+)
+
+// CommitRecord is the footprint of one committed transaction.
+type CommitRecord struct {
+	ID model.TxnID
+	// Seq is the version-install order. Several commits can share a
+	// virtual timestamp (commit cascades within one event), so replay
+	// must follow Seq, not Commit.
+	Seq    int
+	Commit float64 // commit timestamp, for reporting
+	Reads  []model.ReadObs
+	Writes []model.PageID
+}
+
+// Recorder accumulates commit records.
+type Recorder struct {
+	records []CommitRecord
+}
+
+// Add appends one committed transaction's footprint.
+func (r *Recorder) Add(rec CommitRecord) { r.records = append(r.records, rec) }
+
+// Len returns the number of recorded commits.
+func (r *Recorder) Len() int { return len(r.records) }
+
+// Records returns the recorded commits in commit order.
+func (r *Recorder) Records() []CommitRecord { return r.records }
+
+// Check verifies the recorded history is conflict-serializable and that
+// every read observed a version actually produced by a committed
+// transaction (or the initial version 0). It returns an error describing
+// the first violation found.
+func (r *Recorder) Check() error {
+	// Replay in version-install order.
+	recs := make([]CommitRecord, len(r.records))
+	copy(recs, r.records)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+
+	idx := make(map[model.TxnID]int, len(recs))
+	for i, rec := range recs {
+		if _, dup := idx[rec.ID]; dup {
+			return fmt.Errorf("history: transaction %d committed twice", rec.ID)
+		}
+		idx[rec.ID] = i
+	}
+
+	// Replay version history per page to validate observations.
+	ver := make(map[model.PageID]model.TxnID)
+	for i := range recs {
+		for _, obs := range recs[i].Reads {
+			cur := ver[obs.Page]
+			if obs.Version != cur {
+				return fmt.Errorf("history: txn %d read page %d version %d, but committed version at its commit was %d",
+					recs[i].ID, obs.Page, obs.Version, cur)
+			}
+		}
+		for _, p := range recs[i].Writes {
+			ver[p] = recs[i].ID
+		}
+	}
+
+	// Conflict graph: edge u -> v when v must follow u in any equivalent
+	// serial order. With the version check above, commit order is itself
+	// a valid serial order, but build the graph and check acyclicity
+	// anyway: it validates the checker against protocols that might
+	// commit "fresh-read" yet order-inconsistent histories if the version
+	// replay were ever weakened.
+	n := len(recs)
+	adj := make([][]int, n)
+	addEdge := func(u, v int) {
+		if u != v {
+			adj[u] = append(adj[u], v)
+		}
+	}
+	writers := make(map[model.PageID][]int) // page -> committing writer indices in order
+	readers := make(map[model.PageID][]int)
+	for i, rec := range recs {
+		for _, obs := range rec.Reads {
+			if obs.Version != 0 {
+				w, ok := idx[obs.Version]
+				if !ok {
+					return fmt.Errorf("history: txn %d read version %d of page %d from an uncommitted writer",
+						rec.ID, obs.Version, obs.Page)
+				}
+				addEdge(w, i) // wr dependency: writer before reader
+			}
+			readers[obs.Page] = append(readers[obs.Page], i)
+		}
+		for _, p := range rec.Writes {
+			writers[p] = append(writers[p], i)
+		}
+	}
+	// ww edges in version-install order; rw anti-dependency edges: a
+	// reader of version v precedes the writer that overwrote v.
+	for p, ws := range writers {
+		for k := 1; k < len(ws); k++ {
+			addEdge(ws[k-1], ws[k])
+		}
+		for _, rd := range readers[p] {
+			// Find the version rd observed and the next writer after it.
+			var obsVer model.TxnID
+			for _, o := range recs[rd].Reads {
+				if o.Page == p {
+					obsVer = o.Version
+				}
+			}
+			for k, w := range ws {
+				if recs[w].ID == obsVer {
+					if k+1 < len(ws) {
+						addEdge(rd, ws[k+1])
+					}
+					break
+				}
+				if obsVer == 0 && k == 0 {
+					addEdge(rd, w)
+					break
+				}
+			}
+		}
+	}
+
+	if cyc := findCycle(adj); cyc != nil {
+		ids := make([]model.TxnID, len(cyc))
+		for i, v := range cyc {
+			ids[i] = recs[v].ID
+		}
+		return fmt.Errorf("history: conflict cycle %v", ids)
+	}
+	return nil
+}
+
+// findCycle returns the vertices of some cycle, or nil if the graph is a
+// DAG. Iterative DFS with three-color marking.
+func findCycle(adj [][]int) []int {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	n := len(adj)
+	color := make([]int, n)
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if color[start] != white {
+			continue
+		}
+		type frame struct{ v, ei int }
+		stack := []frame{{start, 0}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.ei < len(adj[f.v]) {
+				u := adj[f.v][f.ei]
+				f.ei++
+				switch color[u] {
+				case white:
+					color[u] = gray
+					parent[u] = f.v
+					stack = append(stack, frame{u, 0})
+				case gray:
+					// Back edge f.v -> u closes a cycle.
+					cyc := []int{u}
+					for v := f.v; v != u && v != -1; v = parent[v] {
+						cyc = append(cyc, v)
+					}
+					return cyc
+				}
+			} else {
+				color[f.v] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}

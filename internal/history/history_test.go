@@ -1,0 +1,147 @@
+package history
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func rd(p model.PageID, ver model.TxnID) model.ReadObs {
+	return model.ReadObs{Page: p, Version: ver}
+}
+
+func TestEmptyHistory(t *testing.T) {
+	var r Recorder
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerialHistoryOK(t *testing.T) {
+	var r Recorder
+	// T1 writes x; T2 reads T1's x and writes y; T3 reads both.
+	r.Add(CommitRecord{ID: 1, Seq: 1, Commit: 1, Writes: []model.PageID{10}})
+	r.Add(CommitRecord{ID: 2, Seq: 2, Commit: 2, Reads: []model.ReadObs{rd(10, 1)}, Writes: []model.PageID{20}})
+	r.Add(CommitRecord{ID: 3, Seq: 3, Commit: 3, Reads: []model.ReadObs{rd(10, 1), rd(20, 2)}})
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	var r Recorder
+	r.Add(CommitRecord{ID: 1, Seq: 1, Commit: 1, Writes: []model.PageID{10}})
+	// T2 commits after T1 but claims it observed the initial version of
+	// page 10: a stale read the validation should have prevented.
+	r.Add(CommitRecord{ID: 2, Seq: 2, Commit: 2, Reads: []model.ReadObs{rd(10, 0)}})
+	err := r.Check()
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("stale read not detected: %v", err)
+	}
+}
+
+func TestReadFromUncommittedDetected(t *testing.T) {
+	var r Recorder
+	r.Add(CommitRecord{ID: 2, Seq: 1, Commit: 1, Reads: []model.ReadObs{rd(10, 99)}})
+	if err := r.Check(); err == nil {
+		t.Fatal("read of uncommitted version not detected")
+	}
+}
+
+func TestDoubleCommitDetected(t *testing.T) {
+	var r Recorder
+	r.Add(CommitRecord{ID: 1, Seq: 1, Commit: 1})
+	r.Add(CommitRecord{ID: 1, Seq: 2, Commit: 2})
+	err := r.Check()
+	if err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("double commit not detected: %v", err)
+	}
+}
+
+func TestWriteSkewStyleCycleDetected(t *testing.T) {
+	// Classic non-serializable pattern: T1 reads x then writes y; T2
+	// reads y then writes x; both read initial versions. The version
+	// replay catches T2's read of y (T1 already overwrote it); any
+	// history that passes the replay is provably acyclic, so the graph
+	// check is a defense-in-depth validation of the checker itself.
+	var r Recorder
+	r.Add(CommitRecord{ID: 1, Seq: 1, Commit: 1, Reads: []model.ReadObs{rd(1, 0)}, Writes: []model.PageID{2}})
+	r.Add(CommitRecord{ID: 2, Seq: 2, Commit: 2, Reads: []model.ReadObs{rd(2, 0)}, Writes: []model.PageID{1}})
+	if err := r.Check(); err == nil {
+		t.Fatal("write-skew history not detected")
+	}
+}
+
+func TestAntiDependencyOrderOK(t *testing.T) {
+	// T1 reads initial x; T2 overwrites x and commits first... order:
+	// T2 commits at 1 writing x; T1 commits at 2 having read version 0 of
+	// x — that is a stale read (committed version at T1's commit is 2).
+	var r Recorder
+	r.Add(CommitRecord{ID: 2, Seq: 1, Commit: 1, Writes: []model.PageID{1}})
+	r.Add(CommitRecord{ID: 1, Seq: 2, Commit: 2, Reads: []model.ReadObs{rd(1, 0)}})
+	if err := r.Check(); err == nil {
+		t.Fatal("stale read after overwrite not detected")
+	}
+}
+
+func TestBlindWritesAnyOrderOK(t *testing.T) {
+	var r Recorder
+	r.Add(CommitRecord{ID: 1, Seq: 1, Commit: 1, Writes: []model.PageID{5}})
+	r.Add(CommitRecord{ID: 2, Seq: 2, Commit: 2, Writes: []model.PageID{5}})
+	r.Add(CommitRecord{ID: 3, Seq: 3, Commit: 3, Reads: []model.ReadObs{rd(5, 2)}})
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLongChainOK(t *testing.T) {
+	var r Recorder
+	var prev model.TxnID
+	for i := 1; i <= 200; i++ {
+		id := model.TxnID(i)
+		r.Add(CommitRecord{
+			ID: id, Seq: i, Commit: float64(i),
+			Reads:  []model.ReadObs{rd(7, prev)},
+			Writes: []model.PageID{7},
+		})
+		prev = id
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 200 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestFindCycleDirect(t *testing.T) {
+	// 0 -> 1 -> 2 -> 0
+	adj := [][]int{{1}, {2}, {0}}
+	if findCycle(adj) == nil {
+		t.Fatal("3-cycle not found")
+	}
+	// DAG
+	dag := [][]int{{1, 2}, {2}, {}}
+	if c := findCycle(dag); c != nil {
+		t.Fatalf("false cycle in DAG: %v", c)
+	}
+	// Self loops are filtered by addEdge, but findCycle should handle.
+	self := [][]int{{0}}
+	if findCycle(self) == nil {
+		t.Fatal("self loop not found")
+	}
+	// Disconnected components.
+	multi := [][]int{{}, {2}, {1}}
+	if findCycle(multi) == nil {
+		t.Fatal("cycle in second component not found")
+	}
+}
+
+func TestRecordsAccessor(t *testing.T) {
+	var r Recorder
+	r.Add(CommitRecord{ID: 1, Seq: 1, Commit: 1})
+	if got := r.Records(); len(got) != 1 || got[0].ID != 1 {
+		t.Fatalf("Records = %+v", got)
+	}
+}

@@ -1,0 +1,217 @@
+// Package occ implements the optimistic baselines of the paper's
+// evaluation: OCC-BC (broadcast commit / forward validation, [Mena82,
+// Robi82], the variant Haritsa showed superior for firm-deadline RTDBS)
+// and WAIT-50 (Haritsa's dynamic wait control: a validating transaction
+// waits while at least half of the transactions it would abort have higher
+// priority).
+package occ
+
+import (
+	"repro/internal/model"
+	"repro/internal/rtdbs"
+)
+
+// BC is broadcast-commit OCC: transactions run free; when one validates it
+// commits immediately and every concurrently running transaction that read
+// a page it wrote is restarted at once (rather than at its own validation,
+// as in classical OCC).
+type BC struct {
+	rt     *rtdbs.Runtime
+	shadow map[model.TxnID]*rtdbs.Shadow
+}
+
+// NewBC returns an OCC-BC concurrency control manager.
+func NewBC() *BC { return &BC{shadow: make(map[model.TxnID]*rtdbs.Shadow)} }
+
+// Name implements rtdbs.CCM.
+func (c *BC) Name() string { return "OCC-BC" }
+
+// Attach implements rtdbs.CCM.
+func (c *BC) Attach(rt *rtdbs.Runtime) { c.rt = rt }
+
+// OnArrival spawns the single optimistic execution.
+func (c *BC) OnArrival(t *model.Txn) {
+	sh := c.rt.Spawn(t, 0, nil)
+	c.shadow[t.ID] = sh
+	c.rt.Kick(sh)
+}
+
+// CanProceed implements rtdbs.CCM: optimistic execution never blocks.
+func (c *BC) CanProceed(*rtdbs.Shadow) bool { return true }
+
+// OnOpDone implements rtdbs.CCM: conflicts are ignored until commit.
+func (c *BC) OnOpDone(*rtdbs.Shadow) {}
+
+// OnFinish validates and commits immediately (forward validation always
+// succeeds: the committer wins every conflict).
+func (c *BC) OnFinish(sh *rtdbs.Shadow) { c.rt.Commit(sh) }
+
+// OnCommitted broadcasts the commit: restart every active transaction
+// whose execution read a page the committer wrote.
+func (c *BC) OnCommitted(t *model.Txn, _ *rtdbs.Shadow) {
+	delete(c.shadow, t.ID)
+	for _, id := range c.rt.ActiveIDs() {
+		sh := c.shadow[id]
+		if sh == nil {
+			continue
+		}
+		if stale(c.rt, sh) {
+			c.shadow[id] = c.rt.Restart(sh.Txn)
+		}
+	}
+}
+
+// stale reports whether any of sh's reads no longer matches the committed
+// version, i.e. the transaction read something a committed transaction
+// overwrote.
+func stale(rt *rtdbs.Runtime, sh *rtdbs.Shadow) bool {
+	for _, obs := range sh.Log.Reads() {
+		if rt.Version(obs.Page) != obs.Version {
+			return true
+		}
+	}
+	return false
+}
+
+// Wait50 is OCC-BC plus Haritsa's 50% rule wait control [Hari90a]: when a
+// transaction finishes, it checks the set of transactions its commit would
+// restart; while at least half of them have higher priority (EDF), the
+// validator waits instead of committing. While it waits it remains
+// vulnerable: a higher-priority transaction that validates first restarts
+// it like any other conflicter.
+type Wait50 struct {
+	rt      *rtdbs.Runtime
+	shadow  map[model.TxnID]*rtdbs.Shadow
+	waiting map[model.TxnID]*rtdbs.Shadow
+	// evaluating guards against re-entrant evaluation: committing one
+	// waiter triggers OnCommitted which would otherwise recurse into
+	// another evaluation sweep.
+	evaluating bool
+}
+
+// NewWait50 returns a WAIT-50 concurrency control manager.
+func NewWait50() *Wait50 {
+	return &Wait50{
+		shadow:  make(map[model.TxnID]*rtdbs.Shadow),
+		waiting: make(map[model.TxnID]*rtdbs.Shadow),
+	}
+}
+
+// Name implements rtdbs.CCM.
+func (c *Wait50) Name() string { return "WAIT-50" }
+
+// Attach implements rtdbs.CCM.
+func (c *Wait50) Attach(rt *rtdbs.Runtime) { c.rt = rt }
+
+// OnArrival spawns the single optimistic execution.
+func (c *Wait50) OnArrival(t *model.Txn) {
+	sh := c.rt.Spawn(t, 0, nil)
+	c.shadow[t.ID] = sh
+	c.rt.Kick(sh)
+}
+
+// CanProceed implements rtdbs.CCM: execution never blocks; only commits wait.
+func (c *Wait50) CanProceed(*rtdbs.Shadow) bool { return true }
+
+// OnOpDone implements rtdbs.CCM.
+func (c *Wait50) OnOpDone(*rtdbs.Shadow) {}
+
+// OnFinish applies the 50% rule; if the validator must wait it is parked
+// and re-evaluated after every subsequent commit.
+func (c *Wait50) OnFinish(sh *rtdbs.Shadow) {
+	if c.shouldWait(sh) {
+		if _, already := c.waiting[sh.Txn.ID]; !already {
+			c.waiting[sh.Txn.ID] = sh
+			c.rt.Metrics.CommitWaits++
+		}
+		return
+	}
+	c.rt.Commit(sh)
+}
+
+// conflictSet returns the IDs of active transactions that would be
+// restarted if sh committed: those whose execution read a page sh wrote.
+func (c *Wait50) conflictSet(sh *rtdbs.Shadow) []model.TxnID {
+	var out []model.TxnID
+	ws := sh.Log.WritePages()
+	if len(ws) == 0 {
+		return nil
+	}
+	for _, id := range c.rt.ActiveIDs() {
+		if id == sh.Txn.ID {
+			continue
+		}
+		other := c.shadow[id]
+		if other == nil {
+			continue
+		}
+		if other.Log.FirstReadOfAny(ws) >= 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// shouldWait implements the 50% rule.
+func (c *Wait50) shouldWait(sh *rtdbs.Shadow) bool {
+	conf := c.conflictSet(sh)
+	if len(conf) == 0 {
+		return false
+	}
+	higher := 0
+	for _, id := range conf {
+		if other := c.rt.State(id); other != nil && other.Txn.HigherPriority(sh.Txn) {
+			higher++
+		}
+	}
+	return 2*higher >= len(conf)
+}
+
+// OnCommitted restarts stale readers (a waiting validator that read the
+// committer's writes loses its finished work and restarts from scratch),
+// then re-evaluates the waiting set until no more waiters can commit.
+func (c *Wait50) OnCommitted(t *model.Txn, _ *rtdbs.Shadow) {
+	delete(c.shadow, t.ID)
+	delete(c.waiting, t.ID)
+	for _, id := range c.rt.ActiveIDs() {
+		sh := c.shadow[id]
+		if sh == nil {
+			continue
+		}
+		if stale(c.rt, sh) {
+			delete(c.waiting, id)
+			c.shadow[id] = c.rt.Restart(sh.Txn)
+		}
+	}
+	c.evaluateWaiters()
+}
+
+// evaluateWaiters commits every waiter whose wait condition has cleared,
+// iterating to a fixpoint (a commit can clear or trigger other waits).
+func (c *Wait50) evaluateWaiters() {
+	if c.evaluating {
+		return
+	}
+	c.evaluating = true
+	defer func() { c.evaluating = false }()
+	for {
+		var ready *rtdbs.Shadow
+		for _, id := range c.rt.ActiveIDs() {
+			sh, ok := c.waiting[id]
+			if !ok {
+				continue
+			}
+			if !c.shouldWait(sh) {
+				ready = sh
+				break
+			}
+		}
+		if ready == nil {
+			return
+		}
+		delete(c.waiting, ready.Txn.ID)
+		// Commit triggers OnCommitted, which restarts stale readers and
+		// prunes the waiting set before the next scan.
+		c.rt.Commit(ready)
+	}
+}

@@ -1,0 +1,244 @@
+// Package pcc implements the pessimistic baseline of the paper's
+// evaluation: 2PL with Priority Abort (2PL-PA) [Abbo88]. Transactions
+// acquire S/X page locks before each access and hold them until commit; a
+// requester that conflicts only with lower-priority (EDF) holders aborts
+// them and takes the lock, otherwise it blocks. Because a transaction only
+// ever waits behind strictly higher-priority holders and priority is a
+// static total order, waits-for cycles — and therefore deadlocks — are
+// impossible.
+package pcc
+
+import (
+	"repro/internal/model"
+	"repro/internal/rtdbs"
+)
+
+type lockMode int
+
+const (
+	lockS lockMode = iota
+	lockX
+)
+
+func needMode(op model.Op) lockMode {
+	if op.Write {
+		return lockX
+	}
+	return lockS
+}
+
+type lockState struct {
+	holders map[model.TxnID]lockMode
+	queue   []*rtdbs.Shadow // waiting shadows, granted in EDF order
+}
+
+// TwoPLPA is the 2PL-PA concurrency control manager.
+type TwoPLPA struct {
+	rt    *rtdbs.Runtime
+	locks map[model.PageID]*lockState
+	held  map[model.TxnID]map[model.PageID]lockMode
+	// queuedAt tracks the single page a transaction is waiting on, so
+	// aborts can purge queue entries without scanning every lock.
+	queuedAt map[model.TxnID]model.PageID
+}
+
+// New returns a 2PL-PA concurrency control manager.
+func New() *TwoPLPA {
+	return &TwoPLPA{
+		locks:    make(map[model.PageID]*lockState),
+		held:     make(map[model.TxnID]map[model.PageID]lockMode),
+		queuedAt: make(map[model.TxnID]model.PageID),
+	}
+}
+
+// Name implements rtdbs.CCM.
+func (c *TwoPLPA) Name() string { return "2PL-PA" }
+
+// Attach implements rtdbs.CCM.
+func (c *TwoPLPA) Attach(rt *rtdbs.Runtime) { c.rt = rt }
+
+// OnArrival spawns the transaction's single execution.
+func (c *TwoPLPA) OnArrival(t *model.Txn) { c.rt.Kick(c.rt.Spawn(t, 0, nil)) }
+
+func (c *TwoPLPA) lock(p model.PageID) *lockState {
+	l := c.locks[p]
+	if l == nil {
+		l = &lockState{holders: make(map[model.TxnID]lockMode)}
+		c.locks[p] = l
+	}
+	return l
+}
+
+func (c *TwoPLPA) holds(id model.TxnID, p model.PageID, m lockMode) bool {
+	got, ok := c.held[id][p]
+	return ok && (got == lockX || got == m)
+}
+
+// conflictingHolders returns the holders of p incompatible with id
+// acquiring mode m, in ascending TxnID order for determinism.
+func (c *TwoPLPA) conflictingHolders(p model.PageID, id model.TxnID, m lockMode) []model.TxnID {
+	l := c.lock(p)
+	var out []model.TxnID
+	for hid, hm := range l.holders {
+		if hid == id {
+			continue
+		}
+		if m == lockX || hm == lockX {
+			out = append(out, hid)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// CanProceed requests the lock for the shadow's next operation: grant,
+// priority-abort lower-priority holders, or block.
+func (c *TwoPLPA) CanProceed(sh *rtdbs.Shadow) bool {
+	t := sh.Txn
+	op := t.Ops[sh.NextOp]
+	m := needMode(op)
+	if c.holds(t.ID, op.Page, m) {
+		return true
+	}
+	conf := c.conflictingHolders(op.Page, t.ID, m)
+	if len(conf) == 0 {
+		c.grant(t.ID, op.Page, m)
+		return true
+	}
+	for _, hid := range conf {
+		holder := c.rt.State(hid)
+		if holder == nil || !t.HigherPriority(holder.Txn) {
+			// Some conflicting holder outranks the requester: block.
+			c.enqueue(sh, op.Page)
+			return false
+		}
+	}
+	// The requester outranks every conflicting holder: abort them all.
+	// Grant to the requester BEFORE releasing the victims: releaseAll
+	// wakes queues on every page a victim held — including this one — and
+	// could otherwise hand the contested lock to a queued third party,
+	// leaving two incompatible holders.
+	victims := make([]*model.Txn, 0, len(conf))
+	for _, hid := range conf {
+		victims = append(victims, c.rt.State(hid).Txn)
+	}
+	c.grant(t.ID, op.Page, m)
+	for _, v := range victims {
+		c.releaseAll(v.ID)
+		c.rt.Metrics.DeadlockAvert++
+	}
+	for _, v := range victims {
+		c.rt.Restart(v)
+	}
+	return true
+}
+
+func (c *TwoPLPA) grant(id model.TxnID, p model.PageID, m lockMode) {
+	l := c.lock(p)
+	if cur, ok := l.holders[id]; !ok || m == lockX && cur == lockS {
+		l.holders[id] = m
+	}
+	h := c.held[id]
+	if h == nil {
+		h = make(map[model.PageID]lockMode)
+		c.held[id] = h
+	}
+	h[p] = m
+	if at, ok := c.queuedAt[id]; ok && at == p {
+		delete(c.queuedAt, id)
+	}
+}
+
+func (c *TwoPLPA) enqueue(sh *rtdbs.Shadow, p model.PageID) {
+	id := sh.Txn.ID
+	if at, ok := c.queuedAt[id]; ok {
+		if at == p {
+			return // already waiting here
+		}
+		c.dequeue(id, at)
+	}
+	l := c.lock(p)
+	l.queue = append(l.queue, sh)
+	c.queuedAt[id] = p
+}
+
+func (c *TwoPLPA) dequeue(id model.TxnID, p model.PageID) {
+	l := c.lock(p)
+	for i, sh := range l.queue {
+		if sh.Txn.ID == id {
+			l.queue = append(l.queue[:i], l.queue[i+1:]...)
+			break
+		}
+	}
+	delete(c.queuedAt, id)
+}
+
+// releaseAll drops every lock and queue entry of id and wakes waiters.
+func (c *TwoPLPA) releaseAll(id model.TxnID) {
+	if at, ok := c.queuedAt[id]; ok {
+		c.dequeue(id, at)
+	}
+	pages := c.held[id]
+	delete(c.held, id)
+	// Deterministic order: sort the released pages.
+	sorted := make([]model.PageID, 0, len(pages))
+	for p := range pages {
+		sorted = append(sorted, p)
+	}
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for _, p := range sorted {
+		delete(c.lock(p).holders, id)
+		c.wake(p)
+	}
+}
+
+// wake grants queued requests on p in EDF priority order, stopping at the
+// first waiter whose request is still incompatible.
+func (c *TwoPLPA) wake(p model.PageID) {
+	l := c.lock(p)
+	for len(l.queue) > 0 {
+		// Select the highest-priority waiter.
+		best := 0
+		for i := 1; i < len(l.queue); i++ {
+			if l.queue[i].Txn.HigherPriority(l.queue[best].Txn) {
+				best = i
+			}
+		}
+		sh := l.queue[best]
+		if sh.Aborted() {
+			// Stale entry from a restarted transaction.
+			l.queue = append(l.queue[:best], l.queue[best+1:]...)
+			delete(c.queuedAt, sh.Txn.ID)
+			continue
+		}
+		op := sh.Txn.Ops[sh.NextOp]
+		m := needMode(op)
+		if len(c.conflictingHolders(p, sh.Txn.ID, m)) > 0 {
+			return
+		}
+		l.queue = append(l.queue[:best], l.queue[best+1:]...)
+		delete(c.queuedAt, sh.Txn.ID)
+		c.grant(sh.Txn.ID, p, m)
+		c.rt.Kick(sh)
+	}
+}
+
+// OnOpDone implements rtdbs.CCM: 2PL does its work at lock-request time.
+func (c *TwoPLPA) OnOpDone(*rtdbs.Shadow) {}
+
+// OnFinish commits immediately: all locks are held, so validation is
+// trivially satisfied.
+func (c *TwoPLPA) OnFinish(sh *rtdbs.Shadow) { c.rt.Commit(sh) }
+
+// OnCommitted releases the committer's locks and wakes waiters.
+func (c *TwoPLPA) OnCommitted(t *model.Txn, _ *rtdbs.Shadow) {
+	c.releaseAll(t.ID)
+}

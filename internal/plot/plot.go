@@ -1,0 +1,107 @@
+// Package plot renders experiment series as ASCII line charts, so the
+// reproduction's figures can be eyeballed directly in a terminal next to
+// the paper's.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label  string
+	X      []float64
+	Y      []float64
+	Marker byte
+}
+
+// Chart is a set of series over a shared axis.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 20)
+	// YMin/YMax clamp the axis when set (YMax > YMin); otherwise the
+	// range fits the data.
+	YMin, YMax float64
+}
+
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render draws the chart.
+func (c Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 20
+	}
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			xMin = math.Min(xMin, s.X[i])
+			xMax = math.Max(xMax, s.X[i])
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if math.IsInf(xMin, 1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if c.YMax > c.YMin {
+		yMin, yMax = c.YMin, c.YMax
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, h)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			col := int(math.Round((s.X[i] - xMin) / (xMax - xMin) * float64(w-1)))
+			y := math.Min(math.Max(s.Y[i], yMin), yMax)
+			row := h - 1 - int(math.Round((y-yMin)/(yMax-yMin)*float64(h-1)))
+			if row >= 0 && row < h && col >= 0 && col < w {
+				grid[row][col] = marker
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		yVal := yMax - (yMax-yMin)*float64(i)/float64(h-1)
+		fmt.Fprintf(&b, "%9.2f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%9s  %-*.2f%*.2f\n", "", w/2, xMin, w-w/2, xMax)
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%9s  x: %s   y: %s\n", "", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		fmt.Fprintf(&b, "%9s  %c %s\n", "", marker, s.Label)
+	}
+	return b.String()
+}

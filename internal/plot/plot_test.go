@@ -1,0 +1,86 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() Chart {
+	return Chart{
+		Title:  "Missed Ratio",
+		XLabel: "Arrival Rate",
+		YLabel: "%",
+		Series: []Series{
+			{Label: "SCC-2S", X: []float64{10, 100, 200}, Y: []float64{0, 10, 40}},
+			{Label: "OCC-BC", X: []float64{10, 100, 200}, Y: []float64{0, 25, 80}},
+		},
+	}
+}
+
+func TestRenderContainsEverything(t *testing.T) {
+	out := sample().Render()
+	for _, want := range []string{"Missed Ratio", "SCC-2S", "OCC-BC", "Arrival Rate", "*", "o"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Chart{Title: "t"}.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart: %q", out)
+	}
+}
+
+func TestRenderSinglePoint(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "p", X: []float64{5}, Y: []float64{7}}}}
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestClampedAxis(t *testing.T) {
+	c := sample()
+	c.YMin, c.YMax = 0, 100
+	out := c.Render()
+	if !strings.Contains(out, "100.00") {
+		t.Fatalf("clamped axis label missing:\n%s", out)
+	}
+}
+
+func TestDimensions(t *testing.T) {
+	c := sample()
+	c.Width, c.Height = 30, 8
+	out := c.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 rows + axis + xlabels + labels line + 2 legend lines
+	if len(lines) != 1+8+1+1+1+2 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	for _, ln := range lines[1:9] {
+		if !strings.Contains(ln, "|") {
+			t.Fatalf("plot row without frame: %q", ln)
+		}
+	}
+}
+
+func TestCustomMarker(t *testing.T) {
+	c := Chart{Series: []Series{{Label: "q", Marker: '$', X: []float64{1, 2}, Y: []float64{1, 2}}}}
+	if out := c.Render(); !strings.Contains(out, "$") {
+		t.Fatalf("custom marker missing:\n%s", out)
+	}
+}
+
+func TestOutOfRangeValuesClamped(t *testing.T) {
+	c := Chart{
+		YMin: 0, YMax: 10,
+		Series: []Series{{Label: "v", X: []float64{0, 1}, Y: []float64{-50, 500}}},
+	}
+	// Must not panic; points clamp to the frame.
+	out := c.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("clamped points vanished:\n%s", out)
+	}
+}

@@ -1,0 +1,248 @@
+package value
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFnShape(t *testing.T) {
+	f := Fn{V: 100, Deadline: 10, Gradient: 5}
+	if got := f.At(0); got != 100 {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := f.At(10); got != 100 {
+		t.Fatalf("At(deadline) = %v", got)
+	}
+	if got := f.At(12); got != 90 {
+		t.Fatalf("At(deadline+2) = %v, want 90", got)
+	}
+	if got := f.At(40); got != -50 {
+		t.Fatalf("value must go negative: %v", got)
+	}
+}
+
+func TestZeroCrossing(t *testing.T) {
+	f := Fn{V: 100, Deadline: 10, Gradient: 5}
+	if got := f.ZeroCrossing(); got != 30 {
+		t.Fatalf("ZeroCrossing = %v, want 30", got)
+	}
+	nc := Fn{V: 100, Deadline: 10, Gradient: 0}
+	if !math.IsInf(nc.ZeroCrossing(), 1) {
+		t.Fatal("non-critical transaction must never cross zero")
+	}
+}
+
+func TestSurvivalMonotone(t *testing.T) {
+	d := ExecDist{Mean: 0.24, Sigma: 0.05, Min: 0.1}
+	prev := 1.0
+	for x := 0.0; x < 1.0; x += 0.01 {
+		s := d.Survival(x)
+		if s < 0 || s > 1 {
+			t.Fatalf("Survival(%v) = %v out of [0,1]", x, s)
+		}
+		if s > prev+1e-12 {
+			t.Fatalf("Survival not monotone at %v: %v > %v", x, s, prev)
+		}
+		prev = s
+	}
+	if d.Survival(0) != 1 {
+		t.Fatal("Survival below Min must be 1")
+	}
+}
+
+func TestSurvivalDegenerate(t *testing.T) {
+	d := ExecDist{Mean: 0.5, Sigma: 0, Min: 0.1}
+	if d.Survival(0.4) != 1 || d.Survival(0.6) != 0 {
+		t.Fatal("deterministic distribution survival wrong")
+	}
+}
+
+func TestFinishByBasics(t *testing.T) {
+	d := ExecDist{Mean: 0.24, Sigma: 0.05, Min: 0.05}
+	if got := d.FinishBy(0.1, -1); got != 0 {
+		t.Fatalf("FinishBy negative dt = %v, want 0", got)
+	}
+	if got := d.FinishBy(0.1, 0); got != 0 {
+		t.Fatalf("FinishBy zero dt = %v, want 0", got)
+	}
+	// Conditional probability approaches 1 far in the future.
+	if got := d.FinishBy(0.1, 10); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("FinishBy long dt = %v, want ~1", got)
+	}
+	// Conditioning: having survived past the mean raises the chance of
+	// finishing in the next instant relative to a fresh transaction? Not
+	// necessarily for a normal; but the value must stay a probability.
+	for tau := 0.0; tau < 0.6; tau += 0.05 {
+		for dt := 0.0; dt < 0.6; dt += 0.05 {
+			p := d.FinishBy(tau, dt)
+			if p < -1e-12 || p > 1+1e-12 {
+				t.Fatalf("FinishBy(%v,%v) = %v not a probability", tau, dt, p)
+			}
+		}
+	}
+}
+
+func TestFinishByOutlived(t *testing.T) {
+	d := ExecDist{Mean: 0.24, Sigma: 0.01, Min: 0.05}
+	// tau far beyond the distribution: survival ~ 0, must return 1.
+	if got := d.FinishBy(5, 0.001); got != 1 {
+		t.Fatalf("outlived FinishBy = %v, want 1", got)
+	}
+}
+
+// Property: FinishBy is nondecreasing in dt for fixed tau.
+func TestFinishByMonotoneInDt(t *testing.T) {
+	d := ExecDist{Mean: 0.24, Sigma: 0.06, Min: 0.02}
+	f := func(tauRaw, aRaw, bRaw uint16) bool {
+		tau := float64(tauRaw) / 65535 * 0.5
+		a := float64(aRaw) / 65535 * 0.5
+		b := float64(bRaw) / 65535 * 0.5
+		if a > b {
+			a, b = b, a
+		}
+		return d.FinishBy(tau, a) <= d.FinishBy(tau, b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailHorizon(t *testing.T) {
+	d := ExecDist{Mean: 0.24, Sigma: 0.05, Min: 0.05}
+	h := d.TailHorizon(0.01)
+	if s := d.Survival(h); s > 0.0101 {
+		t.Fatalf("Survival at horizon = %v, want <= eps", s)
+	}
+	if h < d.Mean {
+		t.Fatalf("horizon %v below mean %v", h, d.Mean)
+	}
+	det := ExecDist{Mean: 0.3, Sigma: 0, Min: 0.1}
+	if got := det.TailHorizon(0.01); got != 0.3 {
+		t.Fatalf("deterministic horizon = %v, want mean", got)
+	}
+}
+
+func TestExpectedFinish(t *testing.T) {
+	d := ExecDist{Mean: 0.24, Sigma: 0.05, Min: 0.05}
+	shadows := []ShadowState{
+		{Finished: true, Adoption: 0.6},
+		{Executed: 0.1, Adoption: 0.4},
+	}
+	ef0 := ExpectedFinish(d, shadows, 0)
+	if math.Abs(ef0-0.6) > 1e-12 {
+		t.Fatalf("EF(0) = %v, want finished shadow's adoption 0.6", ef0)
+	}
+	efBig := ExpectedFinish(d, shadows, 100)
+	if math.Abs(efBig-1.0) > 1e-9 {
+		t.Fatalf("EF(inf) = %v, want ~1", efBig)
+	}
+	// Monotone in dt.
+	prev := 0.0
+	for dt := 0.0; dt < 1; dt += 0.02 {
+		ef := ExpectedFinish(d, shadows, dt)
+		if ef < prev-1e-12 {
+			t.Fatalf("EF not monotone at dt=%v", dt)
+		}
+		prev = ef
+	}
+}
+
+func TestExpectedFinishClamped(t *testing.T) {
+	d := ExecDist{Mean: 0.1, Sigma: 0.01, Min: 0.01}
+	// Over-full adoption mass (callers may pass slightly >1 totals from
+	// fixed-point iteration); EF must clamp at 1.
+	shadows := []ShadowState{
+		{Finished: true, Adoption: 0.7},
+		{Finished: true, Adoption: 0.7},
+	}
+	if got := ExpectedFinish(d, shadows, 1); got != 1 {
+		t.Fatalf("EF = %v, want clamped 1", got)
+	}
+}
+
+func TestExpectedValue(t *testing.T) {
+	d := ExecDist{Mean: 0.2, Sigma: 0.02, Min: 0.05}
+	f := Fn{V: 100, Deadline: 1, Gradient: 50}
+	shadows := []ShadowState{{Finished: true, Adoption: 1}}
+	if got := ExpectedValue(f, d, shadows, 0, 0.5); got != 100 {
+		t.Fatalf("EV before deadline = %v, want 100", got)
+	}
+	if got := ExpectedValue(f, d, shadows, 0, 2); got != 50 {
+		t.Fatalf("EV past deadline = %v, want 50", got)
+	}
+}
+
+func TestAdoptionNoConflicts(t *testing.T) {
+	pOpt, pSpec := Adoption(100, nil, nil)
+	if pOpt != 1 || len(pSpec) != 0 {
+		t.Fatalf("no conflicts: pOpt = %v, want 1", pOpt)
+	}
+}
+
+func TestAdoptionFormula(t *testing.T) {
+	// V_u = 100, conflicts with values 100 and 50, both with P_o = 1.
+	pOpt, pSpec := Adoption(100, []float64{100, 50}, []float64{1, 1})
+	if math.Abs(pOpt-100.0/250.0) > 1e-12 {
+		t.Fatalf("pOpt = %v, want 0.4", pOpt)
+	}
+	if math.Abs(pSpec[0]-0.4) > 1e-12 || math.Abs(pSpec[1]-0.2) > 1e-12 {
+		t.Fatalf("pSpec = %v, want [0.4 0.2]", pSpec)
+	}
+	sum := pOpt
+	for _, p := range pSpec {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("adoption probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestAdoptionNegativeValuesClamped(t *testing.T) {
+	pOpt, pSpec := Adoption(-50, []float64{-10, 100}, []float64{1, 1})
+	if pOpt < 0 || pOpt > 1 {
+		t.Fatalf("pOpt = %v not a probability", pOpt)
+	}
+	for _, p := range pSpec {
+		if p < 0 || p > 1 {
+			t.Fatalf("pSpec = %v not probabilities", pSpec)
+		}
+	}
+	// The only positive-value participant should dominate.
+	if pSpec[1] < 0.99 {
+		t.Fatalf("positive-value conflict should dominate: %v", pSpec)
+	}
+}
+
+// Property: adoption probabilities are in [0,1] and sum to <= 1 + eps for
+// arbitrary non-negative inputs.
+func TestAdoptionProperty(t *testing.T) {
+	f := func(vuRaw uint16, vcRaw, pcRaw []uint16) bool {
+		n := len(vcRaw)
+		if len(pcRaw) < n {
+			n = len(pcRaw)
+		}
+		vu := float64(vuRaw)
+		vc := make([]float64, n)
+		pc := make([]float64, n)
+		for i := 0; i < n; i++ {
+			vc[i] = float64(vcRaw[i])
+			pc[i] = float64(pcRaw[i]) / 65535
+		}
+		pOpt, pSpec := Adoption(vu, vc, pc)
+		sum := pOpt
+		if pOpt < 0 || pOpt > 1 {
+			return false
+		}
+		for _, p := range pSpec {
+			if p < 0 || p > 1 {
+				return false
+			}
+			sum += p
+		}
+		return sum <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

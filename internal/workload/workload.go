@@ -1,0 +1,190 @@
+// Package workload generates the transaction streams of the paper's
+// evaluation (Sec. 4): Poisson arrivals over a 1000-page database, 16
+// uniformly chosen page accesses per transaction, 25% update probability,
+// deadlines at slack factor 2, plus the one-class and two-class value
+// configurations of Figs. 14-15.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Config describes a workload.
+type Config struct {
+	DBPages     int
+	ArrivalRate float64 // transactions per second (Poisson)
+	Classes     []model.Class
+	Seed        int64
+}
+
+// Baseline returns the Sec. 4 baseline model: one class, 1000 pages, 16
+// accesses of 15 ms each (E = 240 ms), 25% writes, slack factor 2. Value
+// parameters follow Fig. 14(a): constant value before the deadline
+// declining at "45 degrees" after, expressed as full value lost one
+// relative deadline past D.
+func Baseline(rate float64, seed int64) Config {
+	return Config{
+		DBPages:     1000,
+		ArrivalRate: rate,
+		Seed:        seed,
+		Classes: []model.Class{{
+			Name:            "base",
+			NumOps:          16,
+			WriteProb:       0.25,
+			MeanOpTime:      0.015,
+			ExecJitter:      0.2,
+			SlackFactor:     2,
+			Value:           100,
+			PenaltyPerSlack: 1,
+			Frequency:       1,
+		}},
+	}
+}
+
+// TwoClass returns the Fig. 14(b) mix: 10% of transactions are long,
+// tight-deadline, high-value with steep penalty gradients; 90% are short,
+// low-value with shallow gradients. Values are chosen so the
+// frequency-weighted average value equals the one-class configuration
+// (0.1*550 + 0.9*50 = 100).
+func TwoClass(rate float64, seed int64) Config {
+	return Config{
+		DBPages:     1000,
+		ArrivalRate: rate,
+		Seed:        seed,
+		Classes: []model.Class{
+			{
+				Name:            "critical",
+				NumOps:          24, // long execution times
+				WriteProb:       0.25,
+				MeanOpTime:      0.015,
+				ExecJitter:      0.2,
+				SlackFactor:     1.5, // tight deadlines
+				Value:           550, // high value-added
+				PenaltyPerSlack: 2,   // large penalty gradient
+				Frequency:       0.1,
+			},
+			{
+				Name:            "routine",
+				NumOps:          12, // short execution times
+				WriteProb:       0.25,
+				MeanOpTime:      0.015,
+				ExecJitter:      0.2,
+				SlackFactor:     2,
+				Value:           50,  // lower value-added
+				PenaltyPerSlack: 0.5, // smaller penalty gradient
+				Frequency:       0.9,
+			},
+		},
+	}
+}
+
+// Validate checks structural soundness of the configuration.
+func (c Config) Validate() error {
+	if c.DBPages <= 0 {
+		return fmt.Errorf("workload: DBPages = %d", c.DBPages)
+	}
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("workload: ArrivalRate = %v", c.ArrivalRate)
+	}
+	if len(c.Classes) == 0 {
+		return fmt.Errorf("workload: no classes")
+	}
+	total := 0.0
+	for i := range c.Classes {
+		cl := &c.Classes[i]
+		if cl.NumOps <= 0 || cl.NumOps > c.DBPages {
+			return fmt.Errorf("workload: class %q NumOps = %d with %d pages", cl.Name, cl.NumOps, c.DBPages)
+		}
+		if cl.MeanOpTime <= 0 {
+			return fmt.Errorf("workload: class %q MeanOpTime = %v", cl.Name, cl.MeanOpTime)
+		}
+		if cl.SlackFactor <= 0 {
+			return fmt.Errorf("workload: class %q SlackFactor = %v", cl.Name, cl.SlackFactor)
+		}
+		if cl.WriteProb < 0 || cl.WriteProb > 1 {
+			return fmt.Errorf("workload: class %q WriteProb = %v", cl.Name, cl.WriteProb)
+		}
+		total += cl.Frequency
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload: class frequencies sum to %v", total)
+	}
+	return nil
+}
+
+// Generator produces a deterministic stream of transactions.
+type Generator struct {
+	cfg     Config
+	rng     *dist.RNG
+	next    sim.Time
+	nextID  model.TxnID
+	cumFreq []float64
+}
+
+// NewGenerator builds a generator; it panics on an invalid configuration
+// (configurations are author-written, not user input).
+func NewGenerator(cfg Config) *Generator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{cfg: cfg, rng: dist.NewRNG(cfg.Seed), nextID: 1}
+	total := 0.0
+	for _, cl := range cfg.Classes {
+		total += cl.Frequency
+	}
+	cum := 0.0
+	for _, cl := range cfg.Classes {
+		cum += cl.Frequency / total
+		g.cumFreq = append(g.cumFreq, cum)
+	}
+	return g
+}
+
+// pickClass selects a class index according to the frequency mix.
+func (g *Generator) pickClass() int {
+	u := g.rng.Float64()
+	for i, c := range g.cumFreq {
+		if u < c {
+			return i
+		}
+	}
+	return len(g.cumFreq) - 1
+}
+
+// Next returns the next transaction in arrival order. Arrival gaps are
+// exponential with mean 1/rate; pages are chosen uniformly without
+// replacement; each access is a write with the class's WriteProb; the
+// actual per-op time is the class mean scaled by a truncated-normal jitter
+// factor (the scheduler only ever sees the class mean).
+func (g *Generator) Next() *model.Txn {
+	g.next += sim.Time(g.rng.Exp(1 / g.cfg.ArrivalRate))
+	cl := &g.cfg.Classes[g.pickClass()]
+
+	pages := g.rng.SampleWithoutReplacement(g.cfg.DBPages, cl.NumOps)
+	ops := make([]model.Op, cl.NumOps)
+	for i, p := range pages {
+		ops[i] = model.Op{Page: model.PageID(p), Write: g.rng.Float64() < cl.WriteProb}
+	}
+
+	jitter := 1.0
+	if cl.ExecJitter > 0 {
+		jitter = g.rng.TruncNormal(1, cl.ExecJitter, 0.4, 1.6)
+	}
+
+	t := &model.Txn{
+		ID:      g.nextID,
+		Class:   cl,
+		Arrival: g.next,
+		Ops:     ops,
+		OpTime:  cl.MeanOpTime * jitter,
+	}
+	// Deadline from the class-mean estimate, not the actual draw: the
+	// system does not know the true execution time in advance.
+	t.Deadline = t.Arrival + sim.Time(cl.SlackFactor*cl.MeanExec())
+	g.nextID++
+	return t
+}

@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestBaselineMatchesPaperParameters(t *testing.T) {
+	cfg := Baseline(100, 1)
+	if cfg.DBPages != 1000 {
+		t.Fatalf("DBPages = %d, want 1000", cfg.DBPages)
+	}
+	cl := cfg.Classes[0]
+	if cl.NumOps != 16 {
+		t.Fatalf("NumOps = %d, want 16", cl.NumOps)
+	}
+	if cl.WriteProb != 0.25 {
+		t.Fatalf("WriteProb = %v, want 0.25", cl.WriteProb)
+	}
+	if cl.SlackFactor != 2 {
+		t.Fatalf("SlackFactor = %v, want 2", cl.SlackFactor)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTwoClassAverageValueMatchesOneClass(t *testing.T) {
+	cfg := TwoClass(100, 1)
+	avg := 0.0
+	for _, cl := range cfg.Classes {
+		avg += cl.Frequency * cl.Value
+	}
+	if math.Abs(avg-100) > 1e-9 {
+		t.Fatalf("frequency-weighted value = %v, want 100 (same as one-class)", avg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []Config{
+		{DBPages: 0, ArrivalRate: 1, Classes: Baseline(1, 1).Classes},
+		{DBPages: 10, ArrivalRate: 0, Classes: Baseline(1, 1).Classes},
+		{DBPages: 10, ArrivalRate: 1},
+		{DBPages: 10, ArrivalRate: 1, Classes: []model.Class{{NumOps: 16, MeanOpTime: 1, SlackFactor: 1, Frequency: 1}}},
+		{DBPages: 10, ArrivalRate: 1, Classes: []model.Class{{NumOps: 4, MeanOpTime: 0, SlackFactor: 1, Frequency: 1}}},
+		{DBPages: 10, ArrivalRate: 1, Classes: []model.Class{{NumOps: 4, MeanOpTime: 1, SlackFactor: 0, Frequency: 1}}},
+		{DBPages: 10, ArrivalRate: 1, Classes: []model.Class{{NumOps: 4, MeanOpTime: 1, SlackFactor: 1, WriteProb: 1.5, Frequency: 1}}},
+		{DBPages: 10, ArrivalRate: 1, Classes: []model.Class{{NumOps: 4, MeanOpTime: 1, SlackFactor: 1, Frequency: 0}}},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(Baseline(50, 42))
+	b := NewGenerator(Baseline(50, 42))
+	for i := 0; i < 200; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.Arrival != tb.Arrival || ta.OpTime != tb.OpTime || len(ta.Ops) != len(tb.Ops) {
+			t.Fatalf("same seed diverged at txn %d", i)
+		}
+		for j := range ta.Ops {
+			if ta.Ops[j] != tb.Ops[j] {
+				t.Fatalf("ops diverge at txn %d op %d", i, j)
+			}
+		}
+	}
+}
+
+func TestGeneratorStructure(t *testing.T) {
+	g := NewGenerator(Baseline(100, 7))
+	var prev float64
+	for i := 0; i < 500; i++ {
+		tx := g.Next()
+		if tx.ID != model.TxnID(i+1) {
+			t.Fatalf("IDs must be sequential: %d at %d", tx.ID, i)
+		}
+		if float64(tx.Arrival) < prev {
+			t.Fatalf("arrivals must be nondecreasing")
+		}
+		prev = float64(tx.Arrival)
+		if len(tx.Ops) != 16 {
+			t.Fatalf("txn %d has %d ops", tx.ID, len(tx.Ops))
+		}
+		seen := map[model.PageID]bool{}
+		for _, op := range tx.Ops {
+			if op.Page < 0 || op.Page >= 1000 {
+				t.Fatalf("page %d out of range", op.Page)
+			}
+			if seen[op.Page] {
+				t.Fatalf("txn %d accesses page %d twice", tx.ID, op.Page)
+			}
+			seen[op.Page] = true
+		}
+		if tx.Deadline <= tx.Arrival {
+			t.Fatal("deadline must be after arrival")
+		}
+		rel := float64(tx.Deadline - tx.Arrival)
+		want := 2 * 16 * 0.015
+		if math.Abs(rel-want) > 1e-9 {
+			t.Fatalf("relative deadline %v, want slack*meanExec = %v", rel, want)
+		}
+		if tx.OpTime < 0.015*0.4 || tx.OpTime > 0.015*1.6 {
+			t.Fatalf("jittered OpTime %v outside truncation window", tx.OpTime)
+		}
+	}
+}
+
+func TestArrivalRateMatches(t *testing.T) {
+	g := NewGenerator(Baseline(100, 3))
+	const n = 20000
+	var last float64
+	for i := 0; i < n; i++ {
+		last = float64(g.Next().Arrival)
+	}
+	rate := n / last
+	if math.Abs(rate-100) > 3 {
+		t.Fatalf("empirical arrival rate = %v, want ~100", rate)
+	}
+}
+
+func TestWriteProbMatches(t *testing.T) {
+	g := NewGenerator(Baseline(100, 4))
+	writes, total := 0, 0
+	for i := 0; i < 2000; i++ {
+		for _, op := range g.Next().Ops {
+			total++
+			if op.Write {
+				writes++
+			}
+		}
+	}
+	frac := float64(writes) / float64(total)
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("write fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestClassMixMatches(t *testing.T) {
+	g := NewGenerator(TwoClass(100, 5))
+	crit := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if g.Next().Class.Name == "critical" {
+			crit++
+		}
+	}
+	frac := float64(crit) / n
+	if math.Abs(frac-0.1) > 0.01 {
+		t.Fatalf("critical fraction = %v, want ~0.1", frac)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGenerator with invalid config did not panic")
+		}
+	}()
+	NewGenerator(Config{})
+}
