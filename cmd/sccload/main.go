@@ -1,0 +1,267 @@
+// Command sccload is a concurrent closed-loop load generator for sccserve.
+//
+//	sccload -addr :7070 -clients 64 -ops 200 -mix low
+//
+// Each client drives one TCP connection: it draws transactions from an
+// internal/workload mix (the paper's Sec. 4 transaction model — access
+// lists, write probabilities, deadlines, value functions), converts each
+// into one UPD wire transaction (reads become read dependencies, writes
+// become balanced ± deltas so the keyspace total is conserved, plus a
+// per-client commit counter key), and reports throughput, latency
+// percentiles, and value accrued via internal/stats.
+//
+// Two built-in invariants make every run a correctness check, not just a
+// stopwatch: the balanced deltas mean the final SUM over value keys must
+// be zero (a torn cross-shard commit breaks it), and each client's counter
+// key must equal its committed-transaction count (a lost update breaks
+// it).
+//
+// Mixes: low (Sec. 4 baseline spread over -keys pages), high (the same
+// class squeezed onto 16 hot pages with 4 accesses), two (the Fig. 14(b)
+// two-class value mix: 10% long/tight/high-value, 90% short/routine).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/server/client"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func mixConfig(mix string, keys int, seed int64) workload.Config {
+	switch mix {
+	case "low":
+		cfg := workload.Baseline(100, seed)
+		cfg.DBPages = keys
+		return cfg
+	case "high":
+		cfg := workload.Baseline(100, seed)
+		cfg.DBPages = 16
+		cfg.Classes[0].NumOps = 4
+		return cfg
+	case "two":
+		cfg := workload.TwoClass(100, seed)
+		cfg.DBPages = keys
+		return cfg
+	}
+	log.Fatalf("sccload: unknown -mix %q (want low, high, or two)", mix)
+	return workload.Config{}
+}
+
+// clientResult accumulates one client's outcomes.
+type clientResult struct {
+	m         stats.Metrics
+	lat       *stats.Sample
+	shed      int
+	errors    int
+	committed int64 // successful transactions, cross-checked against cnt<i>
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "sccserve address")
+	clients := flag.Int("clients", 64, "concurrent closed-loop clients")
+	ops := flag.Int("ops", 200, "transactions per client")
+	keys := flag.Int("keys", 256, "keyspace size for the low/two mixes")
+	mix := flag.String("mix", "low", "workload mix: low | high | two")
+	seed := flag.Int64("seed", 1, "base RNG seed")
+	flag.Parse()
+
+	// Every key carries a per-run nonce: counters so each run audits its
+	// own commits, and value keys so each run's conservation sum is
+	// self-contained — a prior run on the same server balances its
+	// deltas only over its own full span, so sharing pages across runs
+	// would leave residue in any narrower window.
+	runID := time.Now().UnixNano() % 1e9
+
+	results := make([]clientResult, *clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			res := &results[w]
+			res.lat = stats.NewSample(0, int64(w))
+			c, err := client.Dial(*addr)
+			if err != nil {
+				log.Printf("sccload: client %d: %v", w, err)
+				res.errors = *ops
+				return
+			}
+			defer c.Close()
+			gen := workload.NewGenerator(mixConfig(*mix, *keys, *seed+int64(w)))
+			cntKey := fmt.Sprintf("cnt%d.%d", runID, w)
+			keyPrefix := fmt.Sprintf("k%d.", runID)
+			for i := 0; i < *ops; i++ {
+				t := gen.Next()
+				wireOps := toWireOps(t, keyPrefix, cntKey)
+				opts := client.TxOpts{
+					Value:    t.Class.Value,
+					Deadline: time.Duration(t.RelDeadline() * float64(time.Second)),
+					Gradient: t.PenaltyGradient(),
+				}
+				t0 := time.Now()
+				_, err := c.Update(wireOps, opts)
+				lat := time.Since(t0).Seconds()
+				res.m.MaxValueSum += t.Class.Value
+				switch err {
+				case nil:
+					res.lat.Add(lat)
+					res.committed++
+					res.m.Committed++
+					// Value at commit: full value inside the relative
+					// deadline, penalty-decayed past it.
+					v := t.Class.Value
+					if rel := t.RelDeadline(); lat > rel {
+						res.m.Missed++
+						res.m.TardinessSum += lat - rel
+						v -= (lat - rel) * t.PenaltyGradient()
+					}
+					res.m.ValueSum += v
+				case client.ErrShed:
+					res.shed++
+				default:
+					res.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Pool per-client outcomes.
+	var m stats.Metrics
+	all := stats.NewSample(0, 0)
+	var shed, errs int
+	var committed int64
+	for i := range results {
+		r := &results[i]
+		m.Merge(&r.m)
+		shed += r.shed
+		errs += r.errors
+		committed += r.committed
+		if r.lat != nil {
+			for _, x := range r.lat.Raw() {
+				all.Add(x)
+			}
+		}
+	}
+
+	fmt.Printf("sccload: mix=%s clients=%d ops/client=%d\n", *mix, *clients, *ops)
+	fmt.Printf("  committed  %d (shed %d, errors %d) in %.2fs\n", committed, shed, errs, elapsed.Seconds())
+	fmt.Printf("  throughput %.0f txn/s\n", float64(committed)/elapsed.Seconds())
+	if all.N() > 0 {
+		fmt.Printf("  latency    p50 %.2fms  p99 %.2fms  mean %.2fms\n",
+			all.Percentile(50)*1000, all.Percentile(99)*1000, all.Mean()*1000)
+	}
+	fmt.Printf("  deadlines  missed %.1f%%  avg tardiness %.2fms\n", m.MissedRatio(), m.AvgTardiness()*1000)
+	fmt.Printf("  value      accrued %.1f%% of max (%.0f / %.0f)\n", m.SystemValuePct(), m.ValueSum, m.MaxValueSum)
+
+	// Conservation must be checked over the page span the mix actually
+	// wrote (the high mix pins DBPages=16 regardless of -keys).
+	pages := mixConfig(*mix, *keys, 0).DBPages
+	if failed := verify(*addr, pages, runID, results); failed {
+		fmt.Println("  invariants FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("  invariants PASS (value conserved, no lost updates)")
+}
+
+// toWireOps converts a workload transaction into wire ops: reads become
+// dependencies, writes become balanced ± deltas (sum zero), and the
+// client's counter key is incremented — one extra write that turns every
+// committed transaction into an auditable event.
+func toWireOps(t *model.Txn, keyPrefix, cntKey string) []client.Op {
+	var ops []client.Op
+	sign := int64(1)
+	writes := 0
+	for _, o := range t.Ops {
+		if o.Write {
+			writes++
+		}
+	}
+	left := writes
+	for _, o := range t.Ops {
+		key := fmt.Sprintf("%s%d", keyPrefix, o.Page)
+		if !o.Write {
+			ops = append(ops, client.Op{Key: key})
+			continue
+		}
+		delta := sign * int64(1+t.ID%7)
+		sign = -sign
+		left--
+		if left == 0 && writes%2 == 1 {
+			delta = 0 // odd write count: last write carries no delta
+		}
+		ops = append(ops, client.Op{Key: key, Delta: delta, Write: true})
+	}
+	return append(ops, client.Op{Key: cntKey, Delta: 1, Write: true})
+}
+
+// verify checks the two invariants against the live server.
+func verify(addr string, keys int, runID int64, results []clientResult) bool {
+	c, err := client.Dial(addr)
+	if err != nil {
+		log.Printf("sccload: verify: %v", err)
+		return true
+	}
+	defer c.Close()
+	failed := false
+
+	// Invariant 1: balanced deltas conserve the keyspace total at zero.
+	// Summed in chunks to stay under the server's request-line bound;
+	// chunking is sound because this run's namespaced keys are quiescent
+	// once its clients have finished.
+	const chunk = 2048
+	var total int64
+	for lo := 0; lo < keys && !failed; lo += chunk {
+		hi := lo + chunk
+		if hi > keys {
+			hi = keys
+		}
+		valueKeys := make([]string, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			valueKeys = append(valueKeys, fmt.Sprintf("k%d.%d", runID, i))
+		}
+		sum, err := c.Sum(valueKeys...)
+		if err != nil {
+			log.Printf("sccload: verify SUM: %v", err)
+			failed = true
+			break
+		}
+		total += sum
+	}
+	if !failed && total != 0 {
+		log.Printf("sccload: CONSERVATION VIOLATED: sum over %d keys = %d, want 0", keys, total)
+		failed = true
+	}
+
+	// Invariant 2: every committed transaction bumped its client counter.
+	// counter < acks is a genuine lost update; counter > acks means OK
+	// responses were lost in transit after the server committed (a
+	// transport artifact, not a store violation) — warn without failing.
+	for w := range results {
+		want := results[w].committed
+		got, _, err := c.Get(fmt.Sprintf("cnt%d.%d", runID, w))
+		if err != nil {
+			log.Printf("sccload: verify cnt%d.%d: %v", runID, w, err)
+			failed = true
+			continue
+		}
+		switch {
+		case got < want:
+			log.Printf("sccload: LOST UPDATES: client %d got %d acks but counter shows %d", w, want, got)
+			failed = true
+		case got > want:
+			log.Printf("sccload: warning: client %d counter %d exceeds %d acks (OK responses lost in transit)", w, got, want)
+		}
+	}
+	return failed
+}

@@ -1,0 +1,129 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormalSurvival(t *testing.T) {
+	if got := NormalSurvival(10, 10, 2); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Survival at mean = %v, want 0.5", got)
+	}
+	// Symmetry: S(mean-d) + S(mean+d) = 1.
+	if a, b := NormalSurvival(8, 10, 2), NormalSurvival(12, 10, 2); math.Abs(a+b-1) > 1e-12 {
+		t.Errorf("symmetry violated: S(8)+S(12) = %v", a+b)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for x := -5.0; x <= 25; x += 0.5 {
+		s := NormalSurvival(x, 10, 2)
+		if s > prev+1e-15 {
+			t.Fatalf("survival not monotone at x=%v: %v > %v", x, s, prev)
+		}
+		prev = s
+	}
+	// One-sigma point matches the standard normal table.
+	if got := NormalSurvival(12, 10, 2); math.Abs(got-0.158655) > 1e-4 {
+		t.Errorf("S(mean+sigma) = %v, want ~0.1587", got)
+	}
+	// Degenerate sigma: a point mass at mean.
+	if NormalSurvival(9, 10, 0) != 1 || NormalSurvival(11, 10, 0) != 0 {
+		t.Error("sigma=0 should degenerate to a step at mean")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must give the same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() == c.Float64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Errorf("seeds 42 and 43 coincide on %d of 100 draws", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(7)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += g.Exp(0.25)
+	}
+	if mean := sum / n; math.Abs(mean-0.25) > 0.005 {
+		t.Errorf("Exp(0.25) empirical mean = %v", mean)
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		x := g.TruncNormal(1, 0.2, 0.4, 1.6)
+		if x < 0.4 || x > 1.6 {
+			t.Fatalf("TruncNormal out of bounds: %v", x)
+		}
+	}
+	// Mean far outside the window still terminates and lands inside.
+	if x := g.TruncNormal(100, 0.001, 0, 1); x < 0 || x > 1 {
+		t.Errorf("clamped draw out of bounds: %v", x)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := NewRNG(3)
+	for trial := 0; trial < 100; trial++ {
+		s := g.SampleWithoutReplacement(1000, 16)
+		if len(s) != 16 {
+			t.Fatalf("len = %d", len(s))
+		}
+		seen := make(map[int]bool)
+		for _, v := range s {
+			if v < 0 || v >= 1000 {
+				t.Fatalf("out of range: %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate: %d", v)
+			}
+			seen[v] = true
+		}
+	}
+	// k >= n returns a full permutation.
+	s := g.SampleWithoutReplacement(5, 10)
+	if len(s) != 5 {
+		t.Fatalf("k>n: len = %d", len(s))
+	}
+	seen := make(map[int]bool)
+	for _, v := range s {
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Error("k>n: not a permutation")
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// Each element of {0..9} should appear in a 3-sample with p = 0.3.
+	g := NewRNG(5)
+	counts := make([]int, 10)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		for _, v := range g.SampleWithoutReplacement(10, 3) {
+			counts[v]++
+		}
+	}
+	for v, c := range counts {
+		p := float64(c) / trials
+		if math.Abs(p-0.3) > 0.01 {
+			t.Errorf("element %d drawn with p = %v, want 0.3", v, p)
+		}
+	}
+}

@@ -65,6 +65,18 @@ type Stats struct {
 	Deferrals  int64 // commits deferred for a higher-value conflicter
 }
 
+// Add accumulates other's counters into s (shard-level aggregation lives
+// here so a counter added to the struct cannot be silently dropped from
+// aggregates).
+func (s *Stats) Add(other Stats) {
+	s.Commits += other.Commits
+	s.Aborts += other.Aborts
+	s.Restarts += other.Restarts
+	s.Forks += other.Forks
+	s.Promotions += other.Promotions
+	s.Deferrals += other.Deferrals
+}
+
 // Store is the engine.
 type Store struct {
 	cfg Config
@@ -128,6 +140,7 @@ type txnHandle struct {
 	shadow   *attempt
 	writes   map[string][]byte // optimistic shadow's write buffer
 	resolved bool
+	result   any // the committed attempt's stashed result
 }
 
 // attempt is one shadow: a single run of the closure.
@@ -148,6 +161,7 @@ type attempt struct {
 	readAt  map[string]int // first-read ordinal per key
 	readSeq int
 	writes  map[string][]byte
+	result  any // written only by this attempt's goroutine via Tx.Stash
 	report  chan verdict
 }
 
@@ -234,6 +248,14 @@ func (tx *Tx) Get(key string) ([]byte, error) {
 	return out, nil
 }
 
+// Stash records v as this execution's result. A closure may run several
+// times concurrently (shadows); each execution must Stash into its own
+// freshly built value, and only the execution that commits has its stash
+// returned by UpdateResult. This is the race-free way to get data out of
+// a transaction: captured variables are shared across shadow runs,
+// stashes are not.
+func (tx *Tx) Stash(v any) { tx.a.result = v }
+
 // Set buffers a write.
 func (tx *Tx) Set(key string, val []byte) error {
 	a := tx.a
@@ -291,6 +313,12 @@ func (s *Store) Update(fn func(*Tx) error) error {
 	return s.UpdateValued(0, fn)
 }
 
+// UpdateResult is Update returning the committed execution's Tx.Stash
+// value (nil if it never stashed).
+func (s *Store) UpdateResult(fn func(*Tx) error) (any, error) {
+	return s.UpdateValuedResult(0, fn)
+}
+
 // UpdateValued is Update with a transaction value, the live-engine
 // counterpart of SCC-VW's commit deferment: a finished transaction whose
 // in-flight conflicters include one of strictly higher value yields to it
@@ -299,6 +327,16 @@ func (s *Store) Update(fn func(*Tx) error) error {
 // dominance makes deferral cycles impossible. Zero-value transactions
 // never defer and are never yielded to.
 func (s *Store) UpdateValued(value float64, fn func(*Tx) error) error {
+	_, err := s.UpdateValuedResult(value, fn)
+	return err
+}
+
+// UpdateValuedResult is UpdateValued returning the committed execution's
+// Tx.Stash value. h.result is published under the store latch by the
+// winning attempt's tryCommit before resolved is set, so reading it after
+// observing the commit is race-free even if a losing shadow is still
+// executing the closure.
+func (s *Store) UpdateValuedResult(value float64, fn func(*Tx) error) (any, error) {
 	h := &txnHandle{
 		store:  s,
 		fn:     fn,
@@ -317,7 +355,7 @@ func (s *Store) UpdateValued(value float64, fn func(*Tx) error) error {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			return errors.New("engine: store closed")
+			return nil, errors.New("engine: store closed")
 		}
 		h.opt = a
 		h.shadow = nil
@@ -330,19 +368,22 @@ func (s *Store) UpdateValued(value float64, fn func(*Tx) error) error {
 
 		err, committed := h.runSync(a)
 		if committed {
-			return nil
+			return h.result, nil
 		}
 		if err != nil && !errors.Is(err, ErrAborted) {
 			// A shadow may have already committed the transaction while
 			// the optimistic run surfaced an error; the commit wins.
+			// Retire first — it aborts the shadow under s.mu, after which
+			// no commit can happen — so the resolved flag read next is
+			// final, not a racy sample.
+			s.retire(h)
 			s.mu.Lock()
 			resolved := h.resolved
 			s.mu.Unlock()
-			s.retire(h)
 			if resolved {
-				return nil
+				return h.result, nil
 			}
-			return err
+			return nil, err
 		}
 		// Aborted: if a speculative shadow is running it may finish the
 		// transaction; wait for its verdict before restarting.
@@ -353,18 +394,18 @@ func (s *Store) UpdateValued(value float64, fn func(*Tx) error) error {
 			verdict := <-h.shadowDone(sh)
 			if verdict.committed {
 				s.retire(h)
-				return nil
+				return h.result, nil
 			}
 			if verdict.err != nil && !errors.Is(verdict.err, ErrAborted) {
 				s.retire(h)
-				return verdict.err
+				return nil, verdict.err
 			}
 		}
 		s.retire(h)
 		// Fall through to a fresh optimistic attempt (restart).
 	}
 	s.retire(h)
-	return fmt.Errorf("engine: transaction exceeded %d attempts", s.cfg.MaxAttempts)
+	return nil, fmt.Errorf("engine: transaction exceeded %d attempts", s.cfg.MaxAttempts)
 }
 
 // retire removes h from the active set.
@@ -486,25 +527,32 @@ func (s *Store) tryCommit(a *attempt) bool {
 			return false
 		}
 	}
-	for key, val := range a.writes {
-		s.committed[key] = versioned{val: val, ver: s.committed[key].ver + 1}
-	}
 	h.resolved = true
+	h.result = a.result
 	delete(s.active, h)
+	s.installLocked(a.writes)
 	s.stats.Commits++
 	if a.spec {
 		s.stats.Promotions++
 	}
+	return true
+}
 
-	// Broadcast commit: abort in-flight optimistic shadows that read what
-	// we wrote. Their speculative shadows (often gated on us) take over —
-	// the gate opens when our handle's done channel closes.
+// installLocked installs writes with bumped versions and broadcasts the
+// commit: in-flight optimistic shadows that read what was written are
+// aborted. Their speculative shadows (often gated on the committer) take
+// over — the gate opens when the committing handle's done channel closes.
+// Callers hold s.mu.
+func (s *Store) installLocked(writes map[string][]byte) {
+	for key, val := range writes {
+		s.committed[key] = versioned{val: val, ver: s.committed[key].ver + 1}
+	}
 	for other := range s.active {
 		if other.resolved || other.opt == nil {
 			continue
 		}
 		stale := false
-		for key := range a.writes {
+		for key := range writes {
 			if _, read := other.opt.reads[key]; read {
 				stale = true
 				break
@@ -514,7 +562,6 @@ func (s *Store) tryCommit(a *attempt) bool {
 			other.opt.abortLocked(s)
 		}
 	}
-	return true
 }
 
 // Close marks the store closed; subsequent Updates fail. In-flight

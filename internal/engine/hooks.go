@@ -1,0 +1,76 @@
+// Cross-store commit hooks. A single Store resolves conflicts internally
+// (shadows, broadcast commit); a sharded deployment (internal/shard) needs
+// to commit one transaction atomically across several Stores. These hooks
+// expose the minimal latch-and-validate surface that makes a multi-store
+// optimistic commit possible without giving callers access to engine
+// internals:
+//
+//	for each involved store, in deterministic (shard-index) order:
+//	        st.LockCommit()
+//	validate every read via st.ValidateLocked
+//	if valid: st.ApplyLocked(writes) on each store
+//	for each involved store: st.UnlockCommit()
+//
+// Locking the stores in a globally agreed order makes concurrent
+// multi-store commits deadlock-free; holding every latch across validate
+// and apply makes the commit atomic with respect to both other multi-store
+// commits and this store's own live transactions (whose tryCommit takes
+// the same latch).
+
+package engine
+
+// SnapshotRead returns the committed value of key and its version. Missing
+// keys report version 0, which ValidateLocked/VersionLocked reproduce, so
+// reads of absent keys validate correctly.
+func (s *Store) SnapshotRead(key string) ([]byte, uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.committed[key]
+	if !ok {
+		return nil, 0
+	}
+	out := make([]byte, len(v.val))
+	copy(out, v.val)
+	return out, v.ver
+}
+
+// LockCommit acquires the store's commit latch. While held, no transaction
+// of this store can commit and no committed state changes. Callers must
+// not invoke any non-*Locked method of the same store before UnlockCommit,
+// and must lock multiple stores in a deterministic global order.
+func (s *Store) LockCommit() { s.mu.Lock() }
+
+// UnlockCommit releases the commit latch.
+func (s *Store) UnlockCommit() { s.mu.Unlock() }
+
+// GetLocked returns the committed value of key. The caller holds the
+// commit latch.
+func (s *Store) GetLocked(key string) ([]byte, bool) {
+	v, ok := s.committed[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v.val))
+	copy(out, v.val)
+	return out, true
+}
+
+// ValidateLocked reports whether every read in reads still observes the
+// committed version it saw. The caller holds the commit latch.
+func (s *Store) ValidateLocked(reads map[string]uint64) bool {
+	for key, ver := range reads {
+		if s.committed[key].ver != ver {
+			return false
+		}
+	}
+	return true
+}
+
+// ApplyLocked installs writes with bumped versions and broadcast-aborts
+// this store's in-flight optimistic shadows that read what was written —
+// exactly the visibility a native commit has. It does not touch the
+// store's Commits counter: cross-store transactions are counted once by
+// the coordinator, not once per shard. The caller holds the commit latch.
+func (s *Store) ApplyLocked(writes map[string][]byte) {
+	s.installLocked(writes)
+}

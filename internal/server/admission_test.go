@@ -1,0 +1,133 @@
+package server
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestAdmissionFastPath(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2})
+	f := a.FnFor(1, 0, 0)
+	if err := a.Acquire(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Acquire(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Admitted != 2 || st.InFlight != 2 || st.Depth != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	a.Release(time.Millisecond, 1)
+	if st := a.Stats(); st.InFlight != 1 {
+		t.Errorf("after release InFlight = %d", st.InFlight)
+	}
+}
+
+func TestAdmissionShedsExpired(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1})
+	// A value function already past its zero-crossing: deadline in the
+	// past and a gradient that consumed the whole value.
+	f := value.Fn{V: 1, Deadline: -10, Gradient: 1}
+	if err := a.Acquire(f, 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if st := a.Stats(); st.Shed != 1 {
+		t.Errorf("shed = %d, want 1", st.Shed)
+	}
+}
+
+func TestAdmissionOrdersByExpectedValue(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1})
+	if err := a.Acquire(a.FnFor(1, 0, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two waiters: low value enqueued first, high value second.
+	type result struct {
+		name string
+		err  error
+	}
+	results := make(chan result, 2)
+	var wg sync.WaitGroup
+	start := func(name string, v float64) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := a.Acquire(a.FnFor(v, 10, 0), 1)
+			results <- result{name, err}
+			if err == nil {
+				a.Release(time.Millisecond, 1)
+			}
+		}()
+	}
+	start("low", 1)
+	// Let "low" reach the queue first.
+	waitDepth(t, a, 1)
+	start("high", 100)
+	waitDepth(t, a, 2)
+
+	a.Release(time.Millisecond, 1)
+	first := <-results
+	if first.err != nil {
+		t.Fatal(first.err)
+	}
+	if first.name != "high" {
+		t.Errorf("dispatched %q first, want the high-value waiter", first.name)
+	}
+	second := <-results
+	if second.err != nil {
+		t.Fatal(second.err)
+	}
+	wg.Wait()
+}
+
+func TestAdmissionQueueOverflowEvictsLowestValue(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, MaxQueue: 1})
+	if err := a.Acquire(a.FnFor(1, 0, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	lowDone := make(chan error, 1)
+	go func() { lowDone <- a.Acquire(a.FnFor(1, 10, 0), 1) }()
+	waitDepth(t, a, 1)
+	// Queue is full; a higher-value arrival evicts the parked low-value
+	// waiter.
+	highDone := make(chan error, 1)
+	go func() { highDone <- a.Acquire(a.FnFor(100, 10, 0), 1) }()
+	if err := <-lowDone; !errors.Is(err, ErrShed) {
+		t.Fatalf("low waiter: err = %v, want ErrShed", err)
+	}
+	a.Release(time.Millisecond, 1)
+	if err := <-highDone; err != nil {
+		t.Fatalf("high waiter: %v", err)
+	}
+}
+
+func waitDepth(t *testing.T, a *Admission, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Stats().Depth < depth {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d", depth)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAdmissionOpTimeLearning(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, InitOpTime: 1e-3})
+	for i := 0; i < 200; i++ {
+		if err := a.Acquire(a.FnFor(1, 0, 0), 4); err != nil {
+			t.Fatal(err)
+		}
+		a.Release(8*time.Millisecond, 4) // 2ms per op observed
+	}
+	got := a.Stats().OpTime
+	if got < 1.5e-3 || got > 2.5e-3 {
+		t.Errorf("op-time estimate = %v, want ~2ms", got)
+	}
+}

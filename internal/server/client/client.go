@@ -1,0 +1,259 @@
+// Package client is the Go client for the sccserve wire protocol
+// (internal/server): a blocking, connection-per-client API mirroring the
+// protocol verbs. A Client is safe for concurrent use; requests are
+// serialized on the single connection, so concurrent load wants one
+// Client per goroutine.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrShed is returned when the server refuses a transaction at admission
+// (value function past its zero-crossing, or evicted from a full queue).
+var ErrShed = errors.New("client: transaction shed by admission control")
+
+// Client is one protocol connection.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to a sccserve instance.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Client{
+		conn: conn,
+		r:    bufio.NewReader(conn),
+		w:    bufio.NewWriter(conn),
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// roundTrip sends one request line and reads one response line.
+func (c *Client) roundTrip(line string) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.WriteString(line + "\n"); err != nil {
+		return "", err
+	}
+	if err := c.w.Flush(); err != nil {
+		return "", err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(resp), nil
+}
+
+// parse splits a response into its kind and payload, surfacing protocol
+// errors and sheds as Go errors.
+func parse(resp string) (string, error) {
+	switch {
+	case resp == "SHED":
+		return "", ErrShed
+	case strings.HasPrefix(resp, "ERR"):
+		return "", errors.New("client: server error: " + strings.TrimSpace(strings.TrimPrefix(resp, "ERR")))
+	case resp == "OK":
+		return "", nil
+	case strings.HasPrefix(resp, "OK "):
+		return resp[3:], nil
+	case resp == "NIL":
+		return "", nil
+	default:
+		return "", fmt.Errorf("client: malformed response %q", resp)
+	}
+}
+
+func checkKey(key string) error {
+	if key == "" || strings.ContainsAny(key, " :\n") {
+		return fmt.Errorf("client: invalid key %q", key)
+	}
+	return nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	resp, err := c.roundTrip("PING")
+	if err != nil {
+		return err
+	}
+	_, err = parse(resp)
+	return err
+}
+
+// Get reads a committed value; ok is false for a missing key.
+func (c *Client) Get(key string) (n int64, ok bool, err error) {
+	if err := checkKey(key); err != nil {
+		return 0, false, err
+	}
+	resp, err := c.roundTrip("GET " + key)
+	if err != nil {
+		return 0, false, err
+	}
+	if resp == "NIL" {
+		return 0, false, nil
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return 0, false, err
+	}
+	n, err = strconv.ParseInt(body, 10, 64)
+	return n, err == nil, err
+}
+
+// Put sets key to n.
+func (c *Client) Put(key string, n int64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	resp, err := c.roundTrip(fmt.Sprintf("PUT %s %d", key, n))
+	if err != nil {
+		return err
+	}
+	_, err = parse(resp)
+	return err
+}
+
+// Add atomically adds delta to key and returns the new value.
+func (c *Client) Add(key string, delta int64) (int64, error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
+	resp, err := c.roundTrip(fmt.Sprintf("ADD %s %d", key, delta))
+	if err != nil {
+		return 0, err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(body, 10, 64)
+}
+
+// Sum returns the total of the given keys as one consistent cross-shard
+// snapshot.
+func (c *Client) Sum(keys ...string) (int64, error) {
+	for _, k := range keys {
+		if err := checkKey(k); err != nil {
+			return 0, err
+		}
+	}
+	resp, err := c.roundTrip("SUM " + strings.Join(keys, " "))
+	if err != nil {
+		return 0, err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseInt(body, 10, 64)
+}
+
+// Op is one operation of a transactional update: a read dependency
+// (Write false) or a read-modify-write adding Delta (Write true).
+type Op struct {
+	Key   string
+	Delta int64
+	Write bool
+}
+
+// TxOpts carries the request's Def. 2 value function for admission
+// ordering and load shedding. The zero value means "worth 1, no deadline".
+type TxOpts struct {
+	Value    float64       // value added if committed by the deadline
+	Deadline time.Duration // relative soft deadline (0 = none)
+	Gradient float64       // value lost per second past it (0 = V/Deadline)
+}
+
+// Update executes ops as one serializable transaction and returns the new
+// value of each write op, in op order.
+func (c *Client) Update(ops []Op, opts TxOpts) ([]int64, error) {
+	if len(ops) == 0 {
+		return nil, errors.New("client: no ops")
+	}
+	var b strings.Builder
+	b.WriteString("UPD")
+	if opts.Value > 0 {
+		fmt.Fprintf(&b, " v=%g", opts.Value)
+	}
+	if opts.Deadline > 0 {
+		fmt.Fprintf(&b, " dl=%g", float64(opts.Deadline.Microseconds())/1000)
+	}
+	if opts.Gradient > 0 {
+		fmt.Fprintf(&b, " grad=%g", opts.Gradient)
+	}
+	writes := 0
+	for _, o := range ops {
+		if err := checkKey(o.Key); err != nil {
+			return nil, err
+		}
+		if o.Write {
+			fmt.Fprintf(&b, " w:%s:%d", o.Key, o.Delta)
+			writes++
+		} else {
+			b.WriteString(" r:" + o.Key)
+		}
+	}
+	resp, err := c.roundTrip(b.String())
+	if err != nil {
+		return nil, err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return nil, err
+	}
+	if body == "" {
+		if writes == 0 {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("client: expected %d results, got none", writes)
+	}
+	fields := strings.Fields(body)
+	if len(fields) != writes {
+		return nil, fmt.Errorf("client: expected %d results, got %d", writes, len(fields))
+	}
+	out := make([]int64, len(fields))
+	for i, f := range fields {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: malformed result %q", f)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Stats fetches the server's counters as a string map.
+func (c *Client) Stats() (map[string]string, error) {
+	resp, err := c.roundTrip("STATS")
+	if err != nil {
+		return nil, err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, f := range strings.Fields(body) {
+		if i := strings.IndexByte(f, '='); i > 0 {
+			out[f[:i]] = f[i+1:]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,419 @@
+// Package server fronts a sharded SCC engine (internal/shard) with a TCP
+// line protocol and a value-cognizant admission queue. One request per
+// line, one response line per request:
+//
+//	PING                               -> OK pong
+//	GET <key>                          -> OK <n> | NIL
+//	PUT <key> <n>                      -> OK <n> | SHED | ERR <msg>
+//	ADD <key> <delta>                  -> OK <new> | SHED | ERR <msg>
+//	UPD [v=<f>] [dl=<ms>] [grad=<g>] <op>... -> OK <new>... | SHED | ERR <msg>
+//	SUM <key>...                       -> OK <total> | ERR <msg>
+//	STATS                              -> OK k=v ...
+//
+// A UPD op is r:<key> (a read the transaction depends on) or
+// w:<key>:<delta> (read-modify-write adding delta). The whole op list
+// executes as one serializable transaction: on one shard it runs natively
+// under SCC (speculative shadows and all); across shards it commits
+// atomically via the deterministic-order cross-shard protocol. v/dl/grad
+// describe the request's Def. 2 value function for admission ordering,
+// load shedding, and the engine's value-cognizant commit deferment.
+// SUM reads its keys as one consistent cross-shard snapshot.
+//
+// Values are signed 64-bit integers in ASCII decimal; keys are any
+// space-free tokens not containing ':'.
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// Config configures a Server.
+type Config struct {
+	// Shards is the partition count of the backing store (default 16).
+	Shards int
+	// Mode selects the per-shard concurrency control protocol.
+	Mode engine.Mode
+	// Admission configures the value-cognizant admission queue.
+	Admission AdmissionConfig
+}
+
+// Server serves a sharded store over TCP.
+type Server struct {
+	store *shard.Store
+	adm   *Admission
+
+	// mu guards connection lifecycle only; per-request counters use
+	// their own synchronization so requests never serialize on it.
+	mu     sync.Mutex
+	lis    net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	latMu    sync.Mutex
+	lat      *stats.Sample
+	requests atomic.Int64
+
+	wg sync.WaitGroup
+}
+
+// New returns a server over a fresh sharded store.
+func New(cfg Config) *Server {
+	return &Server{
+		store: shard.Open(shard.Config{
+			Shards: cfg.Shards,
+			Engine: engine.Config{Mode: cfg.Mode},
+		}),
+		adm:   NewAdmission(cfg.Admission),
+		conns: make(map[net.Conn]struct{}),
+		lat:   stats.NewSample(4096, 1),
+	}
+}
+
+// Store exposes the backing sharded store (stats inspection, seeding).
+func (s *Server) Store() *shard.Store { return s.store }
+
+// Admission exposes the admission queue.
+func (s *Server) Admission() *Admission { return s.adm }
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(lis)
+}
+
+// Serve accepts connections on lis until Close. Each connection is served
+// by its own goroutine, requests on it strictly in order.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return errors.New("server: closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Addr returns the listening address (nil before Serve).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// Close stops accepting, closes every connection, and closes the store.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.lis != nil {
+		s.lis.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	s.store.Close()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	r := bufio.NewScanner(conn)
+	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	w := bufio.NewWriter(conn)
+	for r.Scan() {
+		line := strings.TrimSpace(r.Text())
+		if line == "" {
+			continue
+		}
+		resp := s.dispatch(line)
+		if _, err := w.WriteString(resp + "\n"); err != nil {
+			return
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+	if errors.Is(r.Err(), bufio.ErrTooLong) {
+		// The connection cannot be resynced mid-line, but the client
+		// deserves a diagnostic before the close instead of a bare EOF.
+		w.WriteString("ERR request line exceeds 1MB\n")
+		w.Flush()
+	}
+}
+
+// op is one parsed UPD operation.
+type op struct {
+	key   string
+	delta int64
+	write bool
+}
+
+func (s *Server) dispatch(line string) string {
+	s.requests.Add(1)
+	fields := strings.Fields(line)
+	verb := strings.ToUpper(fields[0])
+	args := fields[1:]
+	switch verb {
+	case "PING":
+		return "OK pong"
+	case "GET":
+		if len(args) != 1 {
+			return "ERR usage: GET <key>"
+		}
+		v, ok := s.store.Get(args[0])
+		if !ok {
+			return "NIL"
+		}
+		return "OK " + string(v)
+	case "PUT":
+		if len(args) != 2 {
+			return "ERR usage: PUT <key> <n>"
+		}
+		n, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "ERR bad number"
+		}
+		return s.runUpdate(0, 0, 0, []op{{key: args[0], delta: n, write: true}}, true)
+	case "ADD":
+		if len(args) != 2 {
+			return "ERR usage: ADD <key> <delta>"
+		}
+		n, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return "ERR bad number"
+		}
+		return s.runUpdate(0, 0, 0, []op{{key: args[0], delta: n, write: true}}, false)
+	case "UPD":
+		return s.handleUPD(args)
+	case "SUM":
+		if len(args) == 0 {
+			return "ERR usage: SUM <key>..."
+		}
+		var total int64
+		err := s.store.View(args, func(tx shard.Tx) error {
+			for _, k := range args {
+				v, err := tx.Get(k)
+				if err != nil {
+					return err
+				}
+				total += parseNum(v)
+			}
+			return nil
+		})
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK " + strconv.FormatInt(total, 10)
+	case "STATS":
+		return s.statsLine()
+	default:
+		return "ERR unknown verb " + verb
+	}
+}
+
+func (s *Server) handleUPD(args []string) string {
+	var v, dl, grad float64
+	var ops []op
+	for _, a := range args {
+		switch {
+		case strings.HasPrefix(a, "v="):
+			f, err := strconv.ParseFloat(a[2:], 64)
+			if err != nil {
+				return "ERR bad v="
+			}
+			v = f
+		case strings.HasPrefix(a, "dl="):
+			ms, err := strconv.ParseFloat(a[3:], 64)
+			if err != nil {
+				return "ERR bad dl="
+			}
+			dl = ms / 1000
+		case strings.HasPrefix(a, "grad="):
+			g, err := strconv.ParseFloat(a[5:], 64)
+			if err != nil {
+				return "ERR bad grad="
+			}
+			grad = g
+		case strings.HasPrefix(a, "r:"):
+			key := a[2:]
+			if key == "" {
+				return "ERR empty key"
+			}
+			ops = append(ops, op{key: key})
+		case strings.HasPrefix(a, "w:"):
+			rest := a[2:]
+			i := strings.LastIndexByte(rest, ':')
+			if i <= 0 {
+				return "ERR bad op " + a
+			}
+			n, err := strconv.ParseInt(rest[i+1:], 10, 64)
+			if err != nil {
+				return "ERR bad delta in " + a
+			}
+			ops = append(ops, op{key: rest[:i], delta: n, write: true})
+		default:
+			return "ERR bad token " + a
+		}
+	}
+	if len(ops) == 0 {
+		return "ERR no ops"
+	}
+	return s.runUpdate(v, dl, grad, ops, false)
+}
+
+// runUpdate admits, executes, and answers one transactional update.
+// overwrite makes writes PUT semantics (set to delta) instead of ADD.
+func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string {
+	f := s.adm.FnFor(v, dl, grad)
+	if err := s.adm.Acquire(f, len(ops)); err != nil {
+		return "SHED"
+	}
+	start := time.Now()
+	defer func() {
+		elapsed := time.Since(start)
+		s.adm.Release(elapsed, len(ops))
+		s.latMu.Lock()
+		s.lat.Add(elapsed.Seconds())
+		s.latMu.Unlock()
+	}()
+
+	keys := make([]string, len(ops))
+	for i, o := range ops {
+		keys[i] = o.key
+	}
+	// The transaction value the engine's commit deferment sees is the
+	// request's current value.
+	txValue := f.At(s.adm.now())
+	// The closure may run several times concurrently (engine shadows), so
+	// it must not mutate captured state: each execution builds a fresh
+	// result slice and stashes it; the committed execution's stash wins.
+	res, err := s.store.UpdateValuedResult(txValue, keys, func(tx shard.Tx) error {
+		results := make([]int64, 0, len(ops))
+		for _, o := range ops {
+			if !o.write {
+				if _, err := tx.Get(o.key); err != nil {
+					return err
+				}
+				continue
+			}
+			n := o.delta
+			if !overwrite {
+				// Read-modify-write; PUT skips the read entirely — a
+				// blind write has an empty read set, always validates,
+				// and never conflicts.
+				cur, err := tx.Get(o.key)
+				if err != nil {
+					return err
+				}
+				n += parseNum(cur)
+			}
+			if err := tx.Set(o.key, []byte(strconv.FormatInt(n, 10))); err != nil {
+				return err
+			}
+			results = append(results, n)
+		}
+		tx.Stash(results)
+		return nil
+	})
+	if err != nil {
+		return "ERR " + err.Error()
+	}
+	var b strings.Builder
+	b.WriteString("OK")
+	if results, ok := res.([]int64); ok {
+		for _, n := range results {
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatInt(n, 10))
+		}
+	}
+	return b.String()
+}
+
+func (s *Server) statsLine() string {
+	st := s.store.Stats()
+	ad := s.adm.Stats()
+	reqs := s.requests.Load()
+	s.latMu.Lock()
+	qs := s.lat.Percentiles(50, 99)
+	s.latMu.Unlock()
+	p50, p99 := qs[0], qs[1]
+	// An idle server has no latency observations; report zeros rather
+	// than NaN-poisoning parsers of the k=v line.
+	if math.IsNaN(p50) {
+		p50, p99 = 0, 0
+	}
+	return fmt.Sprintf(
+		"OK shards=%d reqs=%d commits=%d fast=%d cross=%d cross_restarts=%d "+
+			"aborts=%d restarts=%d forks=%d promotions=%d deferrals=%d views=%d "+
+			"admitted=%d shed=%d depth=%d inflight=%d op_time_us=%.1f p50_us=%.0f p99_us=%.0f",
+		s.store.NumShards(), reqs, st.TotalCommits(), st.FastPath, st.CrossCommits,
+		st.CrossRestarts, st.Engine.Aborts, st.Engine.Restarts, st.Engine.Forks,
+		st.Engine.Promotions, st.Engine.Deferrals, st.Views,
+		ad.Admitted, ad.Shed, ad.Depth, ad.InFlight, ad.OpTime*1e6,
+		p50*1e6, p99*1e6)
+}
+
+// parseNum decodes an ASCII-decimal value; missing or malformed values
+// read as 0 (fresh keys start at zero).
+func parseNum(v []byte) int64 {
+	if len(v) == 0 {
+		return 0
+	}
+	n, err := strconv.ParseInt(string(v), 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}

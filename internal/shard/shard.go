@@ -1,0 +1,418 @@
+// Package shard partitions the SCC engine horizontally: keys are
+// hash-partitioned across N independent engine.Store shards behind the
+// same Update/Get transactional API. Transactions declare the keys they
+// may touch (the paper's model fixes each transaction's access list at
+// arrival, Sec. 2); the router uses the declaration purely for placement:
+//
+//   - all declared keys on one shard → fast path: the transaction runs
+//     natively on that shard's engine with the full SCC machinery
+//     (speculative shadows, value-cognizant deferment) and zero
+//     cross-shard coordination;
+//   - keys on several shards → the coordinator runs the closure against a
+//     cross-shard optimistic view (committed reads with recorded
+//     versions, buffered writes) and commits it atomically by latching
+//     the involved shards in ascending shard-index order, validating
+//     every read, and installing every write — the deterministic lock
+//     order makes concurrent multi-shard commits deadlock-free, and
+//     holding all latches across validate+apply makes the commit atomic
+//     with respect to each shard's own live transactions.
+//
+// This is the classic partitioned main-memory recipe (Larson et al.):
+// short critical sections per partition, no global lock, cross-partition
+// work paying only for the partitions it touches.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/engine"
+)
+
+// Tx is the transactional view a closure operates on. engine.Tx satisfies
+// it, so the same closure runs unchanged on the single-shard fast path and
+// on the cross-shard path. Stash is the race-free way to return data from
+// a transaction: a closure may execute several times concurrently (engine
+// shadows), so it must not mutate captured variables — it stashes a
+// freshly built value instead, and the committed execution's stash is
+// what UpdateResult returns.
+type Tx interface {
+	Get(key string) ([]byte, error)
+	Set(key string, val []byte) error
+	Stash(v any)
+}
+
+// ErrKeyNotDeclared is returned when a closure touches a key on a shard
+// outside its declared key set. (Undeclared keys on an involved shard are
+// harmless and allowed; a key on a foreign shard cannot be routed after
+// the fact.)
+var ErrKeyNotDeclared = errors.New("shard: access to key outside declared shard set")
+
+// ErrReadOnly is returned by Set inside a View.
+var ErrReadOnly = errors.New("shard: Set inside read-only View")
+
+// Config configures a sharded store.
+type Config struct {
+	// Shards is the number of partitions (default 16).
+	Shards int
+	// Engine configures every shard's engine identically.
+	Engine engine.Config
+	// MaxAttempts bounds cross-shard validation retries (0 = 100).
+	MaxAttempts int
+}
+
+// Stats aggregates per-shard engine counters and adds the router's own.
+type Stats struct {
+	// Engine is the sum of all shards' counters. Commits counts
+	// single-shard (fast-path) commits only; cross-shard commits are
+	// counted once in CrossCommits, not once per shard.
+	Engine engine.Stats
+
+	FastPath      int64 // transactions routed to a single shard
+	CrossCommits  int64 // multi-shard transactions committed
+	CrossRestarts int64 // multi-shard validation failures (re-executions)
+	Views         int64 // read-only multi-shard snapshots served
+}
+
+// TotalCommits returns all committed transactions regardless of path.
+func (s Stats) TotalCommits() int64 { return s.Engine.Commits + s.CrossCommits }
+
+// Store is a sharded engine.
+type Store struct {
+	shards      []*engine.Store
+	maxAttempts int
+	closed      atomic.Bool
+
+	fastPath      atomic.Int64
+	crossCommits  atomic.Int64
+	crossRestarts atomic.Int64
+	views         atomic.Int64
+}
+
+// Open returns an empty sharded store.
+func Open(cfg Config) *Store {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 16
+	}
+	if cfg.MaxAttempts == 0 {
+		cfg.MaxAttempts = 100
+	}
+	s := &Store{
+		shards:      make([]*engine.Store, cfg.Shards),
+		maxAttempts: cfg.MaxAttempts,
+	}
+	for i := range s.shards {
+		s.shards[i] = engine.Open(cfg.Engine)
+	}
+	return s
+}
+
+// NumShards returns the partition count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// ShardOf returns the partition that owns key. The hash is FNV-1a
+// inlined (identical values to hash/fnv.New32a) because this sits on
+// every routed operation and the stdlib hasher heap-allocates.
+func (s *Store) ShardOf(key string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(s.shards)))
+}
+
+// Get reads a committed value outside any transaction.
+func (s *Store) Get(key string) ([]byte, bool) {
+	return s.shards[s.ShardOf(key)].Get(key)
+}
+
+// Stats returns aggregated counters.
+func (s *Store) Stats() Stats {
+	var out Stats
+	for _, sh := range s.shards {
+		out.Engine.Add(sh.Stats())
+	}
+	out.FastPath = s.fastPath.Load()
+	out.CrossCommits = s.crossCommits.Load()
+	out.CrossRestarts = s.crossRestarts.Load()
+	out.Views = s.views.Load()
+	return out
+}
+
+// Close marks the store closed (mutating transactions on every path fail
+// afterwards; reads and in-flight transactions drain normally) and closes
+// every shard.
+func (s *Store) Close() {
+	s.closed.Store(true)
+	for _, sh := range s.shards {
+		sh.Close()
+	}
+}
+
+// shardSet returns the sorted distinct shard indices owning keys.
+func (s *Store) shardSet(keys []string) []int {
+	seen := make(map[int]struct{}, 4)
+	for _, k := range keys {
+		seen[s.ShardOf(k)] = struct{}{}
+	}
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Update executes fn transactionally over the declared keys and blocks
+// until it commits. keys must cover every key the closure may touch (extra
+// keys are harmless); see UpdateValued for the value-cognizant variant.
+func (s *Store) Update(keys []string, fn func(Tx) error) error {
+	_, err := s.UpdateValuedResult(0, keys, fn)
+	return err
+}
+
+// UpdateValued is Update with a transaction value. On the single-shard
+// fast path the value feeds the engine's VW-style commit deferment; on the
+// cross-shard path it is currently advisory (cross-shard commits validate
+// optimistically and do not defer).
+func (s *Store) UpdateValued(value float64, keys []string, fn func(Tx) error) error {
+	_, err := s.UpdateValuedResult(value, keys, fn)
+	return err
+}
+
+// UpdateValuedResult is UpdateValued returning the committed execution's
+// Tx.Stash value (nil if it never stashed).
+func (s *Store) UpdateValuedResult(value float64, keys []string, fn func(Tx) error) (any, error) {
+	if len(keys) == 0 {
+		return nil, errors.New("shard: transaction declared no keys")
+	}
+	// Allocation-free routing for the common case: all declared keys on
+	// one shard (always true for single-key transactions, the serving
+	// layer's hottest path).
+	idx := s.ShardOf(keys[0])
+	single := true
+	for _, k := range keys[1:] {
+		if s.ShardOf(k) != idx {
+			single = false
+			break
+		}
+	}
+	if single {
+		s.fastPath.Add(1)
+		return s.shards[idx].UpdateValuedResult(value, func(etx *engine.Tx) error {
+			return fn(guardTx{tx: etx, s: s, shard: idx})
+		})
+	}
+	return s.updateCross(s.shardSet(keys), fn)
+}
+
+// guardTx wraps the native engine transaction on the fast path, verifying
+// that every touched key routes to the declared shard. The check is what
+// turns a mis-declared key set into a clean error instead of a silent read
+// of the wrong partition.
+type guardTx struct {
+	tx    *engine.Tx
+	s     *Store
+	shard int
+}
+
+func (g guardTx) Get(key string) ([]byte, error) {
+	if g.s.ShardOf(key) != g.shard {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotDeclared, key)
+	}
+	return g.tx.Get(key)
+}
+
+func (g guardTx) Set(key string, val []byte) error {
+	if g.s.ShardOf(key) != g.shard {
+		return fmt.Errorf("%w: %q", ErrKeyNotDeclared, key)
+	}
+	return g.tx.Set(key, val)
+}
+
+func (g guardTx) Stash(v any) { g.tx.Stash(v) }
+
+// crossTx is the optimistic cross-shard view: reads observe committed
+// values (first-read versions recorded per key), writes buffer privately.
+type crossTx struct {
+	s        *Store
+	involved map[int]struct{}
+	reads    map[string]uint64
+	writes   map[string][]byte
+	result   any
+}
+
+func (c *crossTx) Stash(v any) { c.result = v }
+
+func (c *crossTx) Get(key string) ([]byte, error) {
+	if w, ok := c.writes[key]; ok {
+		out := make([]byte, len(w))
+		copy(out, w)
+		return out, nil
+	}
+	idx := c.s.ShardOf(key)
+	if _, ok := c.involved[idx]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotDeclared, key)
+	}
+	val, ver := c.s.shards[idx].SnapshotRead(key)
+	if _, seen := c.reads[key]; !seen {
+		c.reads[key] = ver
+	}
+	return val, nil
+}
+
+func (c *crossTx) Set(key string, val []byte) error {
+	idx := c.s.ShardOf(key)
+	if _, ok := c.involved[idx]; !ok {
+		return fmt.Errorf("%w: %q", ErrKeyNotDeclared, key)
+	}
+	buf := make([]byte, len(val))
+	copy(buf, val)
+	c.writes[key] = buf
+	return nil
+}
+
+// updateCross runs the OCC execute/validate/apply loop for a multi-shard
+// transaction.
+func (s *Store) updateCross(involved []int, fn func(Tx) error) (any, error) {
+	invSet := make(map[int]struct{}, len(involved))
+	for _, i := range involved {
+		invSet[i] = struct{}{}
+	}
+	for attempt := 0; attempt < s.maxAttempts; attempt++ {
+		// Mirror the engine's Close semantics, which only the fast path
+		// would otherwise enforce: no new cross-shard commits either.
+		if s.closed.Load() {
+			return nil, errors.New("shard: store closed")
+		}
+		c := &crossTx{
+			s:        s,
+			involved: invSet,
+			reads:    make(map[string]uint64),
+			writes:   make(map[string][]byte),
+		}
+		if err := fn(c); err != nil {
+			// The closure may have decided to error off an inconsistent
+			// cross-shard cut (reads of different shards interleaved with
+			// a concurrent commit). Surface the error only if the reads
+			// still validate — i.e. a serializable execution really
+			// produced it; otherwise retry like any validation failure.
+			if len(c.reads) > 0 && !s.commitCross(involved, c, false) {
+				s.crossRestarts.Add(1)
+				continue
+			}
+			return nil, err
+		}
+		if s.commitCross(involved, c, true) {
+			s.crossCommits.Add(1)
+			return c.result, nil
+		}
+		s.crossRestarts.Add(1)
+	}
+	return nil, fmt.Errorf("shard: cross-shard transaction exceeded %d attempts", s.maxAttempts)
+}
+
+// groupReads splits a transaction's read set by owning shard.
+func (s *Store) groupReads(reads map[string]uint64) map[int]map[string]uint64 {
+	out := make(map[int]map[string]uint64)
+	for key, ver := range reads {
+		idx := s.ShardOf(key)
+		m := out[idx]
+		if m == nil {
+			m = make(map[string]uint64)
+			out[idx] = m
+		}
+		m[key] = ver
+	}
+	return out
+}
+
+// commitCross atomically validates (and, with apply, installs) a
+// cross-shard transaction: latch involved shards in ascending index
+// order, validate every read, install every write, unlatch. With apply
+// false it is a pure validation pass — used to decide whether a closure
+// error came from a serializable read cut.
+func (s *Store) commitCross(involved []int, c *crossTx, apply bool) bool {
+	byShardReads := s.groupReads(c.reads)
+	byShardWrites := make(map[int]map[string][]byte)
+	if apply {
+		for key, val := range c.writes {
+			idx := s.ShardOf(key)
+			m := byShardWrites[idx]
+			if m == nil {
+				m = make(map[string][]byte)
+				byShardWrites[idx] = m
+			}
+			m[key] = val
+		}
+	}
+
+	for _, idx := range involved {
+		s.shards[idx].LockCommit()
+	}
+	defer func() {
+		for _, idx := range involved {
+			s.shards[idx].UnlockCommit()
+		}
+	}()
+
+	for idx, reads := range byShardReads {
+		if !s.shards[idx].ValidateLocked(reads) {
+			return false
+		}
+	}
+	for idx, writes := range byShardWrites {
+		s.shards[idx].ApplyLocked(writes)
+	}
+	return true
+}
+
+// View runs fn as a serializable read-only transaction over the declared
+// keys: the involved shards are latched in ascending order for the
+// duration, so fn observes a consistent cut across partitions. It never
+// retries and never fails validation — the latches are the snapshot.
+func (s *Store) View(keys []string, fn func(Tx) error) error {
+	involved := s.shardSet(keys)
+	if len(involved) == 0 {
+		return errors.New("shard: view declared no keys")
+	}
+	invSet := make(map[int]struct{}, len(involved))
+	for _, i := range involved {
+		invSet[i] = struct{}{}
+	}
+	for _, idx := range involved {
+		s.shards[idx].LockCommit()
+	}
+	defer func() {
+		for _, idx := range involved {
+			s.shards[idx].UnlockCommit()
+		}
+	}()
+	s.views.Add(1)
+	return fn(viewTx{s: s, involved: invSet})
+}
+
+// viewTx reads committed state under held latches.
+type viewTx struct {
+	s        *Store
+	involved map[int]struct{}
+}
+
+func (v viewTx) Get(key string) ([]byte, error) {
+	idx := v.s.ShardOf(key)
+	if _, ok := v.involved[idx]; !ok {
+		return nil, fmt.Errorf("%w: %q", ErrKeyNotDeclared, key)
+	}
+	val, _ := v.s.shards[idx].GetLocked(key)
+	return val, nil
+}
+
+func (v viewTx) Set(string, []byte) error { return ErrReadOnly }
+
+// Stash is a no-op: a View closure runs exactly once in the caller's
+// goroutine (no shadows, no retries), so mutating captured variables is
+// already safe there.
+func (v viewTx) Stash(any) {}
