@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench
+.PHONY: check build vet test race bench fuzz e2e
 
 check: build vet race
 
@@ -18,3 +18,9 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.5s .
+
+fuzz:
+	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime 30s
+
+e2e:
+	$(GO) test ./internal/server -race -count=2

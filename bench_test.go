@@ -14,12 +14,15 @@ package repro
 import (
 	"encoding/binary"
 	"fmt"
+	"net"
 	"sync/atomic"
 	"testing"
 
 	"repro/internal/engine"
 	"repro/internal/harness"
 	"repro/internal/rtdbs"
+	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -286,6 +289,71 @@ func BenchmarkShardedCross(b *testing.B) {
 	})
 	st := s.Stats()
 	b.ReportMetric(float64(st.CrossRestarts)/float64(st.CrossCommits+1), "restarts/commit")
+}
+
+// startWireServer brings up a full TCP server for wire benchmarks.
+func startWireServer(b *testing.B) string {
+	b.Helper()
+	srv := server.New(server.Config{Shards: 16})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(lis)
+	b.Cleanup(srv.Close)
+	return lis.Addr().String()
+}
+
+// BenchmarkPerRoundTrip is the legacy wire path: every transaction costs
+// one blocking round trip on its connection.
+func BenchmarkPerRoundTrip(b *testing.B) {
+	addr := startWireServer(b)
+	c, err := client.Dial(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("k%d", i%1024)
+		if _, err := c.Add(key, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPipelined is the same transaction stream over REQ/RES framing:
+// one multiplexed connection keeps a window of transactions in flight via
+// Batch, so the per-transaction round trip disappears.
+func BenchmarkPipelined(b *testing.B) {
+	addr := startWireServer(b)
+	m, err := client.DialMux(addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer m.Close()
+	const window = 64
+	reqs := make([]client.UpdateReq, 0, window)
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		n := window
+		if rem := b.N - done; rem < n {
+			n = rem
+		}
+		reqs = reqs[:0]
+		for j := 0; j < n; j++ {
+			key := fmt.Sprintf("k%d", (done+j)%1024)
+			reqs = append(reqs, client.UpdateReq{
+				Ops: []client.Op{{Key: key, Delta: 1, Write: true}},
+			})
+		}
+		for _, out := range m.Batch(reqs) {
+			if out.Err != nil {
+				b.Fatal(out.Err)
+			}
+		}
+		done += n
+	}
 }
 
 // BenchmarkEngineDisjoint is the uncontended fast path.

@@ -1,6 +1,7 @@
 // Command sccload is a concurrent closed-loop load generator for sccserve.
 //
 //	sccload -addr :7070 -clients 64 -ops 200 -mix low
+//	sccload -addr :7070 -clients 64 -ops 200 -mix low -pipeline 16
 //
 // Each client drives one TCP connection: it draws transactions from an
 // internal/workload mix (the paper's Sec. 4 transaction model — access
@@ -10,15 +11,24 @@
 // per-client commit counter key), and reports throughput, latency
 // percentiles, and value accrued via internal/stats.
 //
+// With -pipeline n each client switches from one round trip per
+// transaction to the REQ/RES pipelined framing, keeping up to n
+// transactions in flight on its connection via the multiplexing client;
+// every transaction's latency, deadline, and value accounting is still
+// measured on its own request/response pair.
+//
 // Two built-in invariants make every run a correctness check, not just a
 // stopwatch: the balanced deltas mean the final SUM over value keys must
-// be zero (a torn cross-shard commit breaks it), and each client's counter
-// key must equal its committed-transaction count (a lost update breaks
-// it).
+// be zero (a torn cross-shard commit breaks it), and each client's
+// counter keys (one per in-flight slot, so a pipelined client never
+// self-conflicts on its own audit key) must sum to its
+// committed-transaction count (a lost update breaks it).
 //
 // Mixes: low (Sec. 4 baseline spread over -keys pages), high (the same
 // class squeezed onto 16 hot pages with 4 accesses), two (the Fig. 14(b)
-// two-class value mix: 10% long/tight/high-value, 90% short/routine).
+// two-class value mix: 10% long/tight/high-value, 90% short/routine),
+// single (one-key transactions on the audit counters only — 100%
+// single-shard fast path, the mix that exercises group commit).
 package main
 
 import (
@@ -37,7 +47,10 @@ import (
 
 func mixConfig(mix string, keys int, seed int64) workload.Config {
 	switch mix {
-	case "low":
+	case "low", "single":
+		// single reuses the baseline class for deadlines/values; its
+		// transactions touch only the client's audit counter (one key,
+		// one shard), so it exercises the fast path and group commit.
 		cfg := workload.Baseline(100, seed)
 		cfg.DBPages = keys
 		return cfg
@@ -51,8 +64,17 @@ func mixConfig(mix string, keys int, seed int64) workload.Config {
 		cfg.DBPages = keys
 		return cfg
 	}
-	log.Fatalf("sccload: unknown -mix %q (want low, high, or two)", mix)
+	log.Fatalf("sccload: unknown -mix %q (want low, high, two, or single)", mix)
 	return workload.Config{}
+}
+
+// cntSlotKey names one audit-counter key. Counters are sharded per
+// in-flight slot: every transaction of a pipelined batch writes a
+// different counter, so a client's own pipeline never self-conflicts on
+// its audit key (entries of a batch execute concurrently). Slot is always
+// 0 in per-round-trip mode.
+func cntSlotKey(runID int64, w, slot int) string {
+	return fmt.Sprintf("cnt%d.%d.%d", runID, w, slot)
 }
 
 // clientResult accumulates one client's outcomes.
@@ -69,8 +91,9 @@ func main() {
 	clients := flag.Int("clients", 64, "concurrent closed-loop clients")
 	ops := flag.Int("ops", 200, "transactions per client")
 	keys := flag.Int("keys", 256, "keyspace size for the low/two mixes")
-	mix := flag.String("mix", "low", "workload mix: low | high | two")
+	mix := flag.String("mix", "low", "workload mix: low | high | two | single")
 	seed := flag.Int64("seed", 1, "base RNG seed")
+	pipeline := flag.Int("pipeline", 0, "transactions kept in flight per connection via REQ/RES pipelining (0 = one blocking round trip per transaction)")
 	flag.Parse()
 
 	// Every key carries a per-run nonce: counters so each run audits its
@@ -89,27 +112,20 @@ func main() {
 			defer wg.Done()
 			res := &results[w]
 			res.lat = stats.NewSample(0, int64(w))
-			c, err := client.Dial(*addr)
-			if err != nil {
-				log.Printf("sccload: client %d: %v", w, err)
-				res.errors = *ops
-				return
-			}
-			defer c.Close()
 			gen := workload.NewGenerator(mixConfig(*mix, *keys, *seed+int64(w)))
-			cntKey := fmt.Sprintf("cnt%d.%d", runID, w)
 			keyPrefix := fmt.Sprintf("k%d.", runID)
-			for i := 0; i < *ops; i++ {
-				t := gen.Next()
-				wireOps := toWireOps(t, keyPrefix, cntKey)
-				opts := client.TxOpts{
-					Value:    t.Class.Value,
-					Deadline: time.Duration(t.RelDeadline() * float64(time.Second)),
-					Gradient: t.PenaltyGradient(),
+			single := *mix == "single"
+			wireOpsFor := func(t *model.Txn, slot int) []client.Op {
+				cnt := cntSlotKey(runID, w, slot)
+				if single {
+					return []client.Op{{Key: cnt, Delta: 1, Write: true}}
 				}
-				t0 := time.Now()
-				_, err := c.Update(wireOps, opts)
-				lat := time.Since(t0).Seconds()
+				return toWireOps(t, keyPrefix, cnt)
+			}
+
+			// record books one transaction's outcome; lat is the observed
+			// completion latency in seconds.
+			record := func(t *model.Txn, lat float64, err error) {
 				res.m.MaxValueSum += t.Class.Value
 				switch err {
 				case nil:
@@ -130,6 +146,60 @@ func main() {
 				default:
 					res.errors++
 				}
+			}
+			txOpts := func(t *model.Txn) client.TxOpts {
+				return client.TxOpts{
+					Value:    t.Class.Value,
+					Deadline: time.Duration(t.RelDeadline() * float64(time.Second)),
+					Gradient: t.PenaltyGradient(),
+				}
+			}
+
+			if *pipeline > 0 {
+				m, err := client.DialMux(*addr)
+				if err != nil {
+					log.Printf("sccload: client %d: %v", w, err)
+					res.errors = *ops
+					return
+				}
+				defer m.Close()
+				// Batch keeps -pipeline transactions in flight per
+				// connection in one write burst; each entry's Elapsed is
+				// its own response time (stamped at RES arrival), so the
+				// latency/deadline/value accounting stays per-transaction.
+				for done := 0; done < *ops; {
+					n := min(*pipeline, *ops-done)
+					reqs := make([]client.UpdateReq, n)
+					txns := make([]*model.Txn, n)
+					for j := range reqs {
+						t := gen.Next()
+						txns[j] = t
+						reqs[j] = client.UpdateReq{
+							Ops:  wireOpsFor(t, j),
+							Opts: txOpts(t),
+						}
+					}
+					for j, o := range m.Batch(reqs) {
+						record(txns[j], o.Elapsed.Seconds(), o.Err)
+					}
+					done += n
+				}
+				return
+			}
+
+			c, err := client.Dial(*addr)
+			if err != nil {
+				log.Printf("sccload: client %d: %v", w, err)
+				res.errors = *ops
+				return
+			}
+			defer c.Close()
+			for i := 0; i < *ops; i++ {
+				t := gen.Next()
+				wireOps := wireOpsFor(t, 0)
+				t0 := time.Now()
+				_, err := c.Update(wireOps, txOpts(t))
+				record(t, time.Since(t0).Seconds(), err)
 			}
 		}(w)
 	}
@@ -154,7 +224,11 @@ func main() {
 		}
 	}
 
-	fmt.Printf("sccload: mix=%s clients=%d ops/client=%d\n", *mix, *clients, *ops)
+	framing := "per-round-trip"
+	if *pipeline > 0 {
+		framing = fmt.Sprintf("pipelined(depth=%d)", *pipeline)
+	}
+	fmt.Printf("sccload: mix=%s clients=%d ops/client=%d wire=%s\n", *mix, *clients, *ops, framing)
 	fmt.Printf("  committed  %d (shed %d, errors %d) in %.2fs\n", committed, shed, errs, elapsed.Seconds())
 	fmt.Printf("  throughput %.0f txn/s\n", float64(committed)/elapsed.Seconds())
 	if all.N() > 0 {
@@ -165,13 +239,28 @@ func main() {
 	fmt.Printf("  value      accrued %.1f%% of max (%.0f / %.0f)\n", m.SystemValuePct(), m.ValueSum, m.MaxValueSum)
 
 	// Conservation must be checked over the page span the mix actually
-	// wrote (the high mix pins DBPages=16 regardless of -keys).
-	pages := mixConfig(*mix, *keys, 0).DBPages
-	if failed := verify(*addr, pages, runID, results); failed {
+	// wrote (the high mix pins DBPages=16 regardless of -keys; the
+	// single mix writes no value keys at all).
+	pages := 0
+	if *mix != "single" {
+		pages = mixConfig(*mix, *keys, 0).DBPages
+	}
+	slots := 1
+	if *pipeline > 0 {
+		slots = *pipeline
+	}
+	if failed := verify(*addr, pages, runID, slots, results); failed {
 		fmt.Println("  invariants FAIL")
 		os.Exit(1)
 	}
 	fmt.Println("  invariants PASS (value conserved, no lost updates)")
+	if c, err := client.Dial(*addr); err == nil {
+		if st, err := c.Stats(); err == nil {
+			fmt.Printf("  server     cross=%s cross_restarts=%s cross_shed=%s shed=%s commit_batches=%s commits=%s\n",
+				st["cross"], st["cross_restarts"], st["cross_shed"], st["shed"], st["commit_batches"], st["commits"])
+		}
+		c.Close()
+	}
 }
 
 // toWireOps converts a workload transaction into wire ops: reads become
@@ -205,8 +294,9 @@ func toWireOps(t *model.Txn, keyPrefix, cntKey string) []client.Op {
 	return append(ops, client.Op{Key: cntKey, Delta: 1, Write: true})
 }
 
-// verify checks the two invariants against the live server.
-func verify(addr string, keys int, runID int64, results []clientResult) bool {
+// verify checks the two invariants against the live server. slots is the
+// number of per-client audit-counter keys (the pipeline depth).
+func verify(addr string, keys int, runID int64, slots int, results []clientResult) bool {
 	c, err := client.Dial(addr)
 	if err != nil {
 		log.Printf("sccload: verify: %v", err)
@@ -243,24 +333,30 @@ func verify(addr string, keys int, runID int64, results []clientResult) bool {
 		failed = true
 	}
 
-	// Invariant 2: every committed transaction bumped its client counter.
-	// counter < acks is a genuine lost update; counter > acks means OK
-	// responses were lost in transit after the server committed (a
-	// transport artifact, not a store violation) — warn without failing.
+	// Invariant 2: every committed transaction bumped one of its client's
+	// slot counters. counter < acks is a genuine lost update; counter >
+	// acks means OK responses were lost in transit after the server
+	// committed (a transport artifact, not a store violation) — warn
+	// without failing.
 	for w := range results {
 		want := results[w].committed
-		got, _, err := c.Get(fmt.Sprintf("cnt%d.%d", runID, w))
+		slotKeys := make([]string, slots)
+		for slot := range slotKeys {
+			slotKeys[slot] = cntSlotKey(runID, w, slot)
+		}
+		// One snapshot request per client; unwritten slot keys read as 0.
+		got, err := c.Sum(slotKeys...)
 		if err != nil {
-			log.Printf("sccload: verify cnt%d.%d: %v", runID, w, err)
+			log.Printf("sccload: verify counters of client %d: %v", w, err)
 			failed = true
 			continue
 		}
 		switch {
 		case got < want:
-			log.Printf("sccload: LOST UPDATES: client %d got %d acks but counter shows %d", w, want, got)
+			log.Printf("sccload: LOST UPDATES: client %d got %d acks but counters show %d", w, want, got)
 			failed = true
 		case got > want:
-			log.Printf("sccload: warning: client %d counter %d exceeds %d acks (OK responses lost in transit)", w, got, want)
+			log.Printf("sccload: warning: client %d counters %d exceed %d acks (OK responses lost in transit)", w, got, want)
 		}
 	}
 	return failed

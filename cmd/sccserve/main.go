@@ -32,6 +32,9 @@ func main() {
 	mode := flag.String("mode", "scc-2s", "concurrency control per shard: scc-2s | occ-bc")
 	concurrency := flag.Int("concurrency", 64, "admission slots (transactions in the engine at once)")
 	queue := flag.Int("queue", 1024, "admission queue bound; overflow sheds the lowest-value waiter")
+	gcWindow := flag.Duration("gc-window", 0, "group-commit flush window per shard (0 = group commit off); commits wait at most this long to share one latch acquisition")
+	gcBatch := flag.Int("gc-batch", 64, "group-commit batch cap: flush early once this many commits are pending")
+	pipelineDepth := flag.Int("pipeline-depth", 128, "max concurrently dispatched REQ-framed requests per connection")
 	statsEvery := flag.Duration("stats", 0, "log engine stats at this interval (0 = off)")
 	flag.Parse()
 
@@ -52,14 +55,24 @@ func main() {
 			MaxConcurrent: *concurrency,
 			MaxQueue:      *queue,
 		},
+		GroupCommit: engine.GroupCommit{
+			Enabled:  *gcWindow > 0,
+			Window:   *gcWindow,
+			MaxBatch: *gcBatch,
+		},
+		PipelineDepth: *pipelineDepth,
 	})
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("sccserve: %v", err)
 	}
-	log.Printf("sccserve: %s serving %d shards on %s (admission: %d slots, queue %d)",
-		m, *shards, lis.Addr(), *concurrency, *queue)
+	gc := "off"
+	if *gcWindow > 0 {
+		gc = fmt.Sprintf("window=%s batch=%d", *gcWindow, *gcBatch)
+	}
+	log.Printf("sccserve: %s serving %d shards on %s (admission: %d slots, queue %d; group commit %s)",
+		m, *shards, lis.Addr(), *concurrency, *queue, gc)
 
 	if *statsEvery > 0 {
 		go func() {

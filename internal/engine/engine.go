@@ -53,6 +53,10 @@ type Config struct {
 	// MaxAttempts bounds closure re-executions per transaction
 	// (0 = 100). Exhausted attempts surface as an error.
 	MaxAttempts int
+	// GroupCommit coalesces commit critical sections: many finished
+	// transactions commit under one store-latch acquisition per flush
+	// window. See groupcommit.go.
+	GroupCommit GroupCommit
 }
 
 // Stats are cumulative engine counters.
@@ -63,6 +67,10 @@ type Stats struct {
 	Forks      int64 // speculative shadows forked
 	Promotions int64 // speculative shadows that finished the transaction
 	Deferrals  int64 // commits deferred for a higher-value conflicter
+	// CommitBatches counts commit-latch acquisitions spent processing
+	// commit attempts: one per attempt on the per-commit path, one per
+	// flush under group commit — the coalescing win is Commits/CommitBatches.
+	CommitBatches int64
 }
 
 // Add accumulates other's counters into s (shard-level aggregation lives
@@ -75,11 +83,13 @@ func (s *Stats) Add(other Stats) {
 	s.Forks += other.Forks
 	s.Promotions += other.Promotions
 	s.Deferrals += other.Deferrals
+	s.CommitBatches += other.CommitBatches
 }
 
 // Store is the engine.
 type Store struct {
 	cfg Config
+	gc  *groupCommitter // nil unless Config.GroupCommit.Enabled
 
 	mu        sync.Mutex
 	committed map[string]versioned
@@ -98,11 +108,15 @@ func Open(cfg Config) *Store {
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 100
 	}
-	return &Store{
+	s := &Store{
 		cfg:       cfg,
 		committed: make(map[string]versioned),
 		active:    make(map[*txnHandle]struct{}),
 	}
+	if cfg.GroupCommit.Enabled {
+		s.gc = newGroupCommitter(s, cfg.GroupCommit)
+	}
+	return s
 }
 
 // Stats returns a snapshot of the counters.
@@ -141,6 +155,7 @@ type txnHandle struct {
 	writes   map[string][]byte // optimistic shadow's write buffer
 	resolved bool
 	result   any // the committed attempt's stashed result
+	attempts int // restarts so far; group commit orders batches by it
 }
 
 // attempt is one shadow: a single run of the closure.
@@ -360,6 +375,7 @@ func (s *Store) UpdateValuedResult(value float64, fn func(*Tx) error) (any, erro
 		h.opt = a
 		h.shadow = nil
 		h.writes = make(map[string][]byte)
+		h.attempts = attempts
 		s.active[h] = struct{}{}
 		if attempts > 0 {
 			s.stats.Restarts++
@@ -508,11 +524,23 @@ func (h *txnHandle) runAttempt(sh *attempt) {
 
 // tryCommit validates and installs an attempt's writes. It returns false
 // if the attempt read stale data (a conflicting transaction committed
-// first); the caller falls back to its shadow or restarts.
+// first); the caller falls back to its shadow or restarts. With group
+// commit enabled the attempt joins the current flush batch instead of
+// acquiring the latch itself.
 func (s *Store) tryCommit(a *attempt) bool {
-	h := a.h
+	if s.gc != nil {
+		return s.gc.commit(a)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.stats.CommitBatches++
+	return s.commitLocked(a)
+}
+
+// commitLocked is the commit critical section: validate the attempt's
+// reads against committed state and install its writes. Caller holds s.mu.
+func (s *Store) commitLocked(a *attempt) bool {
+	h := a.h
 	select {
 	case <-a.aborted:
 		return false

@@ -1,0 +1,143 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitPending spins (no sleeps — the flush trigger is injected, not
+// timed) until n commits are queued for the next flush.
+func waitPending(t *testing.T, s *Store, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for s.PendingCommits() < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("pending commits stuck at %d, want %d", s.PendingCommits(), n)
+		}
+		runtime.Gosched()
+	}
+}
+
+// TestGroupCommitCoalesces is the deterministic coalescing test: with an
+// effectively infinite window and batch cap, n concurrent commits park in
+// the queue until the injected trigger fires, and the whole batch then
+// commits under ONE latch acquisition — versus n on the per-commit path.
+func TestGroupCommitCoalesces(t *testing.T) {
+	const n = 8
+	run := func(grouped bool) Stats {
+		cfg := Config{}
+		if grouped {
+			cfg.GroupCommit = GroupCommit{Enabled: true, Window: time.Hour, MaxBatch: 1 << 20}
+		}
+		s := Open(cfg)
+		defer s.Close()
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				key := fmt.Sprintf("k%d", i)
+				if err := s.Update(func(tx *Tx) error { return tx.Set(key, []byte{1}) }); err != nil {
+					t.Errorf("update %d: %v", i, err)
+				}
+			}(i)
+		}
+		if grouped {
+			waitPending(t, s, n)
+			s.TriggerFlush()
+		}
+		wg.Wait()
+		return s.Stats()
+	}
+
+	grouped := run(true)
+	if grouped.Commits != n {
+		t.Fatalf("grouped commits = %d, want %d", grouped.Commits, n)
+	}
+	if grouped.CommitBatches != 1 {
+		t.Errorf("grouped commit batches = %d, want 1 (single flush)", grouped.CommitBatches)
+	}
+
+	perCommit := run(false)
+	if perCommit.Commits != n {
+		t.Fatalf("per-commit commits = %d, want %d", perCommit.Commits, n)
+	}
+	if perCommit.CommitBatches != n {
+		t.Errorf("per-commit commit batches = %d, want %d (one latch per commit)", perCommit.CommitBatches, n)
+	}
+	if grouped.CommitBatches >= perCommit.CommitBatches {
+		t.Errorf("group commit did not cut latch acquisitions: %d vs %d",
+			grouped.CommitBatches, perCommit.CommitBatches)
+	}
+}
+
+// TestGroupCommitMaxBatchKicks: with a huge window, hitting the batch cap
+// must wake the leader without any external trigger.
+func TestGroupCommitMaxBatchKicks(t *testing.T) {
+	const n = 4
+	s := Open(Config{GroupCommit: GroupCommit{Enabled: true, Window: time.Hour, MaxBatch: n}})
+	defer s.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i)
+			if err := s.Update(func(tx *Tx) error { return tx.Set(key, []byte{1}) }); err != nil {
+				t.Errorf("update %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait() // completes only if the cap kicked the leader
+	st := s.Stats()
+	if st.Commits != n {
+		t.Fatalf("commits = %d, want %d", st.Commits, n)
+	}
+	if st.CommitBatches >= n {
+		t.Errorf("commit batches = %d, want < %d (coalesced)", st.CommitBatches, n)
+	}
+}
+
+// TestGroupCommitConflicts drives contended read-modify-writes through the
+// group path with a real (short) window: correctness must be identical to
+// the per-commit path — every increment lands exactly once.
+func TestGroupCommitConflicts(t *testing.T) {
+	s := Open(Config{GroupCommit: GroupCommit{Enabled: true, Window: 200 * time.Microsecond, MaxBatch: 8}})
+	defer s.Close()
+	const workers, iters = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				err := s.Update(func(tx *Tx) error {
+					v, err := tx.Get("hot")
+					if err != nil {
+						return err
+					}
+					var n byte
+					if len(v) > 0 {
+						n = v[0]
+					}
+					return tx.Set("hot", []byte{n + 1})
+				})
+				if err != nil {
+					t.Errorf("update: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	v, ok := s.Get("hot")
+	if !ok || len(v) == 0 || v[0] != workers*iters {
+		t.Fatalf("hot = %v (ok=%v), want [%d]", v, ok, workers*iters)
+	}
+	st := s.Stats()
+	if st.CommitBatches == 0 || st.Commits < workers*iters {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -56,10 +56,16 @@ func (c *AdmissionConfig) defaults() {
 	}
 }
 
-// AdmissionStats are cumulative admission counters.
+// AdmissionStats are cumulative admission counters. Admitted counts
+// grants, including re-grants to readmitted cross-shard retries;
+// Readmits counts retry re-entries (whether re-granted or shed); Shed
+// includes readmission sheds. Front-door sheds are therefore Shed minus
+// the server's cross_shed counter, and front-door grants are
+// Admitted - (Readmits - cross_shed).
 type AdmissionStats struct {
 	Admitted int64
 	Shed     int64
+	Readmits int64   // Readmit calls (cross-shard retries re-entering the queue)
 	Depth    int     // current queue depth
 	InFlight int     // currently admitted
 	OpTime   float64 // current per-op service-time estimate (seconds)
@@ -83,6 +89,7 @@ type Admission struct {
 	opTime   float64 // EWMA of per-op service time, seconds
 	admitted int64
 	shed     int64
+	readmits int64
 }
 
 // NewAdmission returns an admission queue with all slots free.
@@ -141,8 +148,7 @@ func (a *Admission) score(w *waiter, now float64) float64 {
 // the execution-time estimate; f orders the wait and decides shedding.
 func (a *Admission) Acquire(f value.Fn, numOps int) error {
 	a.mu.Lock()
-	now := a.now()
-	if f.At(now) <= 0 {
+	if f.At(a.now()) <= 0 {
 		a.shed++
 		a.mu.Unlock()
 		return ErrShed
@@ -153,10 +159,21 @@ func (a *Admission) Acquire(f value.Fn, numOps int) error {
 		a.mu.Unlock()
 		return nil
 	}
+	w := a.enqueueLocked(f, numOps)
+	a.mu.Unlock()
+	if w == nil {
+		return ErrShed
+	}
+	return <-w.grant
+}
+
+// enqueueLocked appends a waiter, applying the value-cognizant overflow
+// policy: a full queue evicts the lowest-expected-value waiter, which may
+// be the newcomer itself (nil return). Caller holds a.mu.
+func (a *Admission) enqueueLocked(f value.Fn, numOps int) *waiter {
+	now := a.now()
 	w := &waiter{f: f, d: a.distFor(numOps), grant: make(chan error, 1)}
 	if len(a.waiters) >= a.cfg.MaxQueue {
-		// Value-cognizant overflow: evict the lowest-expected-value
-		// waiter, which may be the newcomer itself.
 		evict, evictScore := -1, a.score(w, now)
 		for i, other := range a.waiters {
 			if sc := a.score(other, now); sc < evictScore {
@@ -165,15 +182,42 @@ func (a *Admission) Acquire(f value.Fn, numOps int) error {
 		}
 		a.shed++
 		if evict < 0 {
-			a.mu.Unlock()
-			return ErrShed
+			return nil
 		}
 		victim := a.waiters[evict]
 		a.waiters = append(a.waiters[:evict], a.waiters[evict+1:]...)
 		victim.grant <- ErrShed
 	}
 	a.waiters = append(a.waiters, w)
+	return w
+}
+
+// Readmit yields the caller's admission slot and immediately re-queues
+// for a fresh grant. Cross-shard retries use it so a restarted
+// transaction re-competes for capacity by expected value — the queue
+// dispatches the highest-EV waiter first and sheds the caller outright
+// once its value function has crossed zero — instead of retrying while
+// still holding the slot it was first admitted on. The caller is
+// enqueued before the slot is freed, all under one lock hold, so it
+// competes for its own freed slot in the same expected-value sweep as
+// every parked waiter — surrendering first would hand the slot to a
+// lower-EV waiter unconditionally. On ErrShed the slot has already been
+// surrendered; the caller must not Release again.
+func (a *Admission) Readmit(f value.Fn, numOps int) error {
+	a.mu.Lock()
+	a.readmits++
+	var w *waiter
+	if f.At(a.now()) <= 0 {
+		a.shed++
+	} else {
+		w = a.enqueueLocked(f, numOps)
+	}
+	a.slots++
+	a.dispatchLocked()
 	a.mu.Unlock()
+	if w == nil {
+		return ErrShed
+	}
 	return <-w.grant
 }
 
@@ -231,6 +275,7 @@ func (a *Admission) Stats() AdmissionStats {
 	return AdmissionStats{
 		Admitted: a.admitted,
 		Shed:     a.shed,
+		Readmits: a.readmits,
 		Depth:    len(a.waiters),
 		InFlight: a.cfg.MaxConcurrent - a.slots,
 		OpTime:   a.opTime,

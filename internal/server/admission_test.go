@@ -107,6 +107,67 @@ func TestAdmissionQueueOverflowEvictsLowestValue(t *testing.T) {
 	}
 }
 
+func TestReadmitShedsExpired(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 2})
+	f := a.FnFor(1, 0, 0)
+	if err := a.Acquire(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A cross-shard retry whose value function has crossed zero: the
+	// slot must come back even though the caller is refused.
+	expired := value.Fn{V: 1, Deadline: -10, Gradient: 1}
+	if err := a.Readmit(expired, 1); !errors.Is(err, ErrShed) {
+		t.Fatalf("err = %v, want ErrShed", err)
+	}
+	if st := a.Stats(); st.InFlight != 0 {
+		t.Errorf("InFlight = %d after shed readmit, want 0 (slot surrendered)", st.InFlight)
+	}
+}
+
+func TestReadmitKeepsLiveTransaction(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1})
+	f := a.FnFor(5, 0, 0)
+	if err := a.Acquire(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	// With the only slot held by the caller itself, Readmit must hand
+	// the freed slot straight back — no deadlock, still in flight.
+	if err := a.Readmit(f, 1); err != nil {
+		t.Fatal(err)
+	}
+	if st := a.Stats(); st.InFlight != 1 {
+		t.Errorf("InFlight = %d after readmit, want 1", st.InFlight)
+	}
+	a.Release(time.Millisecond, 1)
+}
+
+func TestReadmitCompetesByExpectedValue(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1})
+	if err := a.Acquire(a.FnFor(10, 10, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	lowDone := make(chan error, 1)
+	go func() { lowDone <- a.Acquire(a.FnFor(1, 10, 0), 1) }()
+	waitDepth(t, a, 1)
+
+	// The retrying transaction outvalues the parked waiter, so it must
+	// win its own freed slot in the same sweep — not hand it to the
+	// low-value waiter and queue behind it.
+	if err := a.Readmit(a.FnFor(100, 10, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-lowDone:
+		t.Fatalf("low-value waiter was dispatched over the high-value readmit (err=%v)", err)
+	default:
+	}
+	a.Release(time.Millisecond, 1)
+	if err := <-lowDone; err != nil {
+		t.Fatal(err)
+	}
+	a.Release(time.Millisecond, 1)
+}
+
 func waitDepth(t *testing.T, a *Admission, depth int) {
 	t.Helper()
 	deadline := time.Now().Add(5 * time.Second)

@@ -44,8 +44,10 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// roundTrip sends one request line and reads one response line.
-func (c *Client) roundTrip(line string) (string, error) {
+// do sends one request line and reads one response line. It satisfies the
+// doer interface shared with Mux, so both transports reuse the same verb
+// implementations.
+func (c *Client) do(line string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, err := c.w.WriteString(line + "\n"); err != nil {
@@ -59,6 +61,12 @@ func (c *Client) roundTrip(line string) (string, error) {
 		return "", err
 	}
 	return strings.TrimSpace(resp), nil
+}
+
+// doer abstracts one request/response exchange: Client performs a
+// blocking round trip, Mux a pipelined one.
+type doer interface {
+	do(line string) (string, error)
 }
 
 // parse splits a response into its kind and payload, surfacing protocol
@@ -88,8 +96,23 @@ func checkKey(key string) error {
 }
 
 // Ping checks liveness.
-func (c *Client) Ping() error {
-	resp, err := c.roundTrip("PING")
+func (c *Client) Ping() error { return ping(c) }
+
+// Get reads a committed value; ok is false for a missing key.
+func (c *Client) Get(key string) (n int64, ok bool, err error) { return get(c, key) }
+
+// Put sets key to n.
+func (c *Client) Put(key string, n int64) error { return put(c, key, n) }
+
+// Add atomically adds delta to key and returns the new value.
+func (c *Client) Add(key string, delta int64) (int64, error) { return add(c, key, delta) }
+
+// Sum returns the total of the given keys as one consistent cross-shard
+// snapshot.
+func (c *Client) Sum(keys ...string) (int64, error) { return sum(c, keys) }
+
+func ping(d doer) error {
+	resp, err := d.do("PING")
 	if err != nil {
 		return err
 	}
@@ -97,12 +120,11 @@ func (c *Client) Ping() error {
 	return err
 }
 
-// Get reads a committed value; ok is false for a missing key.
-func (c *Client) Get(key string) (n int64, ok bool, err error) {
+func get(d doer, key string) (int64, bool, error) {
 	if err := checkKey(key); err != nil {
 		return 0, false, err
 	}
-	resp, err := c.roundTrip("GET " + key)
+	resp, err := d.do("GET " + key)
 	if err != nil {
 		return 0, false, err
 	}
@@ -113,16 +135,15 @@ func (c *Client) Get(key string) (n int64, ok bool, err error) {
 	if err != nil {
 		return 0, false, err
 	}
-	n, err = strconv.ParseInt(body, 10, 64)
+	n, err := strconv.ParseInt(body, 10, 64)
 	return n, err == nil, err
 }
 
-// Put sets key to n.
-func (c *Client) Put(key string, n int64) error {
+func put(d doer, key string, n int64) error {
 	if err := checkKey(key); err != nil {
 		return err
 	}
-	resp, err := c.roundTrip(fmt.Sprintf("PUT %s %d", key, n))
+	resp, err := d.do(fmt.Sprintf("PUT %s %d", key, n))
 	if err != nil {
 		return err
 	}
@@ -130,12 +151,11 @@ func (c *Client) Put(key string, n int64) error {
 	return err
 }
 
-// Add atomically adds delta to key and returns the new value.
-func (c *Client) Add(key string, delta int64) (int64, error) {
+func add(d doer, key string, delta int64) (int64, error) {
 	if err := checkKey(key); err != nil {
 		return 0, err
 	}
-	resp, err := c.roundTrip(fmt.Sprintf("ADD %s %d", key, delta))
+	resp, err := d.do(fmt.Sprintf("ADD %s %d", key, delta))
 	if err != nil {
 		return 0, err
 	}
@@ -146,15 +166,13 @@ func (c *Client) Add(key string, delta int64) (int64, error) {
 	return strconv.ParseInt(body, 10, 64)
 }
 
-// Sum returns the total of the given keys as one consistent cross-shard
-// snapshot.
-func (c *Client) Sum(keys ...string) (int64, error) {
+func sum(d doer, keys []string) (int64, error) {
 	for _, k := range keys {
 		if err := checkKey(k); err != nil {
 			return 0, err
 		}
 	}
-	resp, err := c.roundTrip("SUM " + strings.Join(keys, " "))
+	resp, err := d.do("SUM " + strings.Join(keys, " "))
 	if err != nil {
 		return 0, err
 	}
@@ -181,11 +199,11 @@ type TxOpts struct {
 	Gradient float64       // value lost per second past it (0 = V/Deadline)
 }
 
-// Update executes ops as one serializable transaction and returns the new
-// value of each write op, in op order.
-func (c *Client) Update(ops []Op, opts TxOpts) ([]int64, error) {
+// updateLine renders ops and opts as one UPD request line, returning the
+// number of write results the response must carry.
+func updateLine(ops []Op, opts TxOpts) (line string, writes int, err error) {
 	if len(ops) == 0 {
-		return nil, errors.New("client: no ops")
+		return "", 0, errors.New("client: no ops")
 	}
 	var b strings.Builder
 	b.WriteString("UPD")
@@ -198,10 +216,9 @@ func (c *Client) Update(ops []Op, opts TxOpts) ([]int64, error) {
 	if opts.Gradient > 0 {
 		fmt.Fprintf(&b, " grad=%g", opts.Gradient)
 	}
-	writes := 0
 	for _, o := range ops {
 		if err := checkKey(o.Key); err != nil {
-			return nil, err
+			return "", 0, err
 		}
 		if o.Write {
 			fmt.Fprintf(&b, " w:%s:%d", o.Key, o.Delta)
@@ -210,14 +227,12 @@ func (c *Client) Update(ops []Op, opts TxOpts) ([]int64, error) {
 			b.WriteString(" r:" + o.Key)
 		}
 	}
-	resp, err := c.roundTrip(b.String())
-	if err != nil {
-		return nil, err
-	}
-	body, err := parse(resp)
-	if err != nil {
-		return nil, err
-	}
+	return b.String(), writes, nil
+}
+
+// parseUpdateResults decodes the body of a successful UPD response into
+// the new value of each write op, in op order.
+func parseUpdateResults(body string, writes int) ([]int64, error) {
 	if body == "" {
 		if writes == 0 {
 			return nil, nil
@@ -239,9 +254,31 @@ func (c *Client) Update(ops []Op, opts TxOpts) ([]int64, error) {
 	return out, nil
 }
 
+// Update executes ops as one serializable transaction and returns the new
+// value of each write op, in op order.
+func (c *Client) Update(ops []Op, opts TxOpts) ([]int64, error) { return update(c, ops, opts) }
+
+func update(d doer, ops []Op, opts TxOpts) ([]int64, error) {
+	line, writes, err := updateLine(ops, opts)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := d.do(line)
+	if err != nil {
+		return nil, err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return nil, err
+	}
+	return parseUpdateResults(body, writes)
+}
+
 // Stats fetches the server's counters as a string map.
-func (c *Client) Stats() (map[string]string, error) {
-	resp, err := c.roundTrip("STATS")
+func (c *Client) Stats() (map[string]string, error) { return statsCall(c) }
+
+func statsCall(d doer) (map[string]string, error) {
+	resp, err := d.do("STATS")
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,329 @@
+// The pipelined transport. A Mux shares one TCP connection between any
+// number of goroutines: every request is sent as "REQ <id> <verb> ..."
+// without waiting for earlier responses, and a reader goroutine matches
+// each "RES <id> ..." line back to its caller. Against a server on the
+// same protocol this removes the round trip per request that dominates
+// Client throughput — requests stream, responses stream back, and the
+// Batch API amortizes even the write syscalls across a whole burst.
+
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Mux calls after Close.
+var ErrClosed = errors.New("client: mux closed")
+
+// Mux is a concurrent, pipelined protocol client. All methods are safe
+// for concurrent use from any number of goroutines; requests multiplex
+// onto one connection in flight order and responses are correlated by id,
+// so slow requests never head-of-line block fast ones issued after them.
+type Mux struct {
+	conn net.Conn
+
+	wmu     sync.Mutex // serializes writes to the connection
+	w       *bufio.Writer
+	writers atomic.Int32 // requests between write intent and flush decision
+
+	mu      sync.Mutex
+	pending map[uint64]chan resp
+	nextID  uint64
+	err     error         // first connection-level failure, sticky
+	done    chan struct{} // closed when err is set
+}
+
+// resp is one routed response: its body and arrival time (stamped in the
+// read loop, so per-request latency stays meaningful even when responses
+// are collected later, as Batch does).
+type resp struct {
+	body string
+	at   time.Time
+}
+
+// DialMux connects a pipelined client to a sccserve instance.
+func DialMux(addr string) (*Mux, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	m := &Mux{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		pending: make(map[uint64]chan resp),
+		done:    make(chan struct{}),
+	}
+	go m.readLoop()
+	return m, nil
+}
+
+// Close tears down the connection; in-flight and future calls return
+// ErrClosed (or the earlier connection error if one already occurred).
+func (m *Mux) Close() error {
+	m.fail(ErrClosed)
+	return m.conn.Close()
+}
+
+// fail records the first connection-level error, wakes every waiter, and
+// drops the pending table. Later calls keep the first error.
+func (m *Mux) fail(err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return
+	}
+	m.err = err
+	m.pending = nil
+	close(m.done)
+}
+
+// readLoop routes RES lines to their waiting callers until the
+// connection dies or desyncs.
+func (m *Mux) readLoop() {
+	r := bufio.NewReaderSize(m.conn, 64*1024)
+	for {
+		raw, err := r.ReadString('\n')
+		if err != nil {
+			m.fail(fmt.Errorf("client: connection lost: %w", err))
+			m.conn.Close()
+			return
+		}
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		now := time.Now()
+		id, body, ok := splitRes(line)
+		if !ok {
+			// A bare (un-framed) line on a pipelined connection is a
+			// connection-level server diagnostic — e.g. the oversized-line
+			// error sent just before a close. Surface it as the failure
+			// instead of burying it under "malformed response".
+			if strings.HasPrefix(line, "ERR") {
+				m.fail(errors.New("client: server closed the stream: " +
+					strings.TrimSpace(strings.TrimPrefix(line, "ERR"))))
+			} else {
+				m.fail(fmt.Errorf("client: malformed pipelined response %q", line))
+			}
+			m.conn.Close()
+			return
+		}
+		m.mu.Lock()
+		ch := m.pending[id]
+		delete(m.pending, id)
+		m.mu.Unlock()
+		if ch == nil {
+			// A RES for an id we never sent (or already completed)
+			// means the streams have desynced; nothing on this
+			// connection can be trusted any more.
+			m.fail(fmt.Errorf("client: response for unknown request id %d", id))
+			m.conn.Close()
+			return
+		}
+		ch <- resp{body: body, at: now}
+	}
+}
+
+// splitRes parses "RES <id> <body...>".
+func splitRes(line string) (uint64, string, bool) {
+	rest, ok := strings.CutPrefix(line, "RES ")
+	if !ok {
+		return 0, "", false
+	}
+	i := strings.IndexByte(rest, ' ')
+	if i <= 0 {
+		return 0, "", false
+	}
+	id, err := strconv.ParseUint(rest[:i], 10, 64)
+	if err != nil {
+		return 0, "", false
+	}
+	return id, strings.TrimSpace(rest[i+1:]), true
+}
+
+// register allocates a request id and its response channel.
+func (m *Mux) register() (uint64, chan resp, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return 0, nil, m.err
+	}
+	m.nextID++
+	ch := make(chan resp, 1)
+	m.pending[m.nextID] = ch
+	return m.nextID, ch, nil
+}
+
+// await blocks for the response routed to ch, preferring a delivered
+// response over a racing connection failure.
+func (m *Mux) await(ch chan resp) (resp, error) {
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-m.done:
+		select {
+		case r := <-ch:
+			return r, nil
+		default:
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return resp{}, m.err
+	}
+}
+
+// do issues one pipelined request and waits for its response. It
+// satisfies the doer interface, so Mux serves every protocol verb through
+// the same implementations as Client.
+//
+// Flushes coalesce across concurrent callers: each caller announces its
+// write intent before taking the write lock, and only the caller that
+// observes no later intent flushes. A caller that skips the flush is
+// covered by a later one — the chain always terminates at the last
+// concurrent writer — so a burst of goroutines shares one syscall while
+// a lone request still flushes immediately.
+func (m *Mux) do(line string) (string, error) {
+	id, ch, err := m.register()
+	if err != nil {
+		return "", err
+	}
+	m.writers.Add(1)
+	m.wmu.Lock()
+	_, err = fmt.Fprintf(m.w, "REQ %d %s\n", id, line)
+	last := m.writers.Add(-1) == 0
+	if err == nil && last {
+		err = m.w.Flush()
+	}
+	m.wmu.Unlock()
+	if err != nil {
+		m.fail(fmt.Errorf("client: write failed: %w", err))
+		return "", err
+	}
+	r, err := m.await(ch)
+	return r.body, err
+}
+
+// Ping checks liveness.
+func (m *Mux) Ping() error { return ping(m) }
+
+// Get reads a committed value; ok is false for a missing key.
+func (m *Mux) Get(key string) (int64, bool, error) { return get(m, key) }
+
+// Put sets key to n.
+func (m *Mux) Put(key string, n int64) error { return put(m, key, n) }
+
+// Add atomically adds delta to key and returns the new value.
+func (m *Mux) Add(key string, delta int64) (int64, error) { return add(m, key, delta) }
+
+// Sum returns the total of the given keys as one consistent cross-shard
+// snapshot.
+func (m *Mux) Sum(keys ...string) (int64, error) { return sum(m, keys) }
+
+// Update executes ops as one serializable transaction and returns the new
+// value of each write op, in op order.
+func (m *Mux) Update(ops []Op, opts TxOpts) ([]int64, error) { return update(m, ops, opts) }
+
+// Stats fetches the server's counters as a string map.
+func (m *Mux) Stats() (map[string]string, error) { return statsCall(m) }
+
+// UpdateReq is one transactional update of a Batch.
+type UpdateReq struct {
+	Ops  []Op
+	Opts TxOpts
+}
+
+// UpdateResult is the outcome of one Batch entry.
+type UpdateResult struct {
+	Results []int64 // new value of each write op, in op order
+	Err     error
+	// Elapsed is the entry's own request/response time: from this
+	// entry's write into the burst to the arrival of its RES line
+	// (stamped in the read loop, not when the caller got around to
+	// collecting it) — so later batch entries are not charged for the
+	// serialization of earlier ones. Zero when the entry failed before
+	// reaching the wire.
+	Elapsed time.Duration
+}
+
+// Batch streams every update in one write burst — a single flush for the
+// whole slice — then collects all responses. Slot i of the result
+// corresponds to reqs[i]; one failing entry (bad key, SHED, conflict
+// error) does not abort the others. The server dispatches pipelined
+// requests concurrently, so entries of one batch execute in no
+// particular order relative to each other — each is individually
+// serializable, but entries with data dependencies between them belong
+// in one entry's op list, not in separate entries. This is the
+// lowest-overhead way to drive the server: n transactions cost one
+// writev-sized syscall out and however few reads the kernel coalesces
+// back.
+func (m *Mux) Batch(reqs []UpdateReq) []UpdateResult {
+	out := make([]UpdateResult, len(reqs))
+	type inflight struct {
+		ch     chan resp
+		writes int
+		sent   time.Time
+	}
+	pend := make([]inflight, len(reqs))
+
+	m.wmu.Lock()
+	var werr error
+	for i, r := range reqs {
+		line, writes, err := updateLine(r.Ops, r.Opts)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		if werr != nil {
+			out[i].Err = werr
+			continue
+		}
+		id, ch, err := m.register()
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		sent := time.Now()
+		if _, err := fmt.Fprintf(m.w, "REQ %d %s\n", id, line); err != nil {
+			werr = err
+			out[i].Err = err
+			continue
+		}
+		pend[i] = inflight{ch: ch, writes: writes, sent: sent}
+	}
+	if werr == nil {
+		werr = m.w.Flush()
+	}
+	m.wmu.Unlock()
+	if werr != nil {
+		// Registered-but-unsent (or torn) requests resolve through the
+		// failure path: fail wakes every await below.
+		m.fail(fmt.Errorf("client: write failed: %w", werr))
+	}
+
+	for i := range pend {
+		if pend[i].ch == nil {
+			continue
+		}
+		r, err := m.await(pend[i].ch)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Elapsed = r.at.Sub(pend[i].sent)
+		body, err := parse(r.body)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		out[i].Results, out[i].Err = parseUpdateResults(body, pend[i].writes)
+	}
+	return out
+}

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzDispatch throws arbitrary request lines at the wire parser and the
+// verb handlers behind it (dispatch/handleUPD argument parsing included).
+// The server must never panic and must answer every line with exactly one
+// well-formed response: OK..., NIL, SHED, or ERR... — nothing else, no
+// embedded newlines. Seed corpus lives in testdata/fuzz/FuzzDispatch.
+func FuzzDispatch(f *testing.F) {
+	for _, seed := range []string{
+		"PING",
+		"GET a",
+		"PUT a 5",
+		"ADD a -3",
+		"UPD v=2 dl=50 grad=0.1 r:a w:b:7",
+		"UPD w:a:1 w:b:-1",
+		"SUM a b c",
+		"STATS",
+		"REQ 1 PING",
+		"UPD v=NaN w:a:1",
+		"UPD dl=1e309 w:a:1",
+		"UPD w::1 r: q:x:1",
+		"PUT a 99999999999999999999",
+		"GET \x00\xff",
+		"UPD v= dl= grad= w:a:",
+	} {
+		f.Add(seed)
+	}
+	s := New(Config{Shards: 2, Admission: AdmissionConfig{MaxConcurrent: 4, MaxQueue: 8}})
+	f.Cleanup(func() { s.Store().Close() })
+	f.Fuzz(func(t *testing.T, line string) {
+		// The transport hands dispatch whitespace-split tokens of one
+		// line; embedded newlines would be separate lines on the wire.
+		if strings.ContainsAny(line, "\n\r") {
+			t.Skip()
+		}
+		resp := s.dispatchLine(line)
+		if strings.ContainsAny(resp, "\n\r") {
+			t.Fatalf("response embeds a line break: %q -> %q", line, resp)
+		}
+		switch {
+		case strings.HasPrefix(resp, "OK"), resp == "NIL", resp == "SHED",
+			strings.HasPrefix(resp, "ERR"):
+		default:
+			t.Fatalf("malformed response kind: %q -> %q", line, resp)
+		}
+		if utf8.ValidString(line) && !utf8.ValidString(resp) {
+			t.Fatalf("valid input produced invalid UTF-8 response: %q -> %q", line, resp)
+		}
+	})
+}

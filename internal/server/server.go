@@ -16,8 +16,26 @@
 // under SCC (speculative shadows and all); across shards it commits
 // atomically via the deterministic-order cross-shard protocol. v/dl/grad
 // describe the request's Def. 2 value function for admission ordering,
-// load shedding, and the engine's value-cognizant commit deferment.
+// load shedding, and the engine's value-cognizant commit deferment. A
+// cross-shard transaction that fails validation re-enters the admission
+// queue before every retry: it is shed once its value function crosses
+// zero (counted as cross_shed in STATS) and otherwise re-dispatched by
+// expected value, so retries are value-cognizant too.
 // SUM reads its keys as one consistent cross-shard snapshot.
+//
+// # Pipelined framing
+//
+// Any request may instead be wrapped in REQ framing:
+//
+//	REQ <id> <verb> [args...]          -> RES <id> <response>
+//
+// where <id> is an arbitrary space-free client token echoed back
+// verbatim. Pipelined requests on one connection are dispatched
+// concurrently (up to Config.PipelineDepth in flight) and their RES lines
+// may arrive in any order — the id is the correlation. Bare (legacy)
+// requests keep their strict semantics: each is processed to completion,
+// in arrival order relative to other bare requests, before the next line
+// is read. The two framings mix freely on one connection.
 //
 // Values are signed 64-bit integers in ASCII decimal; keys are any
 // space-free tokens not containing ':'.
@@ -48,12 +66,20 @@ type Config struct {
 	Mode engine.Mode
 	// Admission configures the value-cognizant admission queue.
 	Admission AdmissionConfig
+	// GroupCommit coalesces per-shard commit latch acquisitions across
+	// concurrent connections (disabled unless Enabled is set).
+	GroupCommit engine.GroupCommit
+	// PipelineDepth caps concurrently dispatched REQ-framed requests per
+	// connection (default 128). Past the cap the connection's reader
+	// stalls — TCP backpressure, not an error.
+	PipelineDepth int
 }
 
 // Server serves a sharded store over TCP.
 type Server struct {
-	store *shard.Store
-	adm   *Admission
+	store         *shard.Store
+	adm           *Admission
+	pipelineDepth int
 
 	// mu guards connection lifecycle only; per-request counters use
 	// their own synchronization so requests never serialize on it.
@@ -62,23 +88,28 @@ type Server struct {
 	conns  map[net.Conn]struct{}
 	closed bool
 
-	latMu    sync.Mutex
-	lat      *stats.Sample
-	requests atomic.Int64
+	latMu     sync.Mutex
+	lat       *stats.Sample
+	requests  atomic.Int64
+	crossShed atomic.Int64 // cross-shard retries shed past their zero-crossing
 
 	wg sync.WaitGroup
 }
 
 // New returns a server over a fresh sharded store.
 func New(cfg Config) *Server {
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = 128
+	}
 	return &Server{
 		store: shard.Open(shard.Config{
 			Shards: cfg.Shards,
-			Engine: engine.Config{Mode: cfg.Mode},
+			Engine: engine.Config{Mode: cfg.Mode, GroupCommit: cfg.GroupCommit},
 		}),
-		adm:   NewAdmission(cfg.Admission),
-		conns: make(map[net.Conn]struct{}),
-		lat:   stats.NewSample(4096, 1),
+		adm:           NewAdmission(cfg.Admission),
+		pipelineDepth: cfg.PipelineDepth,
+		conns:         make(map[net.Conn]struct{}),
+		lat:           stats.NewSample(4096, 1),
 	}
 }
 
@@ -169,28 +200,104 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
+
+	// All responses funnel through one writer goroutine, which batches:
+	// it writes every response already queued, then flushes once — under
+	// pipelined load many responses share one syscall. On a write error
+	// it keeps draining (discarding) so workers never block on a dead
+	// connection.
+	out := make(chan string, 4*s.pipelineDepth)
+	wdone := make(chan struct{})
+	var connDead atomic.Bool
+	go func() {
+		defer close(wdone)
+		w := bufio.NewWriter(conn)
+		dead := false
+		// A connection that cannot carry responses must not keep
+		// executing requests: the dead flag stops the reader loop even
+		// for lines already sitting in its scanner buffer, and closing
+		// the connection unblocks a reader parked in a Read syscall.
+		// The writer itself keeps draining (discarding) so workers
+		// never block on the channel.
+		die := func() {
+			dead = true
+			connDead.Store(true)
+			conn.Close()
+		}
+		for line := range out {
+			for {
+				if !dead {
+					if _, err := w.WriteString(line); err != nil {
+						die()
+					} else if _, err := w.WriteString("\n"); err != nil {
+						die()
+					}
+				}
+				select {
+				case next, ok := <-out:
+					if !ok {
+						if !dead {
+							w.Flush()
+						}
+						return
+					}
+					line = next
+					continue
+				default:
+				}
+				break
+			}
+			if !dead && w.Flush() != nil {
+				die()
+			}
+		}
+	}()
+
+	// Pipelined (REQ-framed) requests dispatch concurrently, bounded by
+	// the pipeline depth; bare requests run inline so they stay strictly
+	// ordered among themselves.
+	sem := make(chan struct{}, s.pipelineDepth)
+	var workers sync.WaitGroup
+
 	r := bufio.NewScanner(conn)
 	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	w := bufio.NewWriter(conn)
 	for r.Scan() {
-		line := strings.TrimSpace(r.Text())
-		if line == "" {
+		if connDead.Load() {
+			break
+		}
+		fields := strings.Fields(r.Text())
+		if len(fields) == 0 {
 			continue
 		}
-		resp := s.dispatch(line)
-		if _, err := w.WriteString(resp + "\n"); err != nil {
-			return
+		if strings.ToUpper(fields[0]) == "REQ" {
+			switch {
+			case len(fields) < 2:
+				out <- "ERR usage: REQ <id> <verb> [args...]"
+			case len(fields) == 2:
+				out <- "RES " + fields[1] + " ERR missing verb"
+			default:
+				id, rest := fields[1], fields[2:]
+				sem <- struct{}{}
+				workers.Add(1)
+				go func() {
+					defer workers.Done()
+					defer func() { <-sem }()
+					out <- "RES " + id + " " + s.dispatch(rest)
+				}()
+			}
+			continue
 		}
-		if err := w.Flush(); err != nil {
-			return
-		}
+		out <- s.dispatch(fields)
 	}
-	if errors.Is(r.Err(), bufio.ErrTooLong) {
+	tooLong := errors.Is(r.Err(), bufio.ErrTooLong)
+	workers.Wait()
+	if tooLong {
 		// The connection cannot be resynced mid-line, but the client
 		// deserves a diagnostic before the close instead of a bare EOF.
-		w.WriteString("ERR request line exceeds 1MB\n")
-		w.Flush()
+		out <- "ERR request line exceeds 1MB"
 	}
+	close(out)
+	<-wdone
 }
 
 // op is one parsed UPD operation.
@@ -200,9 +307,19 @@ type op struct {
 	write bool
 }
 
-func (s *Server) dispatch(line string) string {
-	s.requests.Add(1)
+// dispatchLine parses and serves one raw request line. It is the
+// single-string entry point the fuzzer drives; serveConn splits fields
+// itself.
+func (s *Server) dispatchLine(line string) string {
 	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty request"
+	}
+	return s.dispatch(fields)
+}
+
+func (s *Server) dispatch(fields []string) string {
+	s.requests.Add(1)
 	verb := strings.ToUpper(fields[0])
 	args := fields[1:]
 	switch verb {
@@ -270,19 +387,19 @@ func (s *Server) handleUPD(args []string) string {
 		switch {
 		case strings.HasPrefix(a, "v="):
 			f, err := strconv.ParseFloat(a[2:], 64)
-			if err != nil {
+			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
 				return "ERR bad v="
 			}
 			v = f
 		case strings.HasPrefix(a, "dl="):
 			ms, err := strconv.ParseFloat(a[3:], 64)
-			if err != nil {
+			if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) {
 				return "ERR bad dl="
 			}
 			dl = ms / 1000
 		case strings.HasPrefix(a, "grad="):
 			g, err := strconv.ParseFloat(a[5:], 64)
-			if err != nil {
+			if err != nil || math.IsNaN(g) || math.IsInf(g, 0) {
 				return "ERR bad grad="
 			}
 			grad = g
@@ -321,9 +438,16 @@ func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string
 		return "SHED"
 	}
 	start := time.Now()
+	holding := true
+	var readmitWait time.Duration
 	defer func() {
 		elapsed := time.Since(start)
-		s.adm.Release(elapsed, len(ops))
+		if holding {
+			// Queue time spent in readmissions is not service time: feeding
+			// it into the per-op estimate would make admission increasingly
+			// pessimistic exactly when the server is loaded.
+			s.adm.Release(elapsed-readmitWait, len(ops))
+		}
 		s.latMu.Lock()
 		s.lat.Add(elapsed.Seconds())
 		s.latMu.Unlock()
@@ -336,10 +460,26 @@ func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string
 	// The transaction value the engine's commit deferment sees is the
 	// request's current value.
 	txValue := f.At(s.adm.now())
+	// Value-cognizant cross-shard deferment: a multi-shard transaction
+	// that failed validation surrenders its slot and re-queues through
+	// the admission queue, which re-dispatches it by expected value or
+	// sheds it once its value function has crossed zero — retries compete
+	// for capacity exactly like fresh arrivals instead of burning slots
+	// on doomed work.
+	gate := func(int) error {
+		t0 := time.Now()
+		if err := s.adm.Readmit(f, len(ops)); err != nil {
+			holding = false
+			s.crossShed.Add(1)
+			return err
+		}
+		readmitWait += time.Since(t0)
+		return nil
+	}
 	// The closure may run several times concurrently (engine shadows), so
 	// it must not mutate captured state: each execution builds a fresh
 	// result slice and stashes it; the committed execution's stash wins.
-	res, err := s.store.UpdateValuedResult(txValue, keys, func(tx shard.Tx) error {
+	res, err := s.store.UpdateGatedResult(txValue, keys, gate, func(tx shard.Tx) error {
 		results := make([]int64, 0, len(ops))
 		for _, o := range ops {
 			if !o.write {
@@ -368,6 +508,9 @@ func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string
 		return nil
 	})
 	if err != nil {
+		if errors.Is(err, ErrShed) {
+			return "SHED"
+		}
 		return "ERR " + err.Error()
 	}
 	var b strings.Builder
@@ -395,13 +538,13 @@ func (s *Server) statsLine() string {
 		p50, p99 = 0, 0
 	}
 	return fmt.Sprintf(
-		"OK shards=%d reqs=%d commits=%d fast=%d cross=%d cross_restarts=%d "+
-			"aborts=%d restarts=%d forks=%d promotions=%d deferrals=%d views=%d "+
-			"admitted=%d shed=%d depth=%d inflight=%d op_time_us=%.1f p50_us=%.0f p99_us=%.0f",
+		"OK shards=%d reqs=%d commits=%d fast=%d cross=%d cross_restarts=%d cross_shed=%d "+
+			"aborts=%d restarts=%d forks=%d promotions=%d deferrals=%d commit_batches=%d views=%d "+
+			"admitted=%d shed=%d readmits=%d depth=%d inflight=%d op_time_us=%.1f p50_us=%.0f p99_us=%.0f",
 		s.store.NumShards(), reqs, st.TotalCommits(), st.FastPath, st.CrossCommits,
-		st.CrossRestarts, st.Engine.Aborts, st.Engine.Restarts, st.Engine.Forks,
-		st.Engine.Promotions, st.Engine.Deferrals, st.Views,
-		ad.Admitted, ad.Shed, ad.Depth, ad.InFlight, ad.OpTime*1e6,
+		st.CrossRestarts, s.crossShed.Load(), st.Engine.Aborts, st.Engine.Restarts, st.Engine.Forks,
+		st.Engine.Promotions, st.Engine.Deferrals, st.Engine.CommitBatches, st.Views,
+		ad.Admitted, ad.Shed, ad.Readmits, ad.Depth, ad.InFlight, ad.OpTime*1e6,
 		p50*1e6, p99*1e6)
 }
 

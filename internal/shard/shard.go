@@ -53,6 +53,15 @@ var ErrKeyNotDeclared = errors.New("shard: access to key outside declared shard 
 // ErrReadOnly is returned by Set inside a View.
 var ErrReadOnly = errors.New("shard: Set inside read-only View")
 
+// RetryGate decides whether a cross-shard transaction may re-execute
+// after a validation failure. It is called with the 1-based retry number
+// before each re-execution; returning a non-nil error abandons the
+// transaction with that error. This is the hook the serving layer uses to
+// make cross-shard retries value-cognizant: shed transactions whose value
+// functions crossed zero and re-queue the rest by expected value, instead
+// of retrying blindly until the attempt bound.
+type RetryGate func(attempt int) error
+
 // Config configures a sharded store.
 type Config struct {
 	// Shards is the number of partitions (default 16).
@@ -186,6 +195,17 @@ func (s *Store) UpdateValued(value float64, keys []string, fn func(Tx) error) er
 // UpdateValuedResult is UpdateValued returning the committed execution's
 // Tx.Stash value (nil if it never stashed).
 func (s *Store) UpdateValuedResult(value float64, keys []string, fn func(Tx) error) (any, error) {
+	return s.UpdateGatedResult(value, keys, nil, fn)
+}
+
+// UpdateGatedResult is UpdateValuedResult with a cross-shard retry gate:
+// after a cross-shard validation failure, gate is consulted before the
+// re-execution and can abandon the transaction (value crossed zero) or
+// delay it (re-queue through admission by expected value). A nil gate
+// retries immediately; either way MaxAttempts still bounds the loop. The
+// gate plays no part on the single-shard fast path, whose conflicts the
+// engine resolves internally with shadows.
+func (s *Store) UpdateGatedResult(value float64, keys []string, gate RetryGate, fn func(Tx) error) (any, error) {
 	if len(keys) == 0 {
 		return nil, errors.New("shard: transaction declared no keys")
 	}
@@ -206,7 +226,7 @@ func (s *Store) UpdateValuedResult(value float64, keys []string, fn func(Tx) err
 			return fn(guardTx{tx: etx, s: s, shard: idx})
 		})
 	}
-	return s.updateCross(s.shardSet(keys), fn)
+	return s.updateCross(s.shardSet(keys), gate, fn)
 }
 
 // guardTx wraps the native engine transaction on the fast path, verifying
@@ -276,8 +296,8 @@ func (c *crossTx) Set(key string, val []byte) error {
 }
 
 // updateCross runs the OCC execute/validate/apply loop for a multi-shard
-// transaction.
-func (s *Store) updateCross(involved []int, fn func(Tx) error) (any, error) {
+// transaction, consulting gate (if any) before each re-execution.
+func (s *Store) updateCross(involved []int, gate RetryGate, fn func(Tx) error) (any, error) {
 	invSet := make(map[int]struct{}, len(involved))
 	for _, i := range involved {
 		invSet[i] = struct{}{}
@@ -287,6 +307,11 @@ func (s *Store) updateCross(involved []int, fn func(Tx) error) (any, error) {
 		// would otherwise enforce: no new cross-shard commits either.
 		if s.closed.Load() {
 			return nil, errors.New("shard: store closed")
+		}
+		if attempt > 0 && gate != nil {
+			if err := gate(attempt); err != nil {
+				return nil, err
+			}
 		}
 		c := &crossTx{
 			s:        s,
