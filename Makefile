@@ -1,8 +1,18 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz e2e
+.PHONY: check build vet test race bench fuzz e2e lint docs
 
 check: build vet race
+
+# lint is the fast CI gate: gofmt drift fails loudly, then go vet.
+lint:
+	@drift=$$(gofmt -l .); if [ -n "$$drift" ]; then \
+		echo "gofmt drift in:"; echo "$$drift"; exit 1; fi
+	$(GO) vet ./...
+
+# docs checks every tracked markdown file for broken relative links.
+docs:
+	$(GO) test -run '^TestDocLinks$$' .
 
 build:
 	$(GO) build ./...

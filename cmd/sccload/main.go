@@ -35,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"os"
 	"sync"
 	"time"
@@ -84,6 +85,14 @@ type clientResult struct {
 	shed      int
 	errors    int
 	committed int64 // successful transactions, cross-checked against cnt<i>
+
+	// Read-replica mix outcomes (with -replica): read-only snapshot
+	// transactions served by the replica, kept out of the primary's
+	// commit/conservation accounting.
+	replReads  int
+	replShed   int // reads shed on replica lag (repl_shed server-side)
+	replErrors int
+	replLat    *stats.Sample
 }
 
 func main() {
@@ -94,6 +103,8 @@ func main() {
 	mix := flag.String("mix", "low", "workload mix: low | high | two | single")
 	seed := flag.Int64("seed", 1, "base RNG seed")
 	pipeline := flag.Int("pipeline", 0, "transactions kept in flight per connection via REQ/RES pipelining (0 = one blocking round trip per transaction)")
+	replicaAddr := flag.String("replica", "", "read-replica address: a fraction of each client's transactions become read-only snapshot reads sent there")
+	replicaReads := flag.Float64("replica-reads", 0.25, "with -replica: fraction of transactions issued read-only against the replica")
 	flag.Parse()
 
 	// Every key carries a per-run nonce: counters so each run audits its
@@ -155,6 +166,45 @@ func main() {
 				}
 			}
 
+			// Read-replica mix: a fraction of transactions is converted to
+			// a read-only snapshot of the same access list and served by
+			// the replica, exercising its value-cognizant lag shedding.
+			// Replica reads always use one blocking round trip each.
+			var replC *client.Client
+			var replRng *rand.Rand
+			if *replicaAddr != "" {
+				var err error
+				replC, err = client.Dial(*replicaAddr)
+				if err != nil {
+					log.Printf("sccload: client %d: replica: %v", w, err)
+				} else {
+					defer replC.Close()
+					res.replLat = stats.NewSample(0, int64(w)+7)
+					replRng = rand.New(rand.NewSource(*seed + int64(w)*31 + 17))
+				}
+			}
+			replicaRead := func(t *model.Txn) {
+				ops := make([]client.Op, 0, len(t.Ops))
+				for _, o := range t.Ops {
+					ops = append(ops, client.Op{Key: fmt.Sprintf("%s%d", keyPrefix, o.Page)})
+				}
+				t0 := time.Now()
+				_, err := replC.Update(ops, txOpts(t))
+				lat := time.Since(t0).Seconds()
+				switch err {
+				case nil:
+					res.replReads++
+					res.replLat.Add(lat)
+				case client.ErrShed:
+					res.replShed++
+				default:
+					res.replErrors++
+				}
+			}
+			takeReplica := func() bool {
+				return replC != nil && replRng.Float64() < *replicaReads
+			}
+
 			if *pipeline > 0 {
 				m, err := client.DialMux(*addr)
 				if err != nil {
@@ -169,15 +219,19 @@ func main() {
 				// latency/deadline/value accounting stays per-transaction.
 				for done := 0; done < *ops; {
 					n := min(*pipeline, *ops-done)
-					reqs := make([]client.UpdateReq, n)
-					txns := make([]*model.Txn, n)
-					for j := range reqs {
+					reqs := make([]client.UpdateReq, 0, n)
+					txns := make([]*model.Txn, 0, n)
+					for j := 0; j < n; j++ {
 						t := gen.Next()
-						txns[j] = t
-						reqs[j] = client.UpdateReq{
-							Ops:  wireOpsFor(t, j),
-							Opts: txOpts(t),
+						if takeReplica() {
+							replicaRead(t)
+							continue
 						}
+						txns = append(txns, t)
+						reqs = append(reqs, client.UpdateReq{
+							Ops:  wireOpsFor(t, len(reqs)),
+							Opts: txOpts(t),
+						})
 					}
 					for j, o := range m.Batch(reqs) {
 						record(txns[j], o.Elapsed.Seconds(), o.Err)
@@ -196,6 +250,10 @@ func main() {
 			defer c.Close()
 			for i := 0; i < *ops; i++ {
 				t := gen.Next()
+				if takeReplica() {
+					replicaRead(t)
+					continue
+				}
 				wireOps := wireOpsFor(t, 0)
 				t0 := time.Now()
 				_, err := c.Update(wireOps, txOpts(t))
@@ -209,17 +267,27 @@ func main() {
 	// Pool per-client outcomes.
 	var m stats.Metrics
 	all := stats.NewSample(0, 0)
+	replAll := stats.NewSample(0, 0)
 	var shed, errs int
 	var committed int64
+	var replReads, replShed, replErrs int
 	for i := range results {
 		r := &results[i]
 		m.Merge(&r.m)
 		shed += r.shed
 		errs += r.errors
 		committed += r.committed
+		replReads += r.replReads
+		replShed += r.replShed
+		replErrs += r.replErrors
 		if r.lat != nil {
 			for _, x := range r.lat.Raw() {
 				all.Add(x)
+			}
+		}
+		if r.replLat != nil {
+			for _, x := range r.replLat.Raw() {
+				replAll.Add(x)
 			}
 		}
 	}
@@ -237,6 +305,13 @@ func main() {
 	}
 	fmt.Printf("  deadlines  missed %.1f%%  avg tardiness %.2fms\n", m.MissedRatio(), m.AvgTardiness()*1000)
 	fmt.Printf("  value      accrued %.1f%% of max (%.0f / %.0f)\n", m.SystemValuePct(), m.ValueSum, m.MaxValueSum)
+	if *replicaAddr != "" {
+		fmt.Printf("  replica    reads %d (shed %d, errors %d)", replReads, replShed, replErrs)
+		if replAll.N() > 0 {
+			fmt.Printf("  p50 %.2fms  p99 %.2fms", replAll.Percentile(50)*1000, replAll.Percentile(99)*1000)
+		}
+		fmt.Println()
+	}
 
 	// Conservation must be checked over the page span the mix actually
 	// wrote (the high mix pins DBPages=16 regardless of -keys; the

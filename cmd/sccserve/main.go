@@ -1,14 +1,16 @@
 // Command sccserve serves a sharded SCC key-value store over TCP.
 //
 //	sccserve -addr :7070 -shards 16 -mode scc-2s -concurrency 64
+//	sccserve -addr :7071 -shards 16 -replica-of 127.0.0.1:7070
 //
-// The store hash-partitions keys across independent SCC engines
-// (single-shard transactions run natively under speculative concurrency
-// control; multi-shard transactions commit atomically in deterministic
-// shard order) behind a value-cognizant admission queue that dispatches
-// the highest expected-value waiter first and sheds transactions whose
-// value functions have crossed zero. See internal/server for the wire
-// protocol; cmd/sccload is the matching load generator.
+// The store hash-partitions keys across independent SCC engines behind a
+// value-cognizant admission queue. A primary (default) keeps per-shard
+// commit logs and serves REPL/ACK replication subscriptions; started with
+// -replica-of it becomes a read replica: it streams the primary's commit
+// log into its own store and serves snapshot reads, shedding reads whose
+// value functions would cross zero before it catches up. See
+// docs/PROTOCOL.md for the wire protocol and docs/ARCHITECTURE.md for the
+// system layout; cmd/sccload is the matching load generator.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/repl"
 	"repro/internal/server"
 )
 
@@ -35,6 +38,9 @@ func main() {
 	gcWindow := flag.Duration("gc-window", 0, "group-commit flush window per shard (0 = group commit off); commits wait at most this long to share one latch acquisition")
 	gcBatch := flag.Int("gc-batch", 64, "group-commit batch cap: flush early once this many commits are pending")
 	pipelineDepth := flag.Int("pipeline-depth", 128, "max concurrently dispatched REQ-framed requests per connection")
+	replicaOf := flag.String("replica-of", "", "primary address to replicate from; makes this server a read replica")
+	replLagBudget := flag.Duration("repl-lag-budget", 50*time.Millisecond, "replica: estimated catch-up time tolerated before lag-based value shedding")
+	replLog := flag.Bool("repl-log", true, "keep per-shard commit logs and serve REPL subscriptions")
 	statsEvery := flag.Duration("stats", 0, "log engine stats at this interval (0 = off)")
 	flag.Parse()
 
@@ -48,6 +54,10 @@ func main() {
 		log.Fatalf("sccserve: unknown -mode %q (want scc-2s or occ-bc)", *mode)
 	}
 
+	var gate *repl.LagGate
+	if *replicaOf != "" {
+		gate = repl.NewLagGate(*shards, *replLagBudget, 0)
+	}
 	srv := server.New(server.Config{
 		Shards: *shards,
 		Mode:   m,
@@ -61,7 +71,31 @@ func main() {
 			MaxBatch: *gcBatch,
 		},
 		PipelineDepth: *pipelineDepth,
+		Repl: server.ReplOptions{
+			Primary: *replLog,
+			Gate:    gate,
+		},
 	})
+
+	var rep *repl.Replica
+	if *replicaOf != "" {
+		var err error
+		rep, err = repl.StartReplica(repl.ReplicaConfig{
+			Primary: *replicaOf,
+			Store:   srv.Store(),
+			Gate:    gate,
+		})
+		if err != nil {
+			log.Fatalf("sccserve: replication: %v", err)
+		}
+		defer rep.Close()
+		go func() {
+			<-rep.Done()
+			if err := rep.Err(); err != nil {
+				log.Printf("sccserve: replication stream ended: %v (serving frozen snapshot)", err)
+			}
+		}()
+	}
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -71,8 +105,12 @@ func main() {
 	if *gcWindow > 0 {
 		gc = fmt.Sprintf("window=%s batch=%d", *gcWindow, *gcBatch)
 	}
-	log.Printf("sccserve: %s serving %d shards on %s (admission: %d slots, queue %d; group commit %s)",
-		m, *shards, lis.Addr(), *concurrency, *queue, gc)
+	role := "primary"
+	if *replicaOf != "" {
+		role = fmt.Sprintf("replica of %s (lag budget %s)", *replicaOf, *replLagBudget)
+	}
+	log.Printf("sccserve: %s serving %d shards on %s as %s (admission: %d slots, queue %d; group commit %s)",
+		m, *shards, lis.Addr(), role, *concurrency, *queue, gc)
 
 	if *statsEvery > 0 {
 		go func() {

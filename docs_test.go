@@ -1,0 +1,77 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLink matches [text](target) links; images share the same target
+// syntax, so they are covered too.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// TestDocLinks fails on broken relative links in every tracked markdown
+// file: each non-URL, non-anchor target must exist on disk relative to
+// the file that references it. CI's docs job runs this before the heavy
+// test jobs (see .github/workflows/ci.yml).
+func TestDocLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.EqualFold(filepath.Ext(path), ".md") {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found — link checker is scanning the wrong root")
+	}
+
+	for _, md := range mdFiles {
+		raw, err := os.ReadFile(md)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inFence := false
+		for _, line := range strings.Split(string(raw), "\n") {
+			// Skip fenced code blocks: protocol examples contain )-heavy
+			// text that is not a link.
+			if strings.HasPrefix(strings.TrimSpace(line), "```") {
+				inFence = !inFence
+				continue
+			}
+			if inFence {
+				continue
+			}
+			for _, m := range mdLink.FindAllStringSubmatch(line, -1) {
+				target := m[1]
+				if strings.Contains(target, "://") ||
+					strings.HasPrefix(target, "mailto:") ||
+					strings.HasPrefix(target, "#") {
+					continue
+				}
+				target, _, _ = strings.Cut(target, "#")
+				if target == "" {
+					continue
+				}
+				resolved := filepath.Join(filepath.Dir(md), target)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken relative link %q (resolved %s)", md, m[1], resolved)
+				}
+			}
+		}
+	}
+}

@@ -3,20 +3,19 @@
 // counterpart of the simulator in internal/rtdbs.
 //
 // A transaction is a deterministic closure over Tx. Its optimistic shadow
-// runs the closure immediately, reading committed values. When a
-// read-write conflict with another in-flight transaction is detected, the
-// engine forks a speculative shadow: a second goroutine re-running the
-// closure that parks at the conflicting read (a channel gate) until the
-// conflicting transaction resolves. If the conflict materializes — the
-// other transaction commits first — the optimistic shadow is aborted and
-// the speculative shadow wakes instantly with the freshly committed value,
-// finishing the work without a from-scratch restart after the fact. In
-// OCC-BC mode the engine restarts the closure instead, which is exactly
-// the baseline the paper compares against.
+// runs the closure immediately, reading committed values. On a detected
+// read-write conflict the engine forks a speculative shadow: a second
+// goroutine re-running the closure, parked at the conflicting read until
+// the conflicter resolves. If the conflict materializes, the optimistic
+// shadow aborts and the speculative one wakes with the fresh value,
+// finishing without a from-scratch restart. OCC-BC mode restarts instead
+// (the paper's baseline). Closures must be deterministic and side-effect
+// free before Update returns: all but one concurrent run is discarded.
 //
-// Closures must be deterministic functions of the values read through Tx
-// and must not leak side effects before Update returns: a closure may run
-// several times concurrently (shadows) and all but one run is discarded.
+// Commits coalesce under group commit (groupcommit.go), and every
+// install is appended to Config.CommitLog under the store latch — the
+// total commit order replication ships (internal/repl). Layer map:
+// docs/ARCHITECTURE.md.
 package engine
 
 import (
@@ -57,6 +56,20 @@ type Config struct {
 	// transactions commit under one store-latch acquisition per flush
 	// window. See groupcommit.go.
 	GroupCommit GroupCommit
+	// CommitLog, when non-nil, receives every installed write set under
+	// the store's commit latch — the store's total commit order, suitable
+	// for replication log shipping (internal/repl). The map handed to
+	// Append is retained; callers of the engine never mutate a write set
+	// after commit, and neither must the log.
+	CommitLog CommitLog
+}
+
+// CommitLog records installed write sets in commit order. Append is called
+// with the store latch held, so calls are serialized and their order IS
+// the store's version order; implementations must be fast and must not
+// call back into the store.
+type CommitLog interface {
+	Append(writes map[string][]byte)
 }
 
 // Stats are cumulative engine counters.
@@ -572,6 +585,9 @@ func (s *Store) commitLocked(a *attempt) bool {
 // over — the gate opens when the committing handle's done channel closes.
 // Callers hold s.mu.
 func (s *Store) installLocked(writes map[string][]byte) {
+	if s.cfg.CommitLog != nil && len(writes) > 0 {
+		s.cfg.CommitLog.Append(writes)
+	}
 	for key, val := range writes {
 		s.committed[key] = versioned{val: val, ver: s.committed[key].ver + 1}
 	}

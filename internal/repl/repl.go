@@ -1,0 +1,210 @@
+// Package repl replicates a sharded SCC store: the engine's commit hook
+// (engine.Config.CommitLog) appends every installed write set to a
+// per-shard Log, a Feed bundles the logs of one primary and tracks
+// subscriber progress, and a Replica streams the logs over the wire
+// protocol's REPL/ACK verbs (see docs/PROTOCOL.md) into a local store via
+// the ApplyLocked path. Replica reads are value-cognizant: a LagGate sheds
+// read-only transactions whose value function would cross zero before the
+// replica's estimated catch-up, the replication analogue of the paper's
+// zero-crossing load shedding. docs/ARCHITECTURE.md places the package in
+// the overall data flow.
+package repl
+
+import (
+	"sync"
+)
+
+// Record is one committed transaction's write set on one shard, at Index
+// (1-based) in that shard's total commit order. Records applied in Index
+// order reproduce the primary shard's committed state and per-key
+// versions exactly.
+type Record struct {
+	Index  uint64
+	Writes map[string][]byte
+}
+
+// Log is the ordered commit log of one shard. Append implements
+// engine.CommitLog: the engine calls it under the shard's commit latch,
+// so append order is the shard's version order.
+type Log struct {
+	mu   sync.Mutex
+	recs []Record
+	wake chan struct{} // closed and replaced on every append
+}
+
+// NewLog returns an empty log.
+func NewLog() *Log { return &Log{wake: make(chan struct{})} }
+
+// Append records one installed write set and wakes blocked readers. The
+// map is retained, not copied; the engine guarantees committed write sets
+// are never mutated afterwards.
+func (l *Log) Append(writes map[string][]byte) {
+	l.mu.Lock()
+	l.recs = append(l.recs, Record{Index: uint64(len(l.recs)) + 1, Writes: writes})
+	close(l.wake)
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+}
+
+// Head returns the index of the newest record (0 when empty).
+func (l *Log) Head() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return uint64(len(l.recs))
+}
+
+// From returns up to max records with Index >= from, plus a channel that
+// is closed on the next append — the blocking handle for tailing readers:
+// when the returned slice is empty, wait on the channel and retry.
+func (l *Log) From(from uint64, max int) ([]Record, <-chan struct{}) {
+	if from == 0 {
+		from = 1
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	wake := l.wake
+	if from > uint64(len(l.recs)) {
+		return nil, wake
+	}
+	recs := l.recs[from-1:]
+	if max > 0 && len(recs) > max {
+		recs = recs[:max]
+	}
+	return recs, wake
+}
+
+// Feed bundles the per-shard commit logs of one primary and tracks the
+// ack progress of its subscribers (replicas).
+type Feed struct {
+	logs []*Log
+
+	mu   sync.Mutex
+	subs map[*Sub]struct{}
+}
+
+// NewFeed returns a feed with one empty log per shard.
+func NewFeed(shards int) *Feed {
+	f := &Feed{
+		logs: make([]*Log, shards),
+		subs: make(map[*Sub]struct{}),
+	}
+	for i := range f.logs {
+		f.logs[i] = NewLog()
+	}
+	return f
+}
+
+// Shards returns the number of per-shard logs.
+func (f *Feed) Shards() int { return len(f.logs) }
+
+// Log returns shard's commit log. It satisfies engine.CommitLog, so it
+// plugs directly into shard.Config.CommitLogFor.
+func (f *Feed) Log(shard int) *Log { return f.logs[shard] }
+
+// Heads returns every shard's newest log index.
+func (f *Feed) Heads() []uint64 {
+	out := make([]uint64, len(f.logs))
+	for i, l := range f.logs {
+		out[i] = l.Head()
+	}
+	return out
+}
+
+// Subscribe registers a replica connection for ack tracking. Mark each
+// shard the connection actually subscribes with Track — lag is accounted
+// only over tracked shards, since a partial subscriber owes no progress
+// on shards it never asked for. Close the returned Sub when the
+// connection goes away.
+func (f *Feed) Subscribe() *Sub {
+	s := &Sub{
+		feed:    f,
+		acked:   make([]uint64, len(f.logs)),
+		tracked: make([]bool, len(f.logs)),
+	}
+	f.mu.Lock()
+	f.subs[s] = struct{}{}
+	f.mu.Unlock()
+	return s
+}
+
+// Subscribers returns the number of live subscriptions.
+func (f *Feed) Subscribers() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.subs)
+}
+
+// MaxLag returns, over all live subscribers, the largest total number of
+// unacked records (sum over the subscriber's tracked shards of head
+// minus acked index) — the primary's repl_lag stat. Zero with no
+// subscribers.
+func (f *Feed) MaxLag() uint64 {
+	heads := f.Heads()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var worst uint64
+	for s := range f.subs {
+		var lag uint64
+		s.mu.Lock()
+		for i, h := range heads {
+			if !s.tracked[i] {
+				continue
+			}
+			if a := s.acked[i]; h > a {
+				lag += h - a
+			}
+		}
+		s.mu.Unlock()
+		if lag > worst {
+			worst = lag
+		}
+	}
+	return worst
+}
+
+// Sub is one subscriber's ack state.
+type Sub struct {
+	feed    *Feed
+	mu      sync.Mutex
+	acked   []uint64
+	tracked []bool // shards this subscriber actually REPL-subscribed
+}
+
+// Track marks shard as subscribed, entering it into lag accounting.
+func (s *Sub) Track(shard int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if shard >= 0 && shard < len(s.tracked) {
+		s.tracked[shard] = true
+	}
+}
+
+// Ack records that the subscriber has applied shard's log through index.
+// Acks are monotone; a stale ack is ignored. Out-of-range shards are
+// ignored (the server validates before calling).
+func (s *Sub) Ack(shard int, index uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if shard < 0 || shard >= len(s.acked) {
+		return
+	}
+	if index > s.acked[shard] {
+		s.acked[shard] = index
+	}
+}
+
+// Acked returns the acked index per shard.
+func (s *Sub) Acked() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]uint64, len(s.acked))
+	copy(out, s.acked)
+	return out
+}
+
+// Close unregisters the subscriber from its feed.
+func (s *Sub) Close() {
+	s.feed.mu.Lock()
+	delete(s.feed.subs, s)
+	s.feed.mu.Unlock()
+}

@@ -1,0 +1,176 @@
+package repl
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func wr(k, v string) map[string][]byte { return map[string][]byte{k: []byte(v)} }
+
+func TestLogAppendFromHead(t *testing.T) {
+	l := NewLog()
+	if l.Head() != 0 {
+		t.Fatalf("fresh log head = %d, want 0", l.Head())
+	}
+	recs, wake := l.From(1, 0)
+	if len(recs) != 0 {
+		t.Fatalf("fresh log From(1) = %d records, want 0", len(recs))
+	}
+	l.Append(wr("a", "1"))
+	select {
+	case <-wake:
+	default:
+		t.Fatal("append did not close the wake channel")
+	}
+	l.Append(wr("b", "2"))
+	l.Append(wr("c", "3"))
+	if l.Head() != 3 {
+		t.Fatalf("head = %d, want 3", l.Head())
+	}
+	recs, _ = l.From(2, 0)
+	if len(recs) != 2 || recs[0].Index != 2 || recs[1].Index != 3 {
+		t.Fatalf("From(2) = %+v, want indices 2,3", recs)
+	}
+	if recs, _ := l.From(1, 2); len(recs) != 2 || recs[0].Index != 1 {
+		t.Fatalf("From(1, max 2) = %+v, want indices 1,2", recs)
+	}
+	if recs, _ := l.From(4, 0); len(recs) != 0 {
+		t.Fatalf("From(4) past head = %+v, want empty", recs)
+	}
+}
+
+func TestFeedAckLag(t *testing.T) {
+	f := NewFeed(2)
+	f.Log(0).Append(wr("a", "1"))
+	f.Log(0).Append(wr("a", "2"))
+	f.Log(1).Append(wr("b", "1"))
+	if f.MaxLag() != 0 {
+		t.Fatalf("lag with no subscribers = %d, want 0", f.MaxLag())
+	}
+	s1 := f.Subscribe()
+	s2 := f.Subscribe()
+	if f.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d, want 2", f.Subscribers())
+	}
+	s1.Track(0)
+	s1.Track(1)
+	s2.Track(0)
+	s2.Track(1)
+	// s1 fully acked; s2 acked only shard 0's first record: lag 1+1.
+	s1.Ack(0, 2)
+	s1.Ack(1, 1)
+	s2.Ack(0, 1)
+	if got := f.MaxLag(); got != 2 {
+		t.Fatalf("MaxLag = %d, want 2 (s2: one unacked per shard)", got)
+	}
+	// A partial subscriber owes nothing on shards it never asked for.
+	s3 := f.Subscribe()
+	s3.Track(0)
+	s3.Ack(0, 2)
+	var partialWant uint64 = 2 // still s2's lag, not s3 charged for shard 1
+	if got := f.MaxLag(); got != partialWant {
+		t.Fatalf("MaxLag with partial subscriber = %d, want %d", got, partialWant)
+	}
+	s3.Close()
+	// Stale and out-of-range acks are ignored.
+	s2.Ack(0, 0)
+	s2.Ack(99, 5)
+	if a := s2.Acked(); a[0] != 1 || a[1] != 0 {
+		t.Fatalf("s2 acked = %v, want [1 0]", a)
+	}
+	s2.Close()
+	if got := f.MaxLag(); got != 0 {
+		t.Fatalf("MaxLag after laggard unsubscribed = %d, want 0", got)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	rec := Record{Index: 7, Writes: map[string][]byte{
+		"k1":      []byte("42"),
+		"a.b":     []byte("-3"),
+		"cnt9.01": []byte("100"),
+	}}
+	// Deterministic encoding: sorted key order.
+	if line := EncodeLog(3, rec); line != "LOG 3 7 a.b:-3 cnt9.01:100 k1:42" {
+		t.Fatalf("EncodeLog = %q", line)
+	}
+	fields := []string{"3", "7", "a.b:-3", "cnt9.01:100", "k1:42"}
+	shard, got, err := ParseLog(fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 3 || got.Index != 7 || len(got.Writes) != 3 ||
+		string(got.Writes["a.b"]) != "-3" || string(got.Writes["k1"]) != "42" {
+		t.Fatalf("ParseLog = shard %d, %+v", shard, got)
+	}
+	for _, bad := range [][]string{
+		{},
+		{"3"},
+		{"3", "7"},
+		{"x", "7", "a:1"},
+		{"-1", "7", "a:1"},
+		{"3", "0", "a:1"},
+		{"3", "x", "a:1"},
+		{"3", "7", "nocolon"},
+		{"3", "7", ":empty"},
+	} {
+		if _, _, err := ParseLog(bad); err == nil {
+			t.Errorf("ParseLog(%v) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestLagGateDeterministic pins the lag-shedding rule without clocks or
+// sleeps: every time input is explicit.
+func TestLagGateDeterministic(t *testing.T) {
+	// Budget 10ms, 1ms per record: 1000 unapplied records = 1s catch-up.
+	g := NewLagGate(2, 10*time.Millisecond, time.Millisecond)
+	tight := value.Fn{V: 1, Deadline: 0.1, Gradient: 10}   // crosses zero at t=0.2
+	loose := value.Fn{V: 1, Deadline: 3600, Gradient: 0.1} // crosses zero in an hour
+
+	// Caught up: everything admitted, even past-deadline work.
+	if err := g.Admit(tight, 0); err != nil {
+		t.Fatalf("caught-up gate shed a read: %v", err)
+	}
+
+	g.ObserveHead(0, 1000)
+	if g.LagRecords() != 1000 {
+		t.Fatalf("lag = %d, want 1000", g.LagRecords())
+	}
+	if got := g.CatchUp(); got < 0.9 || got > 1.1 {
+		t.Fatalf("catch-up estimate = %gs, want ~1s", got)
+	}
+	// The tight read's value function crosses zero at 0.2s < 1s catch-up.
+	if err := g.Admit(tight, 0); err != ErrLagging {
+		t.Fatalf("lagging gate admitted a doomed read: %v", err)
+	}
+	if g.Shed() != 1 {
+		t.Fatalf("shed = %d, want 1", g.Shed())
+	}
+	// The loose read still carries value after catch-up: served stale.
+	if err := g.Admit(loose, 0); err != nil {
+		t.Fatalf("lagging gate shed a still-valuable read: %v", err)
+	}
+
+	// Catch up: applied reaches the head, lag and shedding stop. The
+	// apply timing refines the per-record estimate instead of the seed.
+	g.ObserveApplied(0, 1000, time.Second, 1000)
+	if g.LagRecords() != 0 {
+		t.Fatalf("lag after catch-up = %d, want 0", g.LagRecords())
+	}
+	if err := g.Admit(tight, 0); err != nil {
+		t.Fatalf("caught-up gate shed: %v", err)
+	}
+	if g.Shed() != 1 {
+		t.Fatalf("shed after catch-up = %d, want 1 still", g.Shed())
+	}
+
+	// ObserveApplied past the seen head drags seen along (a replica can
+	// apply records the gate never saw a head announcement for).
+	g.ObserveApplied(1, 5, 0, 0)
+	if g.LagRecords() != 0 {
+		t.Fatalf("lag after silent apply = %d, want 0", g.LagRecords())
+	}
+}

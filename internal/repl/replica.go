@@ -1,0 +1,378 @@
+// The replica side of log shipping: dial the primary, subscribe every
+// shard with REPL, apply the pushed LOG records through the store's
+// ApplyLocked path in index order, and report progress with ACK. Records
+// are applied in batches — consecutive records already buffered on the
+// connection are grouped per shard and installed under one commit-latch
+// hold — so a catching-up replica pays one latch acquisition per batch,
+// the same coalescing shape as the primary's group commit.
+
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// ReplicaConfig configures a replication client.
+type ReplicaConfig struct {
+	// Primary is the primary server's address.
+	Primary string
+	// Store is the local store the stream applies into. It must have the
+	// same shard count as the primary (verified at subscribe time).
+	Store *shard.Store
+	// Gate, when non-nil, is kept current with the stream's head and
+	// apply progress so replica reads can be lag-gated.
+	Gate *LagGate
+	// MaxBatch caps records applied under one latch hold (default 256).
+	MaxBatch int
+	// HeadInterval is how often the replica polls the primary's log
+	// heads on a separate control connection (default 25ms; only with a
+	// Gate). The stream alone cannot carry this honestly: a backpressured
+	// replica reads the stream late by exactly the lag being measured,
+	// while the poll connection stays idle and current.
+	HeadInterval time.Duration
+}
+
+// Replica is a live replication client. Create one with StartReplica.
+type Replica struct {
+	conn     net.Conn
+	store    *shard.Store
+	gate     *LagGate
+	maxBatch int
+	w        *bufio.Writer
+
+	mu      sync.Mutex
+	applied []uint64
+	acked   []uint64
+	err     error
+	closed  bool
+	done    chan struct{}
+}
+
+// StartReplica connects to the primary, verifies the shard counts match,
+// subscribes every shard from index 1 and waits for every subscription
+// to be confirmed (so a non-primary target fails here, at startup), then
+// starts the apply loop. The stream runs until Close or a connection
+// error; Done/Err report the end.
+func StartReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.HeadInterval <= 0 {
+		cfg.HeadInterval = 25 * time.Millisecond
+	}
+	conn, err := net.Dial("tcp", cfg.Primary)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{
+		conn:     conn,
+		store:    cfg.Store,
+		gate:     cfg.Gate,
+		maxBatch: cfg.MaxBatch,
+		w:        bufio.NewWriter(conn),
+		applied:  make([]uint64, cfg.Store.NumShards()),
+		acked:    make([]uint64, cfg.Store.NumShards()),
+		done:     make(chan struct{}),
+	}
+	br := bufio.NewReaderSize(conn, 256*1024)
+	pre, err := r.handshake(br)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	go r.run(br, pre)
+	if r.gate != nil {
+		go r.pollHeads(cfg.Primary, cfg.HeadInterval)
+	}
+	return r, nil
+}
+
+// handshake checks the primary's shard count via STATS, subscribes every
+// shard, and reads until each subscription is confirmed (OK <shard>
+// <head>). LOG pushes of already-confirmed shards may interleave with
+// later confirmations; they are buffered and returned for the run loop
+// to apply first. Any ERR reply — e.g. "not a replication primary" —
+// fails the handshake, so a misdirected replica dies at startup instead
+// of serving an empty snapshot.
+func (r *Replica) handshake(br *bufio.Reader) (map[int][]Record, error) {
+	if _, err := fmt.Fprintf(r.w, "STATS\n"); err != nil {
+		return nil, err
+	}
+	if err := r.w.Flush(); err != nil {
+		return nil, err
+	}
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("repl: primary handshake: %w", err)
+	}
+	shards := -1
+	for _, f := range strings.Fields(strings.TrimSpace(line)) {
+		if v, ok := strings.CutPrefix(f, "shards="); ok {
+			shards, err = strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("repl: bad shards= in primary STATS: %q", v)
+			}
+		}
+	}
+	if shards < 0 {
+		return nil, fmt.Errorf("repl: primary STATS reply carries no shard count: %q", strings.TrimSpace(line))
+	}
+	if shards != r.store.NumShards() {
+		return nil, fmt.Errorf("repl: shard count mismatch: primary has %d, replica has %d", shards, r.store.NumShards())
+	}
+	for i := 0; i < shards; i++ {
+		if _, err := fmt.Fprintf(r.w, "REPL %d 1\n", i); err != nil {
+			return nil, err
+		}
+	}
+	if err := r.w.Flush(); err != nil {
+		return nil, err
+	}
+	pre := make(map[int][]Record)
+	confirmed := 0
+	for confirmed < shards {
+		raw, err := br.ReadString('\n')
+		if err != nil {
+			return nil, fmt.Errorf("repl: subscribe: %w", err)
+		}
+		line := strings.TrimSpace(raw)
+		if strings.HasPrefix(line, "ERR") {
+			return nil, fmt.Errorf("repl: primary refused subscription: %s", line)
+		}
+		if fields := strings.Fields(line); len(fields) == 3 && fields[0] == "OK" {
+			confirmed++
+		}
+		if err := r.consume(line, pre); err != nil {
+			return nil, err
+		}
+	}
+	return pre, nil
+}
+
+// pollHeads keeps the lag gate's view of the primary's log heads current
+// on a dedicated control connection. The replication stream cannot carry
+// this signal honestly — a lagging replica reads the stream exactly as
+// late as the lag being measured — so heads are polled out-of-band. Poll
+// failures are non-fatal: the stream still drives applies, the gate just
+// stops learning about new backlog.
+func (r *Replica) pollHeads(addr string, every time.Duration) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	go func() {
+		<-r.done
+		conn.Close() // unblock a read parked in the poll loop
+	}()
+	br := bufio.NewReader(conn)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.done:
+			return
+		case <-t.C:
+		}
+		if _, err := fmt.Fprintf(conn, "HEAD\n"); err != nil {
+			return
+		}
+		raw, err := br.ReadString('\n')
+		if err != nil {
+			return
+		}
+		fields := strings.Fields(strings.TrimSpace(raw))
+		if len(fields) == 0 || fields[0] != "OK" {
+			continue
+		}
+		for i, f := range fields[1:] {
+			if h, err := strconv.ParseUint(f, 10, 64); err == nil {
+				r.gate.ObserveHead(i, h)
+			}
+		}
+	}
+}
+
+// run is the apply loop: drain whatever lines the connection has buffered
+// (blocking for the first), apply the LOG records per shard under one
+// latch hold each, then ACK the new positions. batch starts with the
+// records the handshake buffered.
+func (r *Replica) run(br *bufio.Reader, batch map[int][]Record) {
+	defer close(r.done)
+	if err := r.apply(batch); err != nil {
+		r.fail(err)
+		return
+	}
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			r.fail(fmt.Errorf("repl: stream lost: %w", err))
+			return
+		}
+		for {
+			if err := r.consume(strings.TrimSpace(line), batch); err != nil {
+				r.fail(err)
+				return
+			}
+			if br.Buffered() == 0 || r.batchLen(batch) >= r.maxBatch {
+				break
+			}
+			line, err = br.ReadString('\n')
+			if err != nil {
+				r.fail(fmt.Errorf("repl: stream lost: %w", err))
+				return
+			}
+		}
+		if err := r.apply(batch); err != nil {
+			r.fail(err)
+			return
+		}
+	}
+}
+
+func (r *Replica) batchLen(batch map[int][]Record) int {
+	n := 0
+	for _, recs := range batch {
+		n += len(recs)
+	}
+	return n
+}
+
+// consume routes one received line: LOG records accumulate into batch,
+// subscription confirmations update the gate's head, bare OKs (ack
+// replies) are discarded, anything else is a stream error.
+func (r *Replica) consume(line string, batch map[int][]Record) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "LOG":
+		shardIdx, rec, err := ParseLog(fields[1:])
+		if err != nil {
+			return err
+		}
+		if shardIdx >= r.store.NumShards() {
+			return fmt.Errorf("repl: LOG for unknown shard %d", shardIdx)
+		}
+		if r.gate != nil {
+			r.gate.ObserveHead(shardIdx, rec.Index)
+		}
+		batch[shardIdx] = append(batch[shardIdx], rec)
+		return nil
+	case "OK":
+		if len(fields) == 3 {
+			// Subscription confirmation: OK <shard> <head>.
+			shardIdx, err1 := strconv.Atoi(fields[1])
+			head, err2 := strconv.ParseUint(fields[2], 10, 64)
+			if err1 == nil && err2 == nil && r.gate != nil {
+				r.gate.ObserveHead(shardIdx, head)
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("repl: unexpected line on replication stream: %q", line)
+	}
+}
+
+// apply installs the gathered records in index order per shard under one
+// latch hold each, then acknowledges the new positions to the primary.
+func (r *Replica) apply(batch map[int][]Record) error {
+	for shardIdx, recs := range batch {
+		if len(recs) == 0 {
+			continue
+		}
+		writes := make([]map[string][]byte, len(recs))
+		next := r.appliedIdx(shardIdx) + 1
+		for i, rec := range recs {
+			if rec.Index != next {
+				return fmt.Errorf("repl: shard %d log gap: got index %d, want %d", shardIdx, rec.Index, next)
+			}
+			writes[i] = rec.Writes
+			next++
+		}
+		t0 := time.Now()
+		if err := r.store.ApplyReplicated(shardIdx, writes); err != nil {
+			return err
+		}
+		last := recs[len(recs)-1].Index
+		r.mu.Lock()
+		r.applied[shardIdx] = last
+		r.mu.Unlock()
+		if r.gate != nil {
+			r.gate.ObserveApplied(shardIdx, last, time.Since(t0), len(recs))
+		}
+		if _, err := fmt.Fprintf(r.w, "ACK %d %d\n", shardIdx, last); err != nil {
+			return fmt.Errorf("repl: ack: %w", err)
+		}
+		r.mu.Lock()
+		r.acked[shardIdx] = last
+		r.mu.Unlock()
+		delete(batch, shardIdx)
+	}
+	return r.w.Flush()
+}
+
+func (r *Replica) appliedIdx(shard int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied[shard]
+}
+
+// Applied returns the applied log index per shard.
+func (r *Replica) Applied() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, len(r.applied))
+	copy(out, r.applied)
+	return out
+}
+
+// Acked returns the acked log index per shard; acks trail applies, never
+// lead them.
+func (r *Replica) Acked() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, len(r.acked))
+	copy(out, r.acked)
+	return out
+}
+
+func (r *Replica) fail(err error) {
+	r.mu.Lock()
+	if r.err == nil && !r.closed {
+		r.err = err
+	}
+	r.mu.Unlock()
+	r.conn.Close()
+}
+
+// Err returns the stream-ending error (nil while the stream is live;
+// check after Done is closed).
+func (r *Replica) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Done is closed when the replication stream ends.
+func (r *Replica) Done() <-chan struct{} { return r.done }
+
+// Close tears down the stream. The local store keeps serving: a replica
+// that loses its primary degrades to a frozen-but-consistent snapshot.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	err := r.conn.Close()
+	<-r.done
+	return err
+}

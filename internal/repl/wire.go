@@ -1,0 +1,63 @@
+// Wire encoding of replication records. A commit record travels as one
+// pushed line on a subscribed connection:
+//
+//	LOG <shard> <index> <key>:<value> ...
+//
+// Keys never contain ':' (a protocol invariant of the serving layer), so
+// the first ':' of each pair is the separator. Values must be space- and
+// newline-free tokens; every value the serving layer writes is an ASCII
+// decimal integer, which qualifies. See docs/PROTOCOL.md for the
+// normative rules.
+
+package repl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EncodeLog renders one record as a LOG line (no trailing newline). Pairs
+// are emitted in sorted key order so the encoding is deterministic.
+func EncodeLog(shard int, r Record) string {
+	keys := make([]string, 0, len(r.Writes))
+	for k := range r.Writes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	fmt.Fprintf(&b, "LOG %d %d", shard, r.Index)
+	for _, k := range keys {
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte(':')
+		b.Write(r.Writes[k])
+	}
+	return b.String()
+}
+
+// ParseLog decodes the fields of a LOG line after the verb. It is the
+// inverse of EncodeLog.
+func ParseLog(fields []string) (shard int, r Record, err error) {
+	if len(fields) < 3 {
+		return 0, Record{}, fmt.Errorf("repl: short LOG line (%d fields)", len(fields))
+	}
+	shard, err = strconv.Atoi(fields[0])
+	if err != nil || shard < 0 {
+		return 0, Record{}, fmt.Errorf("repl: bad LOG shard %q", fields[0])
+	}
+	r.Index, err = strconv.ParseUint(fields[1], 10, 64)
+	if err != nil || r.Index == 0 {
+		return 0, Record{}, fmt.Errorf("repl: bad LOG index %q", fields[1])
+	}
+	r.Writes = make(map[string][]byte, len(fields)-2)
+	for _, pair := range fields[2:] {
+		k, v, ok := strings.Cut(pair, ":")
+		if !ok || k == "" {
+			return 0, Record{}, fmt.Errorf("repl: bad LOG pair %q", pair)
+		}
+		r.Writes[k] = []byte(v)
+	}
+	return shard, r, nil
+}

@@ -102,14 +102,22 @@ func TestProtocolConformance(t *testing.T) {
 		"UPD v=+Inf w:a:1", // non-finite value
 		"UPD dl=NaN w:a:1",
 		"UPD grad=Inf w:a:1",
-		"UPD r:",      // empty read key
-		"UPD w:a",     // write without delta
-		"UPD w::1",    // empty write key
-		"UPD w:a:",    // empty delta
-		"UPD w:a:x",   // bad delta
+		"UPD r:",    // empty read key
+		"UPD w:a",   // write without delta
+		"UPD w::1",  // empty write key
+		"UPD w:a:",  // empty delta
+		"UPD w:a:x", // bad delta
 		"UPD q:a:1", // unknown op tag
 		"UPD hello", // bare token
 		"SUM",
+		// Keys containing ':' are illegal on every verb: they would make
+		// w: ops and the replication LOG encoding ambiguous.
+		"GET a:b",
+		"PUT a:b 1",
+		"ADD a:b 1",
+		"SUM ok a:b",
+		"UPD r:a:b",
+		"UPD w:a:b:1",
 	} {
 		rc.send(bad)
 		if got := rc.recv(); !strings.HasPrefix(got, "ERR") {

@@ -1,0 +1,411 @@
+// End-to-end replication tests: a primary and a replica server wired by
+// a live REPL/ACK stream over loopback TCP, plus deterministic tests of
+// the replica's lag accounting that inject state instead of sleeping.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/repl"
+	"repro/internal/server/client"
+	"repro/internal/shard"
+)
+
+// startReplicaPair starts a primary and a read replica connected by a
+// replication stream. The replica's lag budget is generous enough that
+// nothing sheds unless a test manipulates the gate.
+func startReplicaPair(t *testing.T, shards int) (pri *Server, priAddr string, rep *Server, repAddr string, r *repl.Replica, gate *repl.LagGate) {
+	gate = repl.NewLagGate(shards, time.Hour, time.Millisecond)
+	pri, priAddr, rep, repAddr, r = startReplicaPairGated(t, shards, gate, 0)
+	return pri, priAddr, rep, repAddr, r, gate
+}
+
+// startReplicaPairGated is startReplicaPair with an injected gate and
+// head-poll interval.
+func startReplicaPairGated(t *testing.T, shards int, gate *repl.LagGate, headEvery time.Duration) (pri *Server, priAddr string, rep *Server, repAddr string, r *repl.Replica) {
+	t.Helper()
+	pri, priAddr = startServer(t, Config{Shards: shards, Repl: ReplOptions{Primary: true}})
+	rep, repAddr = startServer(t, Config{Shards: shards, Repl: ReplOptions{Gate: gate}})
+	var err error
+	r, err = repl.StartReplica(repl.ReplicaConfig{
+		Primary:      priAddr,
+		Store:        rep.Store(),
+		Gate:         gate,
+		HeadInterval: headEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return pri, priAddr, rep, repAddr, r
+}
+
+// waitCaughtUp blocks until the replica has applied every record the
+// primary's feed holds (the feed must be quiescent by then).
+func waitCaughtUp(t *testing.T, pri *Server, r *repl.Replica) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		heads := pri.Feed().Heads()
+		applied := r.Applied()
+		done := true
+		for i := range heads {
+			if applied[i] < heads[i] {
+				done = false
+				break
+			}
+		}
+		if done {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never caught up: heads=%v applied=%v", heads, applied)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestReplicationConverges drives a mixed (single- and cross-shard)
+// write load into the primary and checks full convergence: every key
+// agrees byte-for-byte, SUM agrees, an independent replay of the shipped
+// log reproduces the replica's state, and ack bookkeeping is sane.
+func TestReplicationConverges(t *testing.T) {
+	pri, priAddr, _, repAddr, r, _ := startReplicaPair(t, 4)
+	c, err := client.Dial(priAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("rk%d", i)
+	}
+	for round := 0; round < 20; round++ {
+		for i, k := range keys {
+			if _, err := c.Add(k, int64(i+round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Cross-shard transfers between neighbours keep the total fixed
+		// and force the cross-shard commit path into the log.
+		for i := 0; i+1 < len(keys); i += 2 {
+			_, err := c.Update([]client.Op{
+				{Key: keys[i], Delta: -1, Write: true},
+				{Key: keys[i+1], Delta: 1, Write: true},
+			}, client.TxOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	waitCaughtUp(t, pri, r)
+
+	rc, err := client.Dial(repAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+
+	// Key-by-key agreement, and an aggregate snapshot.
+	var priSum, repSum int64
+	for _, k := range keys {
+		pv, pok, err := c.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, rok, err := rc.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pok != rok || pv != rv {
+			t.Fatalf("key %s: primary %d(%v) replica %d(%v)", k, pv, pok, rv, rok)
+		}
+	}
+	if priSum, err = c.Sum(keys...); err != nil {
+		t.Fatal(err)
+	}
+	if repSum, err = rc.Sum(keys...); err != nil {
+		t.Fatal(err)
+	}
+	if priSum != repSum {
+		t.Fatalf("SUM disagrees: primary %d, replica %d", priSum, repSum)
+	}
+
+	// Consistency oracle: replay the shipped log independently and check
+	// the replayed state matches what the replica serves.
+	replay := make(map[string]string)
+	var records uint64
+	for i := 0; i < pri.Feed().Shards(); i++ {
+		recs, _ := pri.Feed().Log(i).From(1, 0)
+		records += uint64(len(recs))
+		next := uint64(1)
+		for _, rec := range recs {
+			if rec.Index != next {
+				t.Fatalf("shard %d log not dense: record %d at position %d", i, rec.Index, next)
+			}
+			next++
+			for k, v := range rec.Writes {
+				replay[k] = string(v)
+			}
+		}
+	}
+	for _, k := range keys {
+		rv, _, err := rc.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if replay[k] != strconv.FormatInt(rv, 10) {
+			t.Fatalf("oracle replay of %s = %s, replica serves %d", k, replay[k], rv)
+		}
+	}
+
+	// Ack bookkeeping: acks never lead applies, and the replica's STATS
+	// report the full applied stream with zero lag.
+	applied, acked := r.Applied(), r.Acked()
+	var appliedTotal uint64
+	for i := range applied {
+		if acked[i] > applied[i] {
+			t.Fatalf("shard %d acked %d beyond applied %d", i, acked[i], applied[i])
+		}
+		appliedTotal += applied[i]
+	}
+	if appliedTotal != records {
+		t.Fatalf("replica applied %d records, primary logged %d", appliedTotal, records)
+	}
+	st, err := rc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st["repl_applied"] != strconv.FormatUint(records, 10) {
+		t.Fatalf("replica repl_applied=%s, want %d", st["repl_applied"], records)
+	}
+	if st["repl_lag"] != "0" {
+		t.Fatalf("replica repl_lag=%s, want 0", st["repl_lag"])
+	}
+	pst, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One connection carries all shard subscriptions: exactly one
+	// subscriber, however many shards it subscribed.
+	if pst["repl_subs"] != "1" {
+		t.Fatalf("primary repl_subs=%s, want 1", pst["repl_subs"])
+	}
+}
+
+// TestReplicaLagAccounting holds a replica behind a lag budget
+// deterministically (state injected, no timing): reads whose value
+// functions would cross zero before catch-up draw SHED and increment
+// repl_shed, value-bearing reads survive, and a served read always
+// reflects at least the acked log prefix.
+func TestReplicaLagAccounting(t *testing.T) {
+	// 10ms budget, 1ms per record.
+	gate := repl.NewLagGate(4, 10*time.Millisecond, time.Millisecond)
+	rep, repAddr := startServer(t, Config{Shards: 4, Repl: ReplOptions{Gate: gate}})
+
+	// Ship five records for key x by hand, acking each: the replica's
+	// snapshot must always reflect the acked prefix.
+	shardOfX := rep.Store().ShardOf("x")
+	rc := dialRaw(t, repAddr)
+	for i := 1; i <= 5; i++ {
+		err := rep.Store().ApplyReplicated(shardOfX, []map[string][]byte{
+			{"x": []byte(strconv.Itoa(i))},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gate.ObserveApplied(shardOfX, uint64(i), time.Millisecond, 1)
+		// acked == applied == i; a read served now must be >= record i.
+		rc.send("GET x")
+		if got := rc.recv(); got != "OK "+strconv.Itoa(i) {
+			t.Fatalf("after ack %d: GET x = %q, want OK %d (read older than acked index)", i, got, i)
+		}
+	}
+
+	// Fall behind: the primary is 10000 records ahead -> ~10s catch-up,
+	// far past the 10ms budget.
+	gate.ObserveHead(shardOfX, 10005)
+
+	// A tight read (zero-crossing ~0.2s away) cannot outlive catch-up: SHED.
+	rc.send("UPD v=1 dl=100 r:x")
+	if got := rc.recv(); got != "SHED" {
+		t.Fatalf("doomed read on lagging replica = %q, want SHED", got)
+	}
+	// A long-lived read is still worth serving stale.
+	rc.send("UPD v=5 dl=3600000 r:x")
+	if got := rc.recv(); got != "OK" {
+		t.Fatalf("valuable read on lagging replica = %q, want OK", got)
+	}
+	// Writes never belong on a replica.
+	rc.send("PUT x 99")
+	if got := rc.recv(); got != "ERR read-only replica" {
+		t.Fatalf("write on replica = %q", got)
+	}
+	rc.send("ADD x 1")
+	if got := rc.recv(); got != "ERR read-only replica" {
+		t.Fatalf("ADD on replica = %q", got)
+	}
+
+	rc.send("STATS")
+	st := rc.recv()
+	if !strings.Contains(st, "repl_shed=1") {
+		t.Fatalf("STATS %q does not report repl_shed=1", st)
+	}
+	if !strings.Contains(st, "repl_lag=10000") {
+		t.Fatalf("STATS %q does not report repl_lag=10000", st)
+	}
+}
+
+// TestLagShedOnLivePath proves lag shedding works end-to-end, not just
+// with injected state: the replica's apply loop is stalled (a parked
+// View holds the shard's commit latch), the primary keeps committing,
+// and the replica's HEAD poller — its only honest view of the backlog,
+// since the stalled stream is read exactly as late as the lag being
+// measured — must grow the gate's lag until a tight-deadline read sheds.
+func TestLagShedOnLivePath(t *testing.T) {
+	// 10ms budget, 1ms/record estimate; heads polled every 2ms. No
+	// record is applied before the stall lifts, so the 1ms estimate is
+	// not refined away by fast early applies.
+	gate := repl.NewLagGate(1, 10*time.Millisecond, time.Millisecond)
+	_, priAddr, rep, repAddr, r := startReplicaPairGated(t, 1, gate, 2*time.Millisecond)
+
+	// Stall the replica's applies: a View holds the shard latch until
+	// released, so ApplyReplicated blocks behind it.
+	viewHeld := make(chan struct{})
+	release := make(chan struct{})
+	go rep.Store().View([]string{"k"}, func(shard.Tx) error {
+		close(viewHeld)
+		<-release
+		return nil
+	})
+	<-viewHeld
+
+	c, err := client.Dial(priAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const backlog = 2000
+	for i := 0; i < backlog; i++ {
+		if _, err := c.Add("k", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The poller must surface the backlog even though the stream is stuck.
+	deadline := time.Now().Add(10 * time.Second)
+	for gate.LagRecords() < backlog/2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("head poller never surfaced the backlog: lag=%d", gate.LagRecords())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ~2s estimated catch-up >> 10ms budget: a read whose value crosses
+	// zero in ~0.2s sheds at the gate, before ever touching the store
+	// (whose latch the stall holds — an admitted read would block here).
+	rc := dialRaw(t, repAddr)
+	rc.send("UPD v=1 dl=100 r:k")
+	if got := rc.recv(); got != "SHED" {
+		t.Fatalf("tight read on live lagging replica = %q, want SHED", got)
+	}
+
+	// Release the stall: the replica drains and tight reads serve again.
+	close(release)
+	for gate.LagRecords() > 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never drained: lag=%d", gate.LagRecords())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	_ = r // stream stays live throughout; pair cleanup closes it
+	rc.send("UPD v=1 dl=100 r:k")
+	if got := rc.recv(); got != "OK" {
+		t.Fatalf("tight read on drained replica = %q, want OK", got)
+	}
+}
+
+// TestReplicaFailover: losing the primary ends the stream but not the
+// replica — it keeps serving its last consistent snapshot.
+func TestReplicaFailover(t *testing.T) {
+	pri, priAddr, _, repAddr, r, _ := startReplicaPair(t, 2)
+	c, err := client.Dial(priAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put("stable", 7); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, pri, r)
+	c.Close()
+	pri.Close()
+
+	select {
+	case <-r.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatal("replication stream did not end after primary close")
+	}
+	if r.Err() == nil {
+		t.Fatal("stream end after primary loss reported no error")
+	}
+	rc, err := client.Dial(repAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if n, ok, err := rc.Get("stable"); err != nil || !ok || n != 7 {
+		t.Fatalf("frozen replica Get(stable) = %d, %v, %v; want 7", n, ok, err)
+	}
+}
+
+// TestReplVerbErrors pins the REPL/ACK error surface.
+func TestReplVerbErrors(t *testing.T) {
+	_, priAddr := startServer(t, Config{Shards: 2, Repl: ReplOptions{Primary: true}})
+	rc := dialRaw(t, priAddr)
+	for in, wantPrefix := range map[string]string{
+		"ACK 0 1":        "ERR ACK before REPL",
+		"REPL":           "ERR usage: REPL",
+		"REPL x 1":       "ERR bad shard",
+		"REPL 9 1":       "ERR bad shard",
+		"REPL 0 0":       "ERR bad index",
+		"REPL 0 x":       "ERR bad index",
+		"ACK 0":          "ERR usage: ACK",
+		"REQ 1 REPL 0 1": "RES 1 ERR REPL requires bare framing",
+		"REQ 2 ACK 0 1":  "RES 2 ERR ACK requires bare framing",
+	} {
+		rc.send(in)
+		if got := rc.recv(); !strings.HasPrefix(got, wantPrefix) {
+			t.Errorf("%q -> %q, want prefix %q", in, got, wantPrefix)
+		}
+	}
+
+	// HEAD reports per-shard log heads on a primary.
+	rc.send("PUT headkey 1")
+	rc.recv()
+	rc.send("HEAD")
+	if got := rc.recv(); !strings.HasPrefix(got, "OK ") || len(strings.Fields(got)) != 3 {
+		t.Errorf("HEAD on 2-shard primary -> %q, want OK <h0> <h1>", got)
+	}
+
+	// A non-primary has no feed to subscribe to or report heads for, and
+	// a replica pointed at it must fail at startup, not serve emptiness.
+	plain, plainAddr := startServer(t, Config{Shards: 2})
+	pc := dialRaw(t, plainAddr)
+	for _, in := range []string{"REPL 0 1", "HEAD"} {
+		pc.send(in)
+		if got := pc.recv(); got != "ERR not a replication primary" {
+			t.Errorf("%q on non-primary -> %q", in, got)
+		}
+	}
+	if _, err := repl.StartReplica(repl.ReplicaConfig{
+		Primary: plainAddr,
+		Store:   plain.Store(), // any same-shard-count store works here
+	}); err == nil || !strings.Contains(err.Error(), "refused subscription") {
+		t.Errorf("StartReplica against non-primary = %v, want refused-subscription error", err)
+	}
+}

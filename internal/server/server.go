@@ -1,44 +1,19 @@
 // Package server fronts a sharded SCC engine (internal/shard) with a TCP
-// line protocol and a value-cognizant admission queue. One request per
-// line, one response line per request:
+// line protocol and a value-cognizant admission queue. Requests carry the
+// paper's Def. 2 value functions; when the engine is saturated, waiters
+// are dispatched by Def. 7 expected value and shed past their
+// zero-crossing, and cross-shard retries re-enter the same queue. The
+// protocol is line-oriented (PING/GET/PUT/ADD/UPD/SUM/STATS), optionally
+// wrapped in pipelined REQ/RES framing with concurrent dispatch per
+// connection, and extended with REPL/ACK commit-log subscriptions for
+// replication: a primary streams each shard's total commit order
+// (internal/repl) to replicas, which apply it through the engine's
+// ApplyLocked path and serve lag-gated snapshot reads.
 //
-//	PING                               -> OK pong
-//	GET <key>                          -> OK <n> | NIL
-//	PUT <key> <n>                      -> OK <n> | SHED | ERR <msg>
-//	ADD <key> <delta>                  -> OK <new> | SHED | ERR <msg>
-//	UPD [v=<f>] [dl=<ms>] [grad=<g>] <op>... -> OK <new>... | SHED | ERR <msg>
-//	SUM <key>...                       -> OK <total> | ERR <msg>
-//	STATS                              -> OK k=v ...
-//
-// A UPD op is r:<key> (a read the transaction depends on) or
-// w:<key>:<delta> (read-modify-write adding delta). The whole op list
-// executes as one serializable transaction: on one shard it runs natively
-// under SCC (speculative shadows and all); across shards it commits
-// atomically via the deterministic-order cross-shard protocol. v/dl/grad
-// describe the request's Def. 2 value function for admission ordering,
-// load shedding, and the engine's value-cognizant commit deferment. A
-// cross-shard transaction that fails validation re-enters the admission
-// queue before every retry: it is shed once its value function crosses
-// zero (counted as cross_shed in STATS) and otherwise re-dispatched by
-// expected value, so retries are value-cognizant too.
-// SUM reads its keys as one consistent cross-shard snapshot.
-//
-// # Pipelined framing
-//
-// Any request may instead be wrapped in REQ framing:
-//
-//	REQ <id> <verb> [args...]          -> RES <id> <response>
-//
-// where <id> is an arbitrary space-free client token echoed back
-// verbatim. Pipelined requests on one connection are dispatched
-// concurrently (up to Config.PipelineDepth in flight) and their RES lines
-// may arrive in any order — the id is the correlation. Bare (legacy)
-// requests keep their strict semantics: each is processed to completion,
-// in arrival order relative to other bare requests, before the next line
-// is read. The two framings mix freely on one connection.
-//
-// Values are signed 64-bit integers in ASCII decimal; keys are any
-// space-free tokens not containing ':'.
+// The normative wire specification — verb grammar, error-reply rules,
+// oversized-line handling, framing interleaving, and the replication
+// stream — lives in docs/PROTOCOL.md; docs/ARCHITECTURE.md maps this
+// package's place in the system.
 package server
 
 import (
@@ -54,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/repl"
 	"repro/internal/shard"
 	"repro/internal/stats"
 )
@@ -73,6 +49,23 @@ type Config struct {
 	// connection (default 128). Past the cap the connection's reader
 	// stalls — TCP backpressure, not an error.
 	PipelineDepth int
+	// Repl configures replication roles (docs/PROTOCOL.md, "Replication").
+	Repl ReplOptions
+}
+
+// ReplOptions selects a server's replication role. Both may be set: a
+// primary-and-replica server relays its applied stream downstream
+// (chained replication).
+type ReplOptions struct {
+	// Primary keeps a per-shard commit log and serves REPL/ACK
+	// subscriptions from replicas.
+	Primary bool
+	// Gate marks the server a read replica: writes are rejected, and
+	// read-only transactions carrying value functions are shed when the
+	// gate estimates their value would cross zero before the replica
+	// catches up (repl_shed in STATS). The gate is fed by the
+	// repl.Replica streaming into this server's store.
+	Gate *repl.LagGate
 }
 
 // Server serves a sharded store over TCP.
@@ -80,6 +73,8 @@ type Server struct {
 	store         *shard.Store
 	adm           *Admission
 	pipelineDepth int
+	feed          *repl.Feed    // non-nil on replication primaries
+	gate          *repl.LagGate // non-nil on read replicas
 
 	// mu guards connection lifecycle only; per-request counters use
 	// their own synchronization so requests never serialize on it.
@@ -101,17 +96,33 @@ func New(cfg Config) *Server {
 	if cfg.PipelineDepth <= 0 {
 		cfg.PipelineDepth = 128
 	}
+	if cfg.Shards <= 0 {
+		// Resolve the shard count here with shard.Open's own default, so
+		// the replication feed is sized to the store it logs.
+		cfg.Shards = shard.DefaultShards
+	}
+	scfg := shard.Config{
+		Shards: cfg.Shards,
+		Engine: engine.Config{Mode: cfg.Mode, GroupCommit: cfg.GroupCommit},
+	}
+	var feed *repl.Feed
+	if cfg.Repl.Primary {
+		feed = repl.NewFeed(cfg.Shards)
+		scfg.CommitLogFor = func(i int) engine.CommitLog { return feed.Log(i) }
+	}
 	return &Server{
-		store: shard.Open(shard.Config{
-			Shards: cfg.Shards,
-			Engine: engine.Config{Mode: cfg.Mode, GroupCommit: cfg.GroupCommit},
-		}),
+		store:         shard.Open(scfg),
 		adm:           NewAdmission(cfg.Admission),
 		pipelineDepth: cfg.PipelineDepth,
+		feed:          feed,
+		gate:          cfg.Repl.Gate,
 		conns:         make(map[net.Conn]struct{}),
 		lat:           stats.NewSample(4096, 1),
 	}
 }
+
+// Feed exposes the primary's replication feed (nil unless Repl.Primary).
+func (s *Server) Feed() *repl.Feed { return s.feed }
 
 // Store exposes the backing sharded store (stats inspection, seeding).
 func (s *Server) Store() *shard.Store { return s.store }
@@ -255,9 +266,17 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	// Pipelined (REQ-framed) requests dispatch concurrently, bounded by
 	// the pipeline depth; bare requests run inline so they stay strictly
-	// ordered among themselves.
+	// ordered among themselves. stop ends this connection's replication
+	// feeders; sub is its lazily created ack-tracking subscription.
 	sem := make(chan struct{}, s.pipelineDepth)
 	var workers sync.WaitGroup
+	stop := make(chan struct{})
+	var sub *repl.Sub
+	defer func() {
+		if sub != nil {
+			sub.Close()
+		}
+	}()
 
 	r := bufio.NewScanner(conn)
 	r.Buffer(make([]byte, 0, 64*1024), 1<<20)
@@ -269,7 +288,8 @@ func (s *Server) serveConn(conn net.Conn) {
 		if len(fields) == 0 {
 			continue
 		}
-		if strings.ToUpper(fields[0]) == "REQ" {
+		switch strings.ToUpper(fields[0]) {
+		case "REQ":
 			switch {
 			case len(fields) < 2:
 				out <- "ERR usage: REQ <id> <verb> [args...]"
@@ -285,11 +305,17 @@ func (s *Server) serveConn(conn net.Conn) {
 					out <- "RES " + id + " " + s.dispatch(rest)
 				}()
 			}
-			continue
+		case "REPL", "ACK":
+			// Replication verbs are connection-stateful (they turn the
+			// connection into a push stream), so they are handled here,
+			// not in dispatch.
+			s.handleRepl(strings.ToUpper(fields[0]), fields[1:], &sub, out, stop, &workers)
+		default:
+			out <- s.dispatch(fields)
 		}
-		out <- s.dispatch(fields)
 	}
 	tooLong := errors.Is(r.Err(), bufio.ErrTooLong)
+	close(stop)
 	workers.Wait()
 	if tooLong {
 		// The connection cannot be resynced mid-line, but the client
@@ -298,6 +324,85 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	close(out)
 	<-wdone
+}
+
+// handleRepl serves the connection-stateful replication verbs. REPL
+// subscribes the connection to one shard's commit log: the reply carries
+// the shard and its current head, then a feeder goroutine pushes every
+// record from the requested index as LOG lines through the connection's
+// response writer (interleaving freely with other responses — LOG lines
+// are push traffic, not replies). ACK records the replica's applied
+// position for the primary's lag accounting. Feeders stop when the
+// connection's reader loop ends (stop) and are awaited like REQ workers.
+func (s *Server) handleRepl(verb string, args []string, sub **repl.Sub, out chan<- string, stop <-chan struct{}, workers *sync.WaitGroup) {
+	if s.feed == nil {
+		out <- "ERR not a replication primary"
+		return
+	}
+	shardIdx, index, err := parseReplArgs(verb, args, s.feed.Shards())
+	if err != nil {
+		out <- "ERR " + err.Error()
+		return
+	}
+	if verb == "ACK" {
+		if *sub == nil {
+			out <- "ERR ACK before REPL"
+			return
+		}
+		(*sub).Ack(shardIdx, index)
+		out <- "OK"
+		return
+	}
+	if *sub == nil {
+		*sub = s.feed.Subscribe()
+	}
+	(*sub).Track(shardIdx)
+	log := s.feed.Log(shardIdx)
+	out <- fmt.Sprintf("OK %d %d", shardIdx, log.Head())
+	workers.Add(1)
+	go func() {
+		defer workers.Done()
+		next := index
+		for {
+			recs, wake := log.From(next, 256)
+			if len(recs) == 0 {
+				select {
+				case <-wake:
+					continue
+				case <-stop:
+					return
+				}
+			}
+			for _, rec := range recs {
+				select {
+				case out <- repl.EncodeLog(shardIdx, rec):
+				case <-stop:
+					return
+				}
+				next = rec.Index + 1
+			}
+		}
+	}()
+}
+
+// parseReplArgs validates "<shard> <index>" for REPL (from-index) and ACK
+// (applied-index).
+func parseReplArgs(verb string, args []string, shards int) (int, uint64, error) {
+	if len(args) != 2 {
+		if verb == "REPL" {
+			return 0, 0, errors.New("usage: REPL <shard> <from>")
+		}
+		return 0, 0, errors.New("usage: ACK <shard> <index>")
+	}
+	shardIdx, err := strconv.Atoi(args[0])
+	if err != nil || shardIdx < 0 || shardIdx >= shards {
+		return 0, 0, fmt.Errorf("bad shard %q (have %d shards)", args[0], shards)
+	}
+	index, err := strconv.ParseUint(args[1], 10, 64)
+	if err != nil || (verb == "REPL" && index == 0) {
+		return 0, 0, fmt.Errorf("bad index %q", args[1])
+	}
+	return shardIdx, index, nil
 }
 
 // op is one parsed UPD operation.
@@ -329,6 +434,9 @@ func (s *Server) dispatch(fields []string) string {
 		if len(args) != 1 {
 			return "ERR usage: GET <key>"
 		}
+		if !validKey(args[0]) {
+			return "ERR bad key " + args[0]
+		}
 		v, ok := s.store.Get(args[0])
 		if !ok {
 			return "NIL"
@@ -338,6 +446,9 @@ func (s *Server) dispatch(fields []string) string {
 		if len(args) != 2 {
 			return "ERR usage: PUT <key> <n>"
 		}
+		if !validKey(args[0]) {
+			return "ERR bad key " + args[0]
+		}
 		n, err := strconv.ParseInt(args[1], 10, 64)
 		if err != nil {
 			return "ERR bad number"
@@ -346,6 +457,9 @@ func (s *Server) dispatch(fields []string) string {
 	case "ADD":
 		if len(args) != 2 {
 			return "ERR usage: ADD <key> <delta>"
+		}
+		if !validKey(args[0]) {
+			return "ERR bad key " + args[0]
 		}
 		n, err := strconv.ParseInt(args[1], 10, 64)
 		if err != nil {
@@ -357,6 +471,11 @@ func (s *Server) dispatch(fields []string) string {
 	case "SUM":
 		if len(args) == 0 {
 			return "ERR usage: SUM <key>..."
+		}
+		for _, k := range args {
+			if !validKey(k) {
+				return "ERR bad key " + k
+			}
 		}
 		var total int64
 		err := s.store.View(args, func(tx shard.Tx) error {
@@ -375,6 +494,25 @@ func (s *Server) dispatch(fields []string) string {
 		return "OK " + strconv.FormatInt(total, 10)
 	case "STATS":
 		return s.statsLine()
+	case "HEAD":
+		// Per-shard commit-log heads, cheap enough to poll: replicas use
+		// it out-of-band to keep their lag estimate honest even while the
+		// replication stream itself is backpressured.
+		if s.feed == nil {
+			return "ERR not a replication primary"
+		}
+		var b strings.Builder
+		b.WriteString("OK")
+		for _, h := range s.feed.Heads() {
+			b.WriteByte(' ')
+			b.WriteString(strconv.FormatUint(h, 10))
+		}
+		return b.String()
+	case "REPL", "ACK":
+		// Bare REPL/ACK are intercepted by serveConn; reaching dispatch
+		// means REQ framing (or the fuzzer), where a push stream cannot
+		// be correlated.
+		return "ERR " + verb + " requires bare framing on a dedicated connection"
 	default:
 		return "ERR unknown verb " + verb
 	}
@@ -408,12 +546,18 @@ func (s *Server) handleUPD(args []string) string {
 			if key == "" {
 				return "ERR empty key"
 			}
+			if !validKey(key) {
+				return "ERR bad key " + key
+			}
 			ops = append(ops, op{key: key})
 		case strings.HasPrefix(a, "w:"):
 			rest := a[2:]
 			i := strings.LastIndexByte(rest, ':')
 			if i <= 0 {
 				return "ERR bad op " + a
+			}
+			if !validKey(rest[:i]) {
+				return "ERR bad key " + rest[:i]
 			}
 			n, err := strconv.ParseInt(rest[i+1:], 10, 64)
 			if err != nil {
@@ -434,6 +578,20 @@ func (s *Server) handleUPD(args []string) string {
 // overwrite makes writes PUT semantics (set to delta) instead of ADD.
 func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string {
 	f := s.adm.FnFor(v, dl, grad)
+	if s.gate != nil {
+		// Read replica: writes are rejected, and a read-only transaction
+		// is shed when its value function would cross zero before the
+		// replica's estimated catch-up — a stale read it could never
+		// deliver while it still carries value.
+		for _, o := range ops {
+			if o.write {
+				return "ERR read-only replica"
+			}
+		}
+		if err := s.gate.Admit(f, s.adm.now()); err != nil {
+			return "SHED"
+		}
+	}
 	if err := s.adm.Acquire(f, len(ops)); err != nil {
 		return "SHED"
 	}
@@ -537,15 +695,35 @@ func (s *Server) statsLine() string {
 	if math.IsNaN(p50) {
 		p50, p99 = 0, 0
 	}
-	return fmt.Sprintf(
-		"OK shards=%d reqs=%d commits=%d fast=%d cross=%d cross_restarts=%d cross_shed=%d "+
+	line := fmt.Sprintf(
+		"OK shards=%d reqs=%d commits=%d fast=%d cross=%d cross_restarts=%d cross_shed=%d cross_batches=%d "+
 			"aborts=%d restarts=%d forks=%d promotions=%d deferrals=%d commit_batches=%d views=%d "+
 			"admitted=%d shed=%d readmits=%d depth=%d inflight=%d op_time_us=%.1f p50_us=%.0f p99_us=%.0f",
 		s.store.NumShards(), reqs, st.TotalCommits(), st.FastPath, st.CrossCommits,
-		st.CrossRestarts, s.crossShed.Load(), st.Engine.Aborts, st.Engine.Restarts, st.Engine.Forks,
+		st.CrossRestarts, s.crossShed.Load(), st.CrossBatches, st.Engine.Aborts, st.Engine.Restarts, st.Engine.Forks,
 		st.Engine.Promotions, st.Engine.Deferrals, st.Engine.CommitBatches, st.Views,
 		ad.Admitted, ad.Shed, ad.Readmits, ad.Depth, ad.InFlight, ad.OpTime*1e6,
 		p50*1e6, p99*1e6)
+	// Replication keys appear only in the role that owns them; a chained
+	// primary-and-replica reports the replica-side repl_lag (last key
+	// wins in k=v parsers).
+	if s.feed != nil {
+		line += fmt.Sprintf(" repl_subs=%d repl_lag=%d", s.feed.Subscribers(), s.feed.MaxLag())
+	}
+	if s.gate != nil {
+		line += fmt.Sprintf(" repl_applied=%d repl_lag=%d repl_shed=%d",
+			s.gate.Applied(), s.gate.LagRecords(), s.gate.Shed())
+	}
+	return line
+}
+
+// validKey enforces the protocol's key lexical rule: non-empty and free
+// of ':' (tokenization already excludes spaces and newlines). A ':' in a
+// key would make w:<key>:<delta> ops and the replication LOG pair
+// encoding ambiguous, silently diverging replicas — so it is rejected at
+// the door, on every verb.
+func validKey(k string) bool {
+	return k != "" && !strings.ContainsRune(k, ':')
 }
 
 // parseNum decodes an ASCII-decimal value; missing or malformed values

@@ -1,0 +1,151 @@
+// Flat-combining cross-shard commits. Before this existed, every
+// multi-shard transaction latched its involved shards itself — one
+// latch-acquisition round per validate+apply, the cross-shard analogue of
+// the per-commit path the engine's group commit already removed for
+// single-shard transactions. Here, commits with the same involved-shard
+// set (the overwhelmingly common case under a fixed mix: the same shard
+// pairs recur) queue per shard-set signature; the first enqueuer becomes
+// the combiner, latches the set once, and validates+applies every queued
+// request under that single hold, draining requests that arrive while it
+// works. Validation semantics are unchanged — each request validates
+// against the state left by the ones processed before it, exactly as if
+// each had latched in turn — and the latch order (ascending shard index)
+// is preserved, so combiners of overlapping sets cannot deadlock. A side
+// effect that replication relies on: all installs into a shard, native or
+// cross-shard, happen under that shard's commit latch, so the shard's
+// commit log (engine.Config.CommitLog) is a single total order.
+
+package shard
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// crossReq is one cross-shard validate(+apply) awaiting its verdict.
+type crossReq struct {
+	reads  map[int]map[string]uint64 // read versions, grouped by shard
+	writes map[int]map[string][]byte // writes, grouped by shard (nil = validate only)
+	done   chan bool
+}
+
+// crossQueue is the pending work for one involved-shard signature.
+type crossQueue struct {
+	involved []int // ascending shard indices, shared by every queued request
+	pending  []crossReq
+	leading  bool // a combiner is draining this queue
+}
+
+// crossFC is the per-store registry of combining queues.
+type crossFC struct {
+	mu     sync.Mutex
+	queues map[string]*crossQueue
+}
+
+// signature keys a shard set; involved is sorted, so the key is canonical.
+func signature(involved []int) string {
+	var b strings.Builder
+	for i, idx := range involved {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(idx))
+	}
+	return b.String()
+}
+
+// commitCross atomically validates (and, when c carries writes grouped
+// for apply, installs) a cross-shard transaction through the combining
+// queue of its shard set. With apply false it is a pure validation pass —
+// used to decide whether a closure error came from a serializable read
+// cut. Blocks until a combiner (possibly the caller) delivers the verdict.
+func (s *Store) commitCross(involved []int, c *crossTx, apply bool) bool {
+	req := crossReq{reads: s.groupReads(c.reads), done: make(chan bool, 1)}
+	if apply {
+		req.writes = make(map[int]map[string][]byte)
+		for key, val := range c.writes {
+			idx := s.ShardOf(key)
+			m := req.writes[idx]
+			if m == nil {
+				m = make(map[string][]byte)
+				req.writes[idx] = m
+			}
+			m[key] = val
+		}
+	}
+
+	sig := signature(involved)
+	s.cross.mu.Lock()
+	q := s.cross.queues[sig]
+	if q == nil {
+		own := make([]int, len(involved))
+		copy(own, involved)
+		q = &crossQueue{involved: own}
+		s.cross.queues[sig] = q
+	}
+	q.pending = append(q.pending, req)
+	lead := !q.leading
+	if lead {
+		q.leading = true
+	}
+	s.cross.mu.Unlock()
+	if lead {
+		s.combineCross(q)
+	}
+	return <-req.done
+}
+
+// combineCross serves q's pending batch: latch the shard set once, serve
+// every queued request under that hold, unlatch. Requests that arrived
+// while the combiner held the latches are handed to a detached goroutine
+// rather than drained inline: the combiner is an ordinary transaction
+// whose verdict was delivered in its own batch, and under sustained
+// same-signature load an inline drain would hold its caller hostage for
+// as long as new work keeps arriving — unbounded tail latency for a
+// deadline-priced request. Leadership is cleared only in the critical
+// section that observes an empty queue, so no request is ever orphaned.
+func (s *Store) combineCross(q *crossQueue) {
+	s.cross.mu.Lock()
+	batch := q.pending
+	q.pending = nil
+	if len(batch) == 0 {
+		q.leading = false
+		s.cross.mu.Unlock()
+		return
+	}
+	s.cross.mu.Unlock()
+
+	for _, idx := range q.involved {
+		s.shards[idx].LockCommit()
+	}
+	s.crossBatches.Add(1)
+	for _, req := range batch {
+		ok := true
+		for idx, reads := range req.reads {
+			if !s.shards[idx].ValidateLocked(reads) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			for idx, writes := range req.writes {
+				s.shards[idx].ApplyLocked(writes)
+			}
+		}
+		req.done <- ok
+	}
+	for _, idx := range q.involved {
+		s.shards[idx].UnlockCommit()
+	}
+
+	s.cross.mu.Lock()
+	more := len(q.pending) > 0
+	if !more {
+		q.leading = false
+	}
+	s.cross.mu.Unlock()
+	if more {
+		go s.combineCross(q)
+	}
+}

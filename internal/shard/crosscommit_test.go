@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+// keysOnDistinctShards returns n keys that all land on different shards,
+// so transactions over them are guaranteed cross-shard.
+func keysOnDistinctShards(t *testing.T, s *Store, n int) []string {
+	t.Helper()
+	seen := make(map[int]string)
+	for i := 0; len(seen) < n && i < 100000; i++ {
+		k := "ck" + strconv.Itoa(i)
+		if _, ok := seen[s.ShardOf(k)]; !ok {
+			seen[s.ShardOf(k)] = k
+		}
+	}
+	if len(seen) < n {
+		t.Fatalf("could not find %d keys on distinct shards", n)
+	}
+	out := make([]string, 0, n)
+	for _, k := range seen {
+		out = append(out, k)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}
+
+// TestCrossCombinerSequential: with no concurrency there is nothing to
+// combine — every cross-shard commit is its own latch round, so the
+// batch counter tracks the commit counter exactly.
+func TestCrossCombinerSequential(t *testing.T) {
+	s := Open(Config{Shards: 8})
+	defer s.Close()
+	keys := keysOnDistinctShards(t, s, 2)
+	for i := 0; i < 10; i++ {
+		err := s.Update(keys, func(tx Tx) error {
+			for _, k := range keys {
+				if err := tx.Set(k, []byte(strconv.Itoa(i))); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.CrossCommits != 10 {
+		t.Fatalf("cross commits = %d, want 10", st.CrossCommits)
+	}
+	if st.CrossBatches != 10 {
+		t.Fatalf("sequential cross batches = %d, want 10 (one per commit)", st.CrossBatches)
+	}
+}
+
+// TestCrossCombinerConcurrent drives many concurrent transfers over one
+// shard pair: every commit must be atomic (total conserved), and the
+// flat-combining committer must not lose or duplicate any verdict.
+func TestCrossCombinerConcurrent(t *testing.T) {
+	s := Open(Config{Shards: 8})
+	defer s.Close()
+	keys := keysOnDistinctShards(t, s, 2)
+	a, b := keys[0], keys[1]
+	if err := s.Update(keys, func(tx Tx) error {
+		if err := tx.Set(a, []byte("1000")); err != nil {
+			return err
+		}
+		return tx.Set(b, []byte("0"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, transfers = 16, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < transfers; i++ {
+				err := s.Update(keys, func(tx Tx) error {
+					av, err := tx.Get(a)
+					if err != nil {
+						return err
+					}
+					bv, err := tx.Get(b)
+					if err != nil {
+						return err
+					}
+					an, _ := strconv.Atoi(string(av))
+					bn, _ := strconv.Atoi(string(bv))
+					if err := tx.Set(a, []byte(strconv.Itoa(an-1))); err != nil {
+						return err
+					}
+					return tx.Set(b, []byte(strconv.Itoa(bn+1)))
+				})
+				if err != nil {
+					panic(fmt.Sprintf("transfer: %v", err))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	av, _ := s.Get(a)
+	bv, _ := s.Get(b)
+	an, _ := strconv.Atoi(string(av))
+	bn, _ := strconv.Atoi(string(bv))
+	if an+bn != 1000 {
+		t.Fatalf("total = %d + %d = %d, want 1000 (torn cross-shard commit)", an, bn, an+bn)
+	}
+	if bn != workers*transfers {
+		t.Fatalf("b = %d, want %d (lost transfer)", bn, workers*transfers)
+	}
+	st := s.Stats()
+	// Every validate (commit or restart) passes through a batch; batches
+	// can serve several, so the counter is bounded by the round count.
+	rounds := st.CrossCommits + st.CrossRestarts
+	if st.CrossBatches == 0 || st.CrossBatches > rounds {
+		t.Fatalf("cross batches = %d, want in [1, %d]", st.CrossBatches, rounds)
+	}
+	t.Logf("commits=%d restarts=%d batches=%d (combining win %.2fx)",
+		st.CrossCommits, st.CrossRestarts, st.CrossBatches,
+		float64(rounds)/float64(st.CrossBatches))
+}

@@ -1,25 +1,21 @@
 // Package shard partitions the SCC engine horizontally: keys are
-// hash-partitioned across N independent engine.Store shards behind the
-// same Update/Get transactional API. Transactions declare the keys they
-// may touch (the paper's model fixes each transaction's access list at
-// arrival, Sec. 2); the router uses the declaration purely for placement:
+// hash-partitioned across N independent engine.Store shards behind one
+// Update/Get transactional API. Transactions declare the keys they may
+// touch (the paper fixes access lists at arrival, Sec. 2); the router
+// uses the declaration purely for placement. All declared keys on one
+// shard is the fast path: the closure runs natively on that shard's
+// engine with the full SCC machinery and zero coordination. Keys on
+// several shards run against a cross-shard optimistic view (committed
+// reads with recorded versions, buffered writes) and commit atomically
+// through a flat-combining committer per shard set (crosscommit.go):
+// involved shards are latched in ascending index order — deadlock-free —
+// and every read is validated and every write installed under that hold.
+// Because every install, native or cross-shard, happens under its shard's
+// commit latch, each shard has a single total commit order, which
+// Config.CommitLogFor exposes as a replication log (internal/repl).
 //
-//   - all declared keys on one shard → fast path: the transaction runs
-//     natively on that shard's engine with the full SCC machinery
-//     (speculative shadows, value-cognizant deferment) and zero
-//     cross-shard coordination;
-//   - keys on several shards → the coordinator runs the closure against a
-//     cross-shard optimistic view (committed reads with recorded
-//     versions, buffered writes) and commits it atomically by latching
-//     the involved shards in ascending shard-index order, validating
-//     every read, and installing every write — the deterministic lock
-//     order makes concurrent multi-shard commits deadlock-free, and
-//     holding all latches across validate+apply makes the commit atomic
-//     with respect to each shard's own live transactions.
-//
-// This is the classic partitioned main-memory recipe (Larson et al.):
-// short critical sections per partition, no global lock, cross-partition
-// work paying only for the partitions it touches.
+// See docs/ARCHITECTURE.md for where this layer sits in the system and
+// docs/PROTOCOL.md for the serving protocol above it.
 package shard
 
 import (
@@ -62,14 +58,22 @@ var ErrReadOnly = errors.New("shard: Set inside read-only View")
 // of retrying blindly until the attempt bound.
 type RetryGate func(attempt int) error
 
+// DefaultShards is the partition count used when Config.Shards is unset.
+const DefaultShards = 16
+
 // Config configures a sharded store.
 type Config struct {
-	// Shards is the number of partitions (default 16).
+	// Shards is the number of partitions (default DefaultShards).
 	Shards int
 	// Engine configures every shard's engine identically.
 	Engine engine.Config
 	// MaxAttempts bounds cross-shard validation retries (0 = 100).
 	MaxAttempts int
+	// CommitLogFor, when non-nil, gives each shard's engine a commit log
+	// (shard index -> log): every install on that shard, native or
+	// cross-shard, is appended under its commit latch, yielding the
+	// per-shard total order replication ships (see internal/repl).
+	CommitLogFor func(shard int) engine.CommitLog
 }
 
 // Stats aggregates per-shard engine counters and adds the router's own.
@@ -82,6 +86,7 @@ type Stats struct {
 	FastPath      int64 // transactions routed to a single shard
 	CrossCommits  int64 // multi-shard transactions committed
 	CrossRestarts int64 // multi-shard validation failures (re-executions)
+	CrossBatches  int64 // latch-acquisition rounds spent on cross-shard commits
 	Views         int64 // read-only multi-shard snapshots served
 }
 
@@ -93,17 +98,19 @@ type Store struct {
 	shards      []*engine.Store
 	maxAttempts int
 	closed      atomic.Bool
+	cross       crossFC
 
 	fastPath      atomic.Int64
 	crossCommits  atomic.Int64
 	crossRestarts atomic.Int64
+	crossBatches  atomic.Int64
 	views         atomic.Int64
 }
 
 // Open returns an empty sharded store.
 func Open(cfg Config) *Store {
 	if cfg.Shards <= 0 {
-		cfg.Shards = 16
+		cfg.Shards = DefaultShards
 	}
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 100
@@ -111,9 +118,14 @@ func Open(cfg Config) *Store {
 	s := &Store{
 		shards:      make([]*engine.Store, cfg.Shards),
 		maxAttempts: cfg.MaxAttempts,
+		cross:       crossFC{queues: make(map[string]*crossQueue)},
 	}
 	for i := range s.shards {
-		s.shards[i] = engine.Open(cfg.Engine)
+		ecfg := cfg.Engine
+		if cfg.CommitLogFor != nil {
+			ecfg.CommitLog = cfg.CommitLogFor(i)
+		}
+		s.shards[i] = engine.Open(ecfg)
 	}
 	return s
 }
@@ -147,6 +159,7 @@ func (s *Store) Stats() Stats {
 	out.FastPath = s.fastPath.Load()
 	out.CrossCommits = s.crossCommits.Load()
 	out.CrossRestarts = s.crossRestarts.Load()
+	out.CrossBatches = s.crossBatches.Load()
 	out.Views = s.views.Load()
 	return out
 }
@@ -355,44 +368,23 @@ func (s *Store) groupReads(reads map[string]uint64) map[int]map[string]uint64 {
 	return out
 }
 
-// commitCross atomically validates (and, with apply, installs) a
-// cross-shard transaction: latch involved shards in ascending index
-// order, validate every read, install every write, unlatch. With apply
-// false it is a pure validation pass — used to decide whether a closure
-// error came from a serializable read cut.
-func (s *Store) commitCross(involved []int, c *crossTx, apply bool) bool {
-	byShardReads := s.groupReads(c.reads)
-	byShardWrites := make(map[int]map[string][]byte)
-	if apply {
-		for key, val := range c.writes {
-			idx := s.ShardOf(key)
-			m := byShardWrites[idx]
-			if m == nil {
-				m = make(map[string][]byte)
-				byShardWrites[idx] = m
-			}
-			m[key] = val
-		}
+// ApplyReplicated installs a batch of replicated commit records on one
+// shard: the shard is latched once and each record's writes are applied
+// in slice order through the same ApplyLocked path cross-shard commits
+// use, so replicated installs bump versions and broadcast-abort exactly
+// like native ones. This is the replica side of log shipping
+// (internal/repl); records must arrive in log order.
+func (s *Store) ApplyReplicated(shard int, records []map[string][]byte) error {
+	if shard < 0 || shard >= len(s.shards) {
+		return fmt.Errorf("shard: ApplyReplicated to unknown shard %d of %d", shard, len(s.shards))
 	}
-
-	for _, idx := range involved {
-		s.shards[idx].LockCommit()
+	sh := s.shards[shard]
+	sh.LockCommit()
+	for _, writes := range records {
+		sh.ApplyLocked(writes)
 	}
-	defer func() {
-		for _, idx := range involved {
-			s.shards[idx].UnlockCommit()
-		}
-	}()
-
-	for idx, reads := range byShardReads {
-		if !s.shards[idx].ValidateLocked(reads) {
-			return false
-		}
-	}
-	for idx, writes := range byShardWrites {
-		s.shards[idx].ApplyLocked(writes)
-	}
-	return true
+	sh.UnlockCommit()
+	return nil
 }
 
 // View runs fn as a serializable read-only transaction over the declared
