@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz e2e lint docs
+.PHONY: check build vet test race bench fuzz e2e e2e-recover lint docs clean-data
 
 check: build vet race
 
@@ -34,3 +34,14 @@ fuzz:
 
 e2e:
 	$(GO) test ./internal/server -race -count=2
+
+# e2e-recover SIGKILLs a durable sccserve after a load has been
+# acknowledged and asserts the restart recovers every acknowledged
+# commit (conservation + recovered_index); see scripts/e2e_recover.sh.
+e2e-recover:
+	bash scripts/e2e_recover.sh
+
+# clean-data removes the local durability directory the README quickstart
+# uses, so repeated local runs start cold instead of accreting state.
+clean-data:
+	rm -rf ./data

@@ -24,6 +24,13 @@
 // self-conflicts on its own audit key) must sum to its
 // committed-transaction count (a lost update breaks it).
 //
+// The conservation invariant also audits crash recovery: run a load with
+// a pinned -run-id against a durable server, SIGKILL and restart the
+// server, then re-run with -verify-only -run-id <id> (plus
+// -expect-recovered to assert the restart actually replayed a data
+// directory) — the balanced deltas must still sum to zero over the
+// recovered keyspace. scripts/e2e_recover.sh automates the cycle.
+//
 // Mixes: low (Sec. 4 baseline spread over -keys pages), high (the same
 // class squeezed onto 16 hot pages with 4 accesses), two (the Fig. 14(b)
 // two-class value mix: 10% long/tight/high-value, 90% short/routine),
@@ -37,6 +44,7 @@ import (
 	"log"
 	"math/rand"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -105,14 +113,53 @@ func main() {
 	pipeline := flag.Int("pipeline", 0, "transactions kept in flight per connection via REQ/RES pipelining (0 = one blocking round trip per transaction)")
 	replicaAddr := flag.String("replica", "", "read-replica address: a fraction of each client's transactions become read-only snapshot reads sent there")
 	replicaReads := flag.Float64("replica-reads", 0.25, "with -replica: fraction of transactions issued read-only against the replica")
+	runIDFlag := flag.Int64("run-id", 0, "key-namespace nonce (0 = derive from the clock); pin it to audit a run across a server restart")
+	verifyOnly := flag.Bool("verify-only", false, "skip the load phase: only re-check conservation over -run-id's keyspace (the kill-and-restart self-check)")
+	expectRecovered := flag.Bool("expect-recovered", false, "fail unless the server's STATS report recovered_index > 0 (assert the server restarted from a data directory)")
 	flag.Parse()
 
 	// Every key carries a per-run nonce: counters so each run audits its
 	// own commits, and value keys so each run's conservation sum is
 	// self-contained — a prior run on the same server balances its
 	// deltas only over its own full span, so sharing pages across runs
-	// would leave residue in any narrower window.
-	runID := time.Now().UnixNano() % 1e9
+	// would leave residue in any narrower window. A pinned -run-id makes
+	// the namespace reproducible, so a later -verify-only invocation can
+	// re-audit the same keys — across a server crash and recovery.
+	runID := *runIDFlag
+	if runID == 0 {
+		runID = time.Now().UnixNano() % 1e9
+	}
+
+	if *verifyOnly {
+		if *runIDFlag == 0 {
+			log.Fatal("sccload: -verify-only needs the -run-id of the run to audit")
+		}
+		pages := 0
+		if *mix != "single" {
+			pages = mixConfig(*mix, *keys, 0).DBPages
+		}
+		if pages <= 0 && *keys > 0 {
+			// -mix single writes no value keys: summing zero keys would
+			// "pass" while auditing nothing. (-keys 0 stays allowed as
+			// the documented connectivity probe.)
+			log.Fatalf("sccload: -verify-only has nothing to audit for -mix %s (no value keys); rerun with the mix the load used", *mix)
+		}
+		// No per-client results survive a restart: the audit is the
+		// conservation invariant (balanced deltas must still sum to
+		// zero over the run's keyspace) plus, optionally, the server's
+		// own recovery report.
+		if failed := verify(*addr, pages, runID, 1, nil); failed {
+			fmt.Println("  invariants FAIL")
+			os.Exit(1)
+		}
+		fmt.Printf("sccload: verify-only run %d: conservation holds over %d keys\n", runID, pages)
+		if *expectRecovered {
+			if failed := checkRecovered(*addr); failed {
+				os.Exit(1)
+			}
+		}
+		return
+	}
 
 	results := make([]clientResult, *clients)
 	var wg sync.WaitGroup
@@ -296,7 +343,7 @@ func main() {
 	if *pipeline > 0 {
 		framing = fmt.Sprintf("pipelined(depth=%d)", *pipeline)
 	}
-	fmt.Printf("sccload: mix=%s clients=%d ops/client=%d wire=%s\n", *mix, *clients, *ops, framing)
+	fmt.Printf("sccload: mix=%s clients=%d ops/client=%d wire=%s run-id=%d\n", *mix, *clients, *ops, framing, runID)
 	fmt.Printf("  committed  %d (shed %d, errors %d) in %.2fs\n", committed, shed, errs, elapsed.Seconds())
 	fmt.Printf("  throughput %.0f txn/s\n", float64(committed)/elapsed.Seconds())
 	if all.N() > 0 {
@@ -333,9 +380,45 @@ func main() {
 		if st, err := c.Stats(); err == nil {
 			fmt.Printf("  server     cross=%s cross_restarts=%s cross_shed=%s shed=%s commit_batches=%s commits=%s\n",
 				st["cross"], st["cross_restarts"], st["cross_shed"], st["shed"], st["commit_batches"], st["commits"])
+			if wa, ok := st["wal_appends"]; ok {
+				fmt.Printf("  durability wal_appends=%s wal_fsyncs=%s ckpt_count=%s recovered_index=%s\n",
+					wa, st["wal_fsyncs"], st["ckpt_count"], st["recovered_index"])
+			}
 		}
 		c.Close()
 	}
+	if *expectRecovered && checkRecovered(*addr) {
+		os.Exit(1)
+	}
+}
+
+// checkRecovered asserts the server reports a nonzero recovered_index —
+// the kill-and-restart e2e's proof that the serving process actually
+// rebuilt its state from the data directory. Returns true on failure.
+func checkRecovered(addr string) bool {
+	c, err := client.Dial(addr)
+	if err != nil {
+		log.Printf("sccload: recovered check: %v", err)
+		return true
+	}
+	defer c.Close()
+	st, err := c.Stats()
+	if err != nil {
+		log.Printf("sccload: recovered check STATS: %v", err)
+		return true
+	}
+	rec, ok := st["recovered_index"]
+	if !ok {
+		log.Printf("sccload: server reports no recovered_index (durability off?)")
+		return true
+	}
+	n, err := strconv.ParseInt(rec, 10, 64)
+	if err != nil || n <= 0 {
+		log.Printf("sccload: recovered_index=%s, want > 0", rec)
+		return true
+	}
+	fmt.Printf("sccload: server recovered_index=%d\n", n)
+	return false
 }
 
 // toWireOps converts a workload transaction into wire ops: reads become

@@ -1,16 +1,22 @@
 // Command sccserve serves a sharded SCC key-value store over TCP.
 //
 //	sccserve -addr :7070 -shards 16 -mode scc-2s -concurrency 64
+//	sccserve -addr :7070 -shards 16 -data-dir ./data -fsync group
 //	sccserve -addr :7071 -shards 16 -replica-of 127.0.0.1:7070
 //
 // The store hash-partitions keys across independent SCC engines behind a
 // value-cognizant admission queue. A primary (default) keeps per-shard
 // commit logs and serves REPL/ACK replication subscriptions; started with
-// -replica-of it becomes a read replica: it streams the primary's commit
-// log into its own store and serves snapshot reads, shedding reads whose
-// value functions would cross zero before it catches up. See
-// docs/PROTOCOL.md for the wire protocol and docs/ARCHITECTURE.md for the
-// system layout; cmd/sccload is the matching load generator.
+// -replica-of it becomes a read replica: it bootstraps from a SNAP
+// snapshot, streams the primary's commit log into its own store, and
+// serves snapshot reads, shedding reads whose value functions would cross
+// zero before it catches up. With -data-dir the server is durable: every
+// commit is written to a per-shard WAL before it is acknowledged (fsync
+// policy per -fsync), shards are checkpointed highest-pending-value
+// first, and a restart recovers checkpoint + WAL suffix — a SIGKILL
+// loses nothing acknowledged. See docs/PROTOCOL.md for the wire protocol
+// and docs/ARCHITECTURE.md for the system layout; cmd/sccload is the
+// matching load generator.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/repl"
 	"repro/internal/server"
@@ -41,6 +48,11 @@ func main() {
 	replicaOf := flag.String("replica-of", "", "primary address to replicate from; makes this server a read replica")
 	replLagBudget := flag.Duration("repl-lag-budget", 50*time.Millisecond, "replica: estimated catch-up time tolerated before lag-based value shedding")
 	replLog := flag.Bool("repl-log", true, "keep per-shard commit logs and serve REPL subscriptions")
+	replRetain := flag.Uint64("repl-retain", 65536, "in-memory commit-log retention per shard: records acked by every subscriber are trimmed past this many (0 = no retention bound; checkpoints on a durable server still trim; trimmed joiners bootstrap via SNAP)")
+	replSnapshot := flag.Bool("repl-snapshot", true, "replica: bootstrap via SNAP snapshot + log suffix instead of replaying the primary's log from index 1")
+	dataDir := flag.String("data-dir", "", "durability directory: per-shard WAL + checkpoints, recovered on boot (empty = in-memory only)")
+	fsync := flag.String("fsync", "group", "WAL fsync policy: always (per commit) | group (per commit batch, rides -gc-window) | off (OS page cache only)")
+	ckptEvery := flag.Int("ckpt-every", 4096, "checkpoint a shard after this many WAL records, highest pending-value shard first (0 = only on the CKPT verb)")
 	statsEvery := flag.Duration("stats", 0, "log engine stats at this interval (0 = off)")
 	flag.Parse()
 
@@ -54,11 +66,15 @@ func main() {
 		log.Fatalf("sccserve: unknown -mode %q (want scc-2s or occ-bc)", *mode)
 	}
 
+	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		log.Fatalf("sccserve: %v", err)
+	}
 	var gate *repl.LagGate
 	if *replicaOf != "" {
 		gate = repl.NewLagGate(*shards, *replLagBudget, 0)
 	}
-	srv := server.New(server.Config{
+	srv, err := server.Open(server.Config{
 		Shards: *shards,
 		Mode:   m,
 		Admission: server.AdmissionConfig{
@@ -74,16 +90,42 @@ func main() {
 		Repl: server.ReplOptions{
 			Primary: *replLog,
 			Gate:    gate,
+			Retain:  *replRetain,
+		},
+		Durable: durable.Options{
+			Dir:       *dataDir,
+			Fsync:     fsyncPolicy,
+			CkptEvery: *ckptEvery,
 		},
 	})
+	if err != nil {
+		log.Fatalf("sccserve: %v", err)
+	}
+	if d := srv.Durable(); d != nil {
+		log.Printf("sccserve: durable in %s (fsync %s, ckpt every %d records): recovered %d committed records",
+			*dataDir, fsyncPolicy, *ckptEvery, d.RecoveredIndex())
+		// Fail-stop on a broken WAL: the engine cannot un-commit, so once
+		// the log stops persisting, every further ack would be a lie that
+		// the next recovery exposes. Dying bounds the non-durable window
+		// to one poll interval; a restart either clears the fault or
+		// refuses to serve.
+		go func() {
+			for range time.Tick(time.Second) {
+				if err := d.Err(); err != nil {
+					log.Fatalf("sccserve: write-ahead log failed, refusing to acknowledge non-durable commits: %v", err)
+				}
+			}
+		}()
+	}
 
 	var rep *repl.Replica
 	if *replicaOf != "" {
 		var err error
 		rep, err = repl.StartReplica(repl.ReplicaConfig{
-			Primary: *replicaOf,
-			Store:   srv.Store(),
-			Gate:    gate,
+			Primary:  *replicaOf,
+			Store:    srv.Store(),
+			Gate:     gate,
+			Snapshot: *replSnapshot,
 		})
 		if err != nil {
 			log.Fatalf("sccserve: replication: %v", err)

@@ -1,0 +1,496 @@
+// Package durable gives the sharded SCC store crash durability: a
+// per-shard write-ahead log fed by the engine's commit hook (wal.go),
+// periodic whole-shard checkpoints at a recorded log index
+// (checkpoint.go), and a recovery path that loads the newest valid
+// checkpoint and replays the WAL suffix through the engine's ApplyLocked
+// hook, truncating torn tails. A Hekaton-shaped design: main-memory
+// state, sequential log, snapshot checkpoints — no in-place paging.
+//
+// Checkpointing is value-cognizant: the background checkpointer ranks
+// shards by the summed transaction value committed since their last
+// checkpoint (the engine's ValuedCommitLog hook carries it), so the
+// highest-value working set becomes durable — and its log replay
+// shortest — first. Recovery itself replays each shard in strict index
+// order; value decides what is checkpointed when, never what is kept.
+//
+// The manager also owns log retention: after a checkpoint it advances
+// the in-memory replication log's durability floor, letting repl.Log
+// trim below min(checkpoint index, min acked subscriber index). Late
+// joiners bootstrap from a snapshot (the SNAP verb) instead of a full
+// replay. docs/ARCHITECTURE.md places the package in the system;
+// docs/PROTOCOL.md documents the operator surface (CKPT, STATS keys).
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/repl"
+	"repro/internal/shard"
+)
+
+// Options configures durability for one store.
+type Options struct {
+	// Dir is the data directory; one subdirectory per shard is created
+	// under it. Empty disables durability.
+	Dir string
+	// Fsync selects when WAL appends reach stable storage (default
+	// FsyncGroup: one fsync per commit batch, before the batch is
+	// acknowledged).
+	Fsync FsyncPolicy
+	// CkptEvery checkpoints a shard automatically once this many records
+	// accumulate in its WAL since the last checkpoint (0 = only on the
+	// CKPT verb / explicit CheckpointAll).
+	CkptEvery int
+}
+
+// Stats are cumulative durability counters, summed over shards.
+type Stats struct {
+	WALAppends     int64  // records appended to WALs
+	WALFsyncs      int64  // fsync calls issued by WALs
+	Checkpoints    int64  // checkpoint files written
+	RecoveredIndex uint64 // sum of per-shard commit-log indices restored at boot
+	Errors         int64  // WAL append/sync failures (sticky per shard)
+}
+
+// Manager wires durability through a shard.Store: it recovers the store
+// at Open, installs itself as every shard's commit log (feeding both the
+// WAL and, when present, the replication feed), and runs the
+// value-prioritized background checkpointer.
+type Manager struct {
+	opts  Options
+	store *shard.Store
+	feed  *repl.Feed // may be nil (durability without replication)
+
+	shards    []*managedShard
+	recovered uint64
+	ckpts     atomic.Int64
+	errs      atomic.Int64
+
+	ckptMu sync.Mutex // serializes checkpoint passes
+	kick   chan struct{}
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// managedShard is one shard's durability state. It implements
+// engine.CommitLog, engine.ValuedCommitLog and engine.CommitSyncer: the
+// engine hands it every installed write set under the shard latch and
+// calls Sync at each commit-batch boundary.
+//
+// Sync-before-ship: a record reaches the in-memory replication log —
+// and through it any live REPL subscriber — only after the WAL has it
+// on stable storage (at Sync under the group policy, inside the append
+// under always, after the write(2) under off). Shipping first would
+// let a crash-and-recover primary disown a record a replica already
+// applied, then reissue its index with different writes.
+type managedShard struct {
+	m       *Manager
+	idx     int
+	dir     string
+	wal     *WAL
+	replLog *repl.Log // nil without a feed
+
+	mu           sync.Mutex
+	next         uint64              // next commit-log index (lockstep with wal and replLog)
+	unshipped    []map[string][]byte // WAL-written, not yet published to replLog
+	appendsSince int                 // records since the last checkpoint
+	pendingValue float64             // summed transaction value since the last checkpoint
+	ckptIdx      uint64              // newest checkpoint's log index
+
+	// shipMu serializes Sync end-to-end (capture → fsync → publish):
+	// concurrent batch syncs would otherwise publish captured batches
+	// out of order, and repl.Log assigns indices by publication order.
+	shipMu sync.Mutex
+}
+
+// Open recovers the store from dir and wires durability into it. The
+// store must be freshly opened, idle, and have no commit logs installed
+// yet: recovery replays history through ApplyLocked, and the replay must
+// not re-log itself — Open installs the commit-log sinks only after the
+// replay, and resets the feed's per-shard log bases to the recovered
+// indices so shipped indices stay in lockstep with the WAL.
+func Open(opts Options, store *shard.Store, feed *repl.Feed) (*Manager, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("durable: no data directory")
+	}
+	if feed != nil && feed.Shards() != store.NumShards() {
+		return nil, fmt.Errorf("durable: feed has %d shards, store %d", feed.Shards(), store.NumShards())
+	}
+	m := &Manager{
+		opts:  opts,
+		store: store,
+		feed:  feed,
+		kick:  make(chan struct{}, 1),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	// A failure on shard j must not leak what shards 0..j-1 already
+	// built: close their WAL files and detach their sinks, so a caller
+	// that retries Open in-process doesn't accumulate fds or stale logs.
+	fail := func(err error) (*Manager, error) {
+		for _, ms := range m.shards {
+			ms.wal.Close()
+			store.Shard(ms.idx).SetCommitLog(nil)
+		}
+		return nil, err
+	}
+	// The shard count is baked into the directory layout AND the key
+	// routing (FNV mod shards): reopening with a different count would
+	// silently drop the extra shards' history and misroute every
+	// recovered key. A META file pins it; mismatches fail fast.
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	metaPath := filepath.Join(opts.Dir, "META")
+	if b, err := os.ReadFile(metaPath); err == nil {
+		var shards int
+		if _, err := fmt.Sscanf(string(b), "shards=%d", &shards); err != nil || shards <= 0 {
+			return nil, fmt.Errorf("durable: unreadable META %q in %s", string(b), opts.Dir)
+		}
+		if shards != store.NumShards() {
+			return nil, fmt.Errorf("durable: data directory %s is laid out for %d shards, server has %d (restart with -shards %d or use a fresh -data-dir)",
+				opts.Dir, shards, store.NumShards(), shards)
+		}
+	} else if err := os.WriteFile(metaPath, []byte(fmt.Sprintf("shards=%d\n", store.NumShards())), 0o644); err != nil {
+		return nil, err
+	}
+	for i := 0; i < store.NumShards(); i++ {
+		dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fail(err)
+		}
+		ckptIdx, kvs, err := loadCheckpoint(dir, i)
+		if err != nil {
+			return fail(err)
+		}
+		wal, recs, err := openWAL(dir, opts.Fsync, ckptIdx)
+		if err != nil {
+			return fail(err)
+		}
+		head, err := m.replayShard(i, ckptIdx, kvs, recs)
+		if err != nil {
+			wal.Close()
+			return fail(err)
+		}
+		ms := &managedShard{
+			m:       m,
+			idx:     i,
+			dir:     dir,
+			wal:     wal,
+			next:    head + 1,
+			ckptIdx: ckptIdx,
+		}
+		if feed != nil {
+			log := feed.Log(i)
+			log.ResetBase(head)
+			if ckptIdx > 0 {
+				log.SetDurableFloor(ckptIdx)
+			}
+			ms.replLog = log
+		}
+		m.shards = append(m.shards, ms)
+		m.recovered += head
+		store.Shard(i).SetCommitLog(ms)
+	}
+	go m.checkpointLoop()
+	return m, nil
+}
+
+// replayShard restores one shard: install the checkpoint, then the WAL
+// suffix above it, in strict index order, all under one latch hold. It
+// returns the recovered commit-log head.
+func (m *Manager) replayShard(i int, ckptIdx uint64, kvs map[string][]byte, recs []repl.Record) (uint64, error) {
+	eng := m.store.Shard(i)
+	eng.LockCommit()
+	defer eng.UnlockCommit()
+	if len(kvs) > 0 {
+		eng.ApplyLocked(kvs)
+	}
+	head := ckptIdx
+	for _, rec := range recs {
+		if rec.Index <= ckptIdx {
+			continue // pre-checkpoint residue in the active segment
+		}
+		if rec.Index != head+1 {
+			return 0, fmt.Errorf("durable: shard %d WAL gap: record %d after %d (checkpoint %d)",
+				i, rec.Index, head, ckptIdx)
+		}
+		eng.ApplyLocked(rec.Writes)
+		head = rec.Index
+	}
+	return head, nil
+}
+
+// Append implements engine.CommitLog (unvalued installs).
+func (ms *managedShard) Append(writes map[string][]byte) { ms.AppendValued(writes, 0) }
+
+// AppendValued implements engine.ValuedCommitLog: called under the shard
+// latch for every install, it writes the WAL and accrues the shard's
+// pending-value for checkpoint prioritization. Publication to the
+// replication log is deferred to the Sync boundary (see the type
+// comment), except under FsyncAlways where the append itself synced.
+func (ms *managedShard) AppendValued(writes map[string][]byte, value float64) {
+	ms.mu.Lock()
+	idx := ms.next
+	ms.next++
+	ms.appendsSince++
+	if value > 0 {
+		ms.pendingValue += value
+	}
+	due := ms.m.opts.CkptEvery > 0 && ms.appendsSince >= ms.m.opts.CkptEvery
+	walOK := ms.wal.Append(repl.Record{Index: idx, Writes: writes}) == nil
+	if !walOK {
+		ms.m.errs.Add(1)
+	}
+	if ms.replLog != nil && walOK {
+		if ms.m.opts.Fsync == FsyncAlways {
+			ms.replLog.Append(writes)
+		} else {
+			ms.unshipped = append(ms.unshipped, writes)
+		}
+	}
+	ms.mu.Unlock()
+
+	if due {
+		select {
+		case ms.m.kick <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Sync implements engine.CommitSyncer: one WAL sync per commit batch,
+// then publication of the batch's records to the replication log. The
+// engine (and the cross-shard/replica apply paths) call it before any
+// commit of the batch is acknowledged, so subscribers only ever stream
+// records that are already durable here. The ship batch is captured
+// BEFORE the fsync: a record appended concurrently (by the next batch,
+// under the shard latch) after this fsync returned would otherwise be
+// published without being durable yet — the exact disown-and-reissue
+// hazard sync-before-ship exists to prevent.
+func (ms *managedShard) Sync() error {
+	ms.shipMu.Lock()
+	defer ms.shipMu.Unlock()
+	ms.mu.Lock()
+	ship := ms.unshipped
+	ms.unshipped = nil
+	ms.mu.Unlock()
+	if err := ms.wal.Sync(); err != nil {
+		ms.m.errs.Add(1)
+		// A broken WAL also stops shipping: replicas must not apply
+		// records this primary can no longer recover. The captured
+		// batch is dropped, not re-queued — the WAL is sticky-broken,
+		// the operator policy is fail-stop.
+		return err
+	}
+	for _, writes := range ship {
+		ms.replLog.Append(writes)
+	}
+	return nil
+}
+
+// checkpointLoop runs automatic checkpoints: each kick checkpoints every
+// shard whose WAL grew past CkptEvery since its last checkpoint, highest
+// pending-value first. Failures are counted (dur_errors in STATS) and
+// logged — once per distinct error message, since a persistently full
+// disk would otherwise log on every kick.
+func (m *Manager) checkpointLoop() {
+	defer close(m.done)
+	lastLogged := ""
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.kick:
+		}
+		due := m.plan(func(ms *managedShard, appends int) bool {
+			return m.opts.CkptEvery > 0 && appends >= m.opts.CkptEvery
+		})
+		for _, ms := range due {
+			select {
+			case <-m.stop:
+				return
+			default:
+			}
+			if err := m.checkpointShard(ms); err != nil {
+				if msg := err.Error(); msg != lastLogged {
+					lastLogged = msg
+					log.Printf("durable: checkpoint of shard %d failed (will retry; WAL keeps growing): %v", ms.idx, err)
+				}
+			} else {
+				lastLogged = ""
+			}
+		}
+	}
+}
+
+// plan returns the shards selected by keep, ordered by pending value
+// (descending; append count breaks ties) — the value-cognizant
+// checkpoint order: the shard holding the most not-yet-durable value is
+// captured first.
+func (m *Manager) plan(keep func(ms *managedShard, appends int) bool) []*managedShard {
+	type cand struct {
+		ms      *managedShard
+		value   float64
+		appends int
+	}
+	var cands []cand
+	for _, ms := range m.shards {
+		ms.mu.Lock()
+		v, n := ms.pendingValue, ms.appendsSince
+		ms.mu.Unlock()
+		if keep(ms, n) {
+			cands = append(cands, cand{ms, v, n})
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].value != cands[j].value {
+			return cands[i].value > cands[j].value
+		}
+		return cands[i].appends > cands[j].appends
+	})
+	out := make([]*managedShard, len(cands))
+	for i, c := range cands {
+		out[i] = c.ms
+	}
+	return out
+}
+
+// CheckpointAll checkpoints every shard with records since its last
+// checkpoint, highest pending-value first, and returns the shard indices
+// in the order they were captured (the CKPT verb's work list). Shards
+// whose state did not change are skipped.
+func (m *Manager) CheckpointAll() ([]int, error) {
+	var order []int
+	var firstErr error
+	for _, ms := range m.plan(func(_ *managedShard, appends int) bool { return appends > 0 }) {
+		if err := m.checkpointShard(ms); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		order = append(order, ms.idx)
+	}
+	return order, firstErr
+}
+
+// checkpointShard captures one shard: rotate the WAL (so every earlier
+// segment becomes trimmable as a whole file), snapshot the shard's state
+// and its commit-log head under one latch hold, write the checkpoint
+// atomically, then trim WAL segments and advance the in-memory log's
+// durability floor.
+func (m *Manager) checkpointShard(ms *managedShard) error {
+	m.ckptMu.Lock()
+	defer m.ckptMu.Unlock()
+	if err := ms.wal.Rotate(); err != nil {
+		m.errs.Add(1)
+		return err
+	}
+	eng := m.store.Shard(ms.idx)
+	eng.LockCommit()
+	ms.mu.Lock()
+	head := ms.next - 1
+	coveredAppends := ms.appendsSince
+	coveredValue := ms.pendingValue
+	ms.mu.Unlock()
+	kvs := make(map[string][]byte)
+	eng.RangeLocked(func(k string, v []byte) bool {
+		kvs[k] = append([]byte(nil), v...)
+		return true
+	})
+	eng.UnlockCommit()
+
+	if err := writeCheckpoint(ms.dir, ms.idx, head, kvs); err != nil {
+		m.errs.Add(1)
+		return err
+	}
+	ms.mu.Lock()
+	prev := ms.ckptIdx
+	ms.ckptIdx = head
+	// Subtract what this checkpoint covered rather than zeroing: commits
+	// that landed during the (unlatched) file write are above head, so
+	// their append counts and pending value must keep driving the next
+	// checkpoint's timing and priority.
+	ms.appendsSince -= coveredAppends
+	ms.pendingValue -= coveredValue
+	if ms.pendingValue < 0 {
+		ms.pendingValue = 0
+	}
+	ms.mu.Unlock()
+	// On-disk history is pruned only below the PREVIOUS checkpoint: the
+	// newest-but-one checkpoint and the WAL suffix above it survive
+	// until the next pass, so recovery can fall back if the newest file
+	// is ever found corrupt. The in-memory log has no such constraint —
+	// it serves joiners (who SNAP live state), never recovery — so its
+	// durability floor advances to the new head.
+	pruneCheckpoints(ms.dir, prev)
+	ms.wal.TrimSegments(prev)
+	if ms.replLog != nil {
+		// Trimming advances to min(checkpoint, min acked subscriber,
+		// retention window) — the log enforces the floors itself.
+		ms.replLog.SetDurableFloor(head)
+	}
+	m.ckpts.Add(1)
+	return nil
+}
+
+// CheckpointIndex returns shard's newest checkpoint log index (0 before
+// the first checkpoint).
+func (m *Manager) CheckpointIndex(shard int) uint64 {
+	ms := m.shards[shard]
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.ckptIdx
+}
+
+// RecoveredIndex reports the sum of per-shard commit-log indices
+// restored at Open — zero for a cold start, the total acknowledged
+// commit count survived for a restart.
+func (m *Manager) RecoveredIndex() uint64 { return m.recovered }
+
+// Stats returns a snapshot of the durability counters.
+func (m *Manager) Stats() Stats {
+	s := Stats{
+		RecoveredIndex: m.recovered,
+		Checkpoints:    m.ckpts.Load(),
+		Errors:         m.errs.Load(),
+	}
+	for _, ms := range m.shards {
+		s.WALAppends += ms.wal.appends.Load()
+		s.WALFsyncs += ms.wal.fsyncs.Load()
+	}
+	return s
+}
+
+// Err returns the first sticky WAL failure across shards, if any.
+func (m *Manager) Err() error {
+	for _, ms := range m.shards {
+		if err := ms.wal.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close stops the checkpointer and closes every WAL, syncing pending
+// bytes. The store must be quiesced first (no in-flight commits).
+func (m *Manager) Close() error {
+	close(m.stop)
+	<-m.done
+	var firstErr error
+	for _, ms := range m.shards {
+		ms.Sync() // flush + ship any batch-tail records
+		if err := ms.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -58,9 +58,11 @@ type Config struct {
 	GroupCommit GroupCommit
 	// CommitLog, when non-nil, receives every installed write set under
 	// the store's commit latch — the store's total commit order, suitable
-	// for replication log shipping (internal/repl). The map handed to
-	// Append is retained; callers of the engine never mutate a write set
-	// after commit, and neither must the log.
+	// for replication log shipping (internal/repl) and write-ahead
+	// logging (internal/durable). The map handed to Append is retained;
+	// callers of the engine never mutate a write set after commit, and
+	// neither must the log. It can also be installed after Open with
+	// SetCommitLog, which recovery uses to replay history unlogged.
 	CommitLog CommitLog
 }
 
@@ -70,6 +72,33 @@ type Config struct {
 // call back into the store.
 type CommitLog interface {
 	Append(writes map[string][]byte)
+}
+
+// ValuedCommitLog is an optional CommitLog extension: when implemented,
+// the engine calls AppendValued instead of Append, passing the committing
+// transaction's value alongside its write set (zero for replicated or
+// unvalued installs). The durability layer uses it to rank shards by the
+// value of work pending a checkpoint.
+type ValuedCommitLog interface {
+	CommitLog
+	AppendValued(writes map[string][]byte, value float64)
+}
+
+// CommitSyncer is an optional CommitLog extension: when implemented, the
+// engine calls Sync once per commit batch that installed writes — after
+// releasing the store latch and before any commit verdict of the batch is
+// delivered to its caller. A write-ahead log uses this to make durability
+// ride the batch boundary: one fsync per group-commit flush covers every
+// commit acknowledged by it.
+//
+// The engine cannot un-commit installed writes, so a Sync error does not
+// fail the batch's verdicts: the implementation must make failures
+// sticky (refuse further appends, surface the error — see
+// durable.Manager.Err) and the operator policy decides what a broken log
+// means; sccserve fail-stops, bounding the window in which commits are
+// acknowledged without being durable.
+type CommitSyncer interface {
+	Sync() error
 }
 
 // Stats are cumulative engine counters.
@@ -405,11 +434,21 @@ func (s *Store) UpdateValuedResult(value float64, fn func(*Tx) error) (any, erro
 			// Retire first — it aborts the shadow under s.mu, after which
 			// no commit can happen — so the resolved flag read next is
 			// final, not a racy sample.
+			s.mu.Lock()
+			sh := h.shadow
+			s.mu.Unlock()
 			s.retire(h)
 			s.mu.Lock()
 			resolved := h.resolved
 			s.mu.Unlock()
 			if resolved {
+				// The committing shadow's verdict is delivered only after
+				// the commit log's Sync (tryCommit/flush order); returning
+				// off the resolved flag alone would acknowledge a commit
+				// the WAL has not yet synced. Wait out the report.
+				if sh != nil {
+					<-h.shadowDone(sh)
+				}
 				return h.result, nil
 			}
 			return nil, err
@@ -539,15 +578,22 @@ func (h *txnHandle) runAttempt(sh *attempt) {
 // if the attempt read stale data (a conflicting transaction committed
 // first); the caller falls back to its shadow or restarts. With group
 // commit enabled the attempt joins the current flush batch instead of
-// acquiring the latch itself.
+// acquiring the latch itself. A successful commit is reported only after
+// the commit log's Sync hook (if any) returns: the caller's ack implies
+// durability under the configured fsync policy.
 func (s *Store) tryCommit(a *attempt) bool {
 	if s.gc != nil {
 		return s.gc.commit(a)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.stats.CommitBatches++
-	return s.commitLocked(a)
+	ok := s.commitLocked(a)
+	syncer, _ := s.cfg.CommitLog.(CommitSyncer)
+	s.mu.Unlock()
+	if ok && syncer != nil {
+		syncer.Sync()
+	}
+	return ok
 }
 
 // commitLocked is the commit critical section: validate the attempt's
@@ -571,7 +617,7 @@ func (s *Store) commitLocked(a *attempt) bool {
 	h.resolved = true
 	h.result = a.result
 	delete(s.active, h)
-	s.installLocked(a.writes)
+	s.installLocked(a.writes, h.value)
 	s.stats.Commits++
 	if a.spec {
 		s.stats.Promotions++
@@ -584,9 +630,13 @@ func (s *Store) commitLocked(a *attempt) bool {
 // aborted. Their speculative shadows (often gated on the committer) take
 // over — the gate opens when the committing handle's done channel closes.
 // Callers hold s.mu.
-func (s *Store) installLocked(writes map[string][]byte) {
+func (s *Store) installLocked(writes map[string][]byte, value float64) {
 	if s.cfg.CommitLog != nil && len(writes) > 0 {
-		s.cfg.CommitLog.Append(writes)
+		if vl, ok := s.cfg.CommitLog.(ValuedCommitLog); ok {
+			vl.AppendValued(writes, value)
+		} else {
+			s.cfg.CommitLog.Append(writes)
+		}
 	}
 	for key, val := range writes {
 		s.committed[key] = versioned{val: val, ver: s.committed[key].ver + 1}

@@ -153,10 +153,24 @@ func (g *groupCommitter) flush() {
 		return batch[i].a.h.attempts > batch[j].a.h.attempts
 	})
 	s.stats.CommitBatches++
-	for _, req := range batch {
-		req.done <- s.commitLocked(req.a)
+	verdicts := make([]bool, len(batch))
+	installed := false
+	for i, req := range batch {
+		verdicts[i] = s.commitLocked(req.a)
+		installed = installed || verdicts[i]
 	}
+	syncer, _ := s.cfg.CommitLog.(CommitSyncer)
 	s.mu.Unlock()
+	// Durability rides the batch boundary: one Sync covers every commit of
+	// the flush, and no committer learns its verdict before the log is
+	// synced (the done channels are buffered, so delivery order is the only
+	// thing deferred).
+	if installed && syncer != nil {
+		syncer.Sync()
+	}
+	for i, req := range batch {
+		req.done <- verdicts[i]
+	}
 }
 
 // TriggerFlush wakes a gathering group-commit leader immediately instead

@@ -72,5 +72,60 @@ func (s *Store) ValidateLocked(reads map[string]uint64) bool {
 // store's Commits counter: cross-store transactions are counted once by
 // the coordinator, not once per shard. The caller holds the commit latch.
 func (s *Store) ApplyLocked(writes map[string][]byte) {
-	s.installLocked(writes)
+	s.installLocked(writes, 0)
+}
+
+// ApplyValuedLocked is ApplyLocked carrying the installing transaction's
+// value through to a ValuedCommitLog — the cross-store committer uses it
+// so multi-shard commits count toward each shard's pending-value like
+// native ones. The caller holds the commit latch.
+func (s *Store) ApplyValuedLocked(writes map[string][]byte, value float64) {
+	s.installLocked(writes, value)
+}
+
+// RangeLocked calls fn for every committed key until fn returns false.
+// The value slice is the store's internal buffer: fn must not mutate it
+// and must copy (or serialize) before the latch is released. The caller
+// holds the commit latch. Iteration order is unspecified. This is the
+// snapshot surface checkpoints and SNAP bootstraps are built on.
+func (s *Store) RangeLocked(fn func(key string, val []byte) bool) {
+	for k, v := range s.committed {
+		if !fn(k, v.val) {
+			return
+		}
+	}
+}
+
+// SetCommitLog installs (or replaces) the store's commit log. Recovery
+// opens the store with no log, replays history through ApplyLocked —
+// unlogged, so a restart never re-appends its own past — and only then
+// wires the log, from which point every install is recorded again.
+func (s *Store) SetCommitLog(cl CommitLog) {
+	s.mu.Lock()
+	s.cfg.CommitLog = cl
+	s.mu.Unlock()
+}
+
+// NeedsCommitSync reports whether the store's commit log has a Sync
+// hook — lets multi-store callers skip sync fan-out entirely on
+// in-memory deployments.
+func (s *Store) NeedsCommitSync() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.cfg.CommitLog.(CommitSyncer)
+	return ok
+}
+
+// SyncCommitLog invokes the commit log's Sync hook, if it has one.
+// Multi-store commit paths (cross-shard combiner, replica batch apply)
+// call it after releasing the latches and before acknowledging, giving
+// their installs the same durability boundary tryCommit gives native
+// commits. Callers must NOT hold the commit latch.
+func (s *Store) SyncCommitLog() {
+	s.mu.Lock()
+	syncer, _ := s.cfg.CommitLog.(CommitSyncer)
+	s.mu.Unlock()
+	if syncer != nil {
+		syncer.Sync()
+	}
 }

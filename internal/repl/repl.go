@@ -8,11 +8,31 @@
 // replica's estimated catch-up, the replication analogue of the paper's
 // zero-crossing load shedding. docs/ARCHITECTURE.md places the package in
 // the overall data flow.
+//
+// Logs are trimmable: records below a trim point are dropped from memory
+// (the durability layer, internal/durable, keeps them on disk), and a
+// subscriber asking for a trimmed index is refused with ErrCompacted —
+// it bootstraps from a snapshot (the SNAP verb) instead of replaying
+// from index 1. Trimming advances to
+// min(acked floor, durability floor, head − retention): never past what
+// a tracking subscriber still owes, never past the newest checkpoint,
+// and always keeping the retention window for briefly-absent
+// subscribers to resume without a snapshot.
 package repl
 
 import (
+	"errors"
 	"sync"
 )
+
+// ErrCompacted is returned by Log.From when the requested index has been
+// trimmed away. The subscriber cannot replay from there; it must
+// bootstrap from a snapshot and resume above the log's Base.
+var ErrCompacted = errors.New("repl: log trimmed below requested index")
+
+// unbounded marks an absent floor (no tracking subscriber, no
+// checkpoint): it never constrains a min().
+const unbounded = ^uint64(0)
 
 // Record is one committed transaction's write set on one shard, at Index
 // (1-based) in that shard's total commit order. Records applied in Index
@@ -28,49 +48,190 @@ type Record struct {
 // so append order is the shard's version order.
 type Log struct {
 	mu   sync.Mutex
+	base uint64 // highest trimmed-away index; recs[0].Index == base+1
 	recs []Record
 	wake chan struct{} // closed and replaced on every append
+
+	retain   uint64 // auto-trim keeps at least this many newest records (0 = keep all)
+	ackFloor uint64 // min acked index over tracking subscribers (unbounded if none)
+	durFloor uint64 // newest checkpoint index (unbounded without durability)
+	autoTrim bool   // retention or a durability floor has been configured
+	trimmed  int64  // records dropped by trimming, cumulative
+	resliced int    // trimmed records whose backing memory is still pinned
 }
 
 // NewLog returns an empty log.
-func NewLog() *Log { return &Log{wake: make(chan struct{})} }
+func NewLog() *Log { return &Log{wake: make(chan struct{}), ackFloor: unbounded, durFloor: unbounded} }
 
 // Append records one installed write set and wakes blocked readers. The
 // map is retained, not copied; the engine guarantees committed write sets
 // are never mutated afterwards.
 func (l *Log) Append(writes map[string][]byte) {
 	l.mu.Lock()
-	l.recs = append(l.recs, Record{Index: uint64(len(l.recs)) + 1, Writes: writes})
+	l.recs = append(l.recs, Record{Index: l.base + uint64(len(l.recs)) + 1, Writes: writes})
 	close(l.wake)
 	l.wake = make(chan struct{})
+	l.maybeTrimLocked()
 	l.mu.Unlock()
 }
 
-// Head returns the index of the newest record (0 when empty).
+// Head returns the index of the newest record (the trim base when empty,
+// 0 when never written).
 func (l *Log) Head() uint64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return uint64(len(l.recs))
+	return l.base + uint64(len(l.recs))
+}
+
+// Base returns the highest trimmed-away index: records with Index <= Base
+// are gone from memory and can only be recovered from a snapshot.
+func (l *Log) Base() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base
+}
+
+// ResetBase starts an empty log at base: the next Append gets index
+// base+1. Recovery uses it so a restarted primary's log resumes at its
+// recovered commit index instead of restarting from 1. It is a
+// boot-time operation: calling it on a log that holds records panics.
+func (l *Log) ResetBase(base uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.recs) > 0 {
+		panic("repl: ResetBase on a non-empty log")
+	}
+	l.base = base
 }
 
 // From returns up to max records with Index >= from, plus a channel that
 // is closed on the next append — the blocking handle for tailing readers:
-// when the returned slice is empty, wait on the channel and retry.
-func (l *Log) From(from uint64, max int) ([]Record, <-chan struct{}) {
+// when the returned slice is empty and err is nil, wait on the channel
+// and retry. A from at or below the trim base draws ErrCompacted: those
+// records are gone, the reader must snapshot-bootstrap instead.
+func (l *Log) From(from uint64, max int) ([]Record, <-chan struct{}, error) {
 	if from == 0 {
 		from = 1
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	wake := l.wake
-	if from > uint64(len(l.recs)) {
-		return nil, wake
+	if from <= l.base {
+		return nil, wake, ErrCompacted
 	}
-	recs := l.recs[from-1:]
+	if from > l.base+uint64(len(l.recs)) {
+		return nil, wake, nil
+	}
+	recs := l.recs[from-l.base-1:]
 	if max > 0 && len(recs) > max {
 		recs = recs[:max]
 	}
-	return recs, wake
+	return recs, wake, nil
+}
+
+// TrimBelow drops every record with Index <= idx (clamped to the head)
+// and returns how many were dropped. The records' memory is released;
+// readers below the new base get ErrCompacted.
+func (l *Log) TrimBelow(idx uint64) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.trimBelowLocked(idx)
+}
+
+func (l *Log) trimBelowLocked(idx uint64) int {
+	head := l.base + uint64(len(l.recs))
+	if idx > head {
+		idx = head
+	}
+	if idx <= l.base {
+		return 0
+	}
+	n := int(idx - l.base)
+	// Reslice now (O(1) — at steady state auto-trim drops one record per
+	// append, and copying the whole retention window each time would be
+	// an O(retain) tax per commit under the shard latch), but compact
+	// with a real copy once the pinned prefix outgrows the live tail:
+	// a bare reslice keeps every trimmed record's write set alive in the
+	// backing array, so unbounded reslicing would defeat trimming.
+	l.recs = l.recs[n:]
+	l.resliced += n
+	if l.resliced > 1024 && l.resliced >= len(l.recs) {
+		kept := make([]Record, len(l.recs))
+		copy(kept, l.recs)
+		l.recs = kept
+		l.resliced = 0
+	}
+	l.base = idx
+	l.trimmed += int64(n)
+	return n
+}
+
+// SetRetention enables retention-bounded auto-trim: every append trims
+// the log to min(acked floor, durability floor, head − retain). Zero
+// keeps auto-trim driven by the durability floor alone (or fully off if
+// none is ever set).
+func (l *Log) SetRetention(retain uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.retain = retain
+	if retain > 0 {
+		l.autoTrim = true
+	}
+	l.maybeTrimLocked()
+}
+
+// SetAckFloor updates the min-acked-subscriber floor (unbounded-max when
+// no subscriber tracks this shard). The Feed maintains it.
+func (l *Log) SetAckFloor(idx uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ackFloor = idx
+	l.maybeTrimLocked()
+}
+
+// SetDurableFloor records the newest checkpoint index: auto-trim never
+// advances past it, and its presence alone enables auto-trim (with
+// durability, in-memory records below min(checkpoint, min acked) serve
+// no one — recovery replays from disk, joiners bootstrap via SNAP).
+func (l *Log) SetDurableFloor(idx uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.durFloor = idx
+	l.autoTrim = true
+	l.maybeTrimLocked()
+}
+
+// maybeTrimLocked applies the auto-trim policy. Caller holds l.mu.
+func (l *Log) maybeTrimLocked() {
+	if !l.autoTrim {
+		return
+	}
+	limit := l.ackFloor
+	if l.durFloor < limit {
+		limit = l.durFloor
+	}
+	if l.retain > 0 {
+		head := l.base + uint64(len(l.recs))
+		keepTo := uint64(0)
+		if head > l.retain {
+			keepTo = head - l.retain
+		}
+		if keepTo < limit {
+			limit = keepTo
+		}
+	} else if limit == unbounded {
+		// Durability floor configured but no retention and no acked
+		// floor yet: nothing bounds the trim meaningfully.
+		return
+	}
+	l.trimBelowLocked(limit)
+}
+
+// Trimmed returns how many records trimming has dropped so far.
+func (l *Log) Trimmed() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.trimmed
 }
 
 // Feed bundles the per-shard commit logs of one primary and tracks the
@@ -101,6 +262,13 @@ func (f *Feed) Shards() int { return len(f.logs) }
 // plugs directly into shard.Config.CommitLogFor.
 func (f *Feed) Log(shard int) *Log { return f.logs[shard] }
 
+// SetRetention configures retention-bounded auto-trim on every log.
+func (f *Feed) SetRetention(retain uint64) {
+	for _, l := range f.logs {
+		l.SetRetention(retain)
+	}
+}
+
 // Heads returns every shard's newest log index.
 func (f *Feed) Heads() []uint64 {
 	out := make([]uint64, len(f.logs))
@@ -108,6 +276,49 @@ func (f *Feed) Heads() []uint64 {
 		out[i] = l.Head()
 	}
 	return out
+}
+
+// Trimmed returns the total records trimmed across all shard logs — the
+// primary's log_trimmed stat.
+func (f *Feed) Trimmed() int64 {
+	var n int64
+	for _, l := range f.logs {
+		n += l.Trimmed()
+	}
+	return n
+}
+
+// AckFloor returns the minimum acked index over subscribers tracking
+// shard, or the unbounded max when none tracks it — the safe trim limit
+// from the subscriber side.
+func (f *Feed) AckFloor(shard int) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ackFloorLocked(shard)
+}
+
+func (f *Feed) ackFloorLocked(shard int) uint64 {
+	floor := uint64(unbounded)
+	for s := range f.subs {
+		s.mu.Lock()
+		if s.tracked[shard] && s.acked[shard] < floor {
+			floor = s.acked[shard]
+		}
+		s.mu.Unlock()
+	}
+	return floor
+}
+
+// refloor recomputes shard's ack floor and pushes it into the log, which
+// may auto-trim. Called whenever a subscriber's state changes. The
+// compute and the apply happen under one f.mu hold: two racing refloors
+// could otherwise apply out of order and install a stale high floor — a
+// new subscriber's Track(=floor 0) overwritten by an older Ack's
+// floor — trimming records the new subscriber is about to stream.
+func (f *Feed) refloor(shard int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.logs[shard].SetAckFloor(f.ackFloorLocked(shard))
 }
 
 // Subscribe registers a replica connection for ack tracking. Mark each
@@ -170,26 +381,36 @@ type Sub struct {
 	tracked []bool // shards this subscriber actually REPL-subscribed
 }
 
-// Track marks shard as subscribed, entering it into lag accounting.
+// Track marks shard as subscribed, entering it into lag accounting and
+// pinning the shard's trim floor at this subscriber's acked index (0
+// until its first ack) so the records it is about to stream cannot be
+// trimmed out from under it.
 func (s *Sub) Track(shard int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if shard >= 0 && shard < len(s.tracked) {
-		s.tracked[shard] = true
+	if shard < 0 || shard >= len(s.tracked) {
+		return
 	}
+	s.mu.Lock()
+	s.tracked[shard] = true
+	s.mu.Unlock()
+	s.feed.refloor(shard)
 }
 
 // Ack records that the subscriber has applied shard's log through index.
 // Acks are monotone; a stale ack is ignored. Out-of-range shards are
-// ignored (the server validates before calling).
+// ignored (the server validates before calling). An advancing ack may
+// raise the shard's trim floor.
 func (s *Sub) Ack(shard int, index uint64) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if shard < 0 || shard >= len(s.acked) {
 		return
 	}
-	if index > s.acked[shard] {
+	s.mu.Lock()
+	advanced := index > s.acked[shard]
+	if advanced {
 		s.acked[shard] = index
+	}
+	s.mu.Unlock()
+	if advanced {
+		s.feed.refloor(shard)
 	}
 }
 
@@ -202,9 +423,19 @@ func (s *Sub) Acked() []uint64 {
 	return out
 }
 
-// Close unregisters the subscriber from its feed.
+// Close unregisters the subscriber from its feed and releases the trim
+// floors it held.
 func (s *Sub) Close() {
 	s.feed.mu.Lock()
 	delete(s.feed.subs, s)
 	s.feed.mu.Unlock()
+	s.mu.Lock()
+	tracked := make([]bool, len(s.tracked))
+	copy(tracked, s.tracked)
+	s.mu.Unlock()
+	for shard, on := range tracked {
+		if on {
+			s.feed.refloor(shard)
+		}
+	}
 }

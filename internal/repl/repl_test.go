@@ -14,9 +14,9 @@ func TestLogAppendFromHead(t *testing.T) {
 	if l.Head() != 0 {
 		t.Fatalf("fresh log head = %d, want 0", l.Head())
 	}
-	recs, wake := l.From(1, 0)
-	if len(recs) != 0 {
-		t.Fatalf("fresh log From(1) = %d records, want 0", len(recs))
+	recs, wake, err := l.From(1, 0)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("fresh log From(1) = %d records, %v; want 0, nil", len(recs), err)
 	}
 	l.Append(wr("a", "1"))
 	select {
@@ -29,15 +29,149 @@ func TestLogAppendFromHead(t *testing.T) {
 	if l.Head() != 3 {
 		t.Fatalf("head = %d, want 3", l.Head())
 	}
-	recs, _ = l.From(2, 0)
+	recs, _, _ = l.From(2, 0)
 	if len(recs) != 2 || recs[0].Index != 2 || recs[1].Index != 3 {
 		t.Fatalf("From(2) = %+v, want indices 2,3", recs)
 	}
-	if recs, _ := l.From(1, 2); len(recs) != 2 || recs[0].Index != 1 {
+	if recs, _, _ := l.From(1, 2); len(recs) != 2 || recs[0].Index != 1 {
 		t.Fatalf("From(1, max 2) = %+v, want indices 1,2", recs)
 	}
-	if recs, _ := l.From(4, 0); len(recs) != 0 {
+	if recs, _, _ := l.From(4, 0); len(recs) != 0 {
 		t.Fatalf("From(4) past head = %+v, want empty", recs)
+	}
+}
+
+// TestLogTrim pins explicit trimming: records below the trim point are
+// gone (readers get ErrCompacted), indices above it are untouched, and
+// Head/Base/Trimmed account for the drop.
+func TestLogTrim(t *testing.T) {
+	l := NewLog()
+	for i := 1; i <= 5; i++ {
+		l.Append(wr("k", "v"))
+	}
+	if n := l.TrimBelow(3); n != 3 {
+		t.Fatalf("TrimBelow(3) dropped %d, want 3", n)
+	}
+	if l.Base() != 3 || l.Head() != 5 || l.Trimmed() != 3 {
+		t.Fatalf("after trim: base=%d head=%d trimmed=%d, want 3/5/3", l.Base(), l.Head(), l.Trimmed())
+	}
+	if _, _, err := l.From(2, 0); err != ErrCompacted {
+		t.Fatalf("From below base = %v, want ErrCompacted", err)
+	}
+	recs, _, err := l.From(4, 0)
+	if err != nil || len(recs) != 2 || recs[0].Index != 4 {
+		t.Fatalf("From(4) after trim = %+v, %v; want indices 4,5", recs, err)
+	}
+	// Trimming past the head clamps; re-trimming below base is a no-op.
+	if n := l.TrimBelow(99); n != 2 {
+		t.Fatalf("TrimBelow(99) dropped %d, want 2 (clamped to head)", n)
+	}
+	if n := l.TrimBelow(1); n != 0 {
+		t.Fatalf("TrimBelow below base dropped %d, want 0", n)
+	}
+	// Appends continue above the trimmed head.
+	l.Append(wr("k", "v6"))
+	if l.Head() != 6 {
+		t.Fatalf("head after post-trim append = %d, want 6", l.Head())
+	}
+	if recs, _, _ := l.From(6, 0); len(recs) != 1 || recs[0].Index != 6 {
+		t.Fatalf("From(6) = %+v, want index 6", recs)
+	}
+}
+
+// TestLogResetBase pins the recovery boot path: an empty log reset to a
+// base resumes numbering above it.
+func TestLogResetBase(t *testing.T) {
+	l := NewLog()
+	l.ResetBase(42)
+	if l.Head() != 42 || l.Base() != 42 {
+		t.Fatalf("reset log head=%d base=%d, want 42/42", l.Head(), l.Base())
+	}
+	l.Append(wr("k", "v"))
+	recs, _, err := l.From(43, 0)
+	if err != nil || len(recs) != 1 || recs[0].Index != 43 {
+		t.Fatalf("first append after ResetBase(42) = %+v, %v; want index 43", recs, err)
+	}
+	if _, _, err := l.From(1, 0); err != ErrCompacted {
+		t.Fatalf("From(1) on reset log = %v, want ErrCompacted", err)
+	}
+}
+
+// TestLogRetentionAutoTrim pins the satellite policy: with a retention
+// floor set, the log trims itself below min(acked floor, head-retain)
+// even with no durability layer, and never past what a tracking
+// subscriber still owes.
+func TestLogRetentionAutoTrim(t *testing.T) {
+	f := NewFeed(1)
+	l := f.Log(0)
+	l.SetRetention(2)
+
+	// No subscribers: retention alone bounds the log.
+	for i := 0; i < 10; i++ {
+		l.Append(wr("k", "v"))
+	}
+	if l.Base() != 8 || l.Head() != 10 {
+		t.Fatalf("retention trim: base=%d head=%d, want 8/10", l.Base(), l.Head())
+	}
+
+	// A tracking subscriber with no acks pins the floor: no further trim.
+	s := f.Subscribe()
+	s.Track(0)
+	for i := 0; i < 5; i++ {
+		l.Append(wr("k", "v"))
+	}
+	if l.Base() != 8 {
+		t.Fatalf("trim advanced past an unacked subscriber: base=%d, want 8", l.Base())
+	}
+
+	// Acks release records up to min(acked, head-retain).
+	s.Ack(0, 12)
+	if l.Base() != 12 {
+		t.Fatalf("base after ack 12 = %d, want 12", l.Base())
+	}
+	s.Ack(0, 15)
+	if l.Base() != 13 { // head 15, retain 2
+		t.Fatalf("base after full ack = %d, want 13 (retention keeps 2)", l.Base())
+	}
+
+	// Closing the subscriber releases its floor.
+	l.Append(wr("k", "v")) // head 16
+	s.Close()
+	l.Append(wr("k", "v")) // head 17; auto-trim to 15
+	if l.Base() != 15 {
+		t.Fatalf("base after subscriber close = %d, want 15", l.Base())
+	}
+}
+
+// TestLogDurableFloorTrim pins the tentpole policy: with durability, the
+// log trims below min(checkpoint index, min acked) with no retention
+// flag needed.
+func TestLogDurableFloorTrim(t *testing.T) {
+	f := NewFeed(1)
+	l := f.Log(0)
+	for i := 0; i < 10; i++ {
+		l.Append(wr("k", "v"))
+	}
+	s := f.Subscribe()
+	s.Track(0)
+	s.Ack(0, 6)
+	// No floor set yet: nothing trims.
+	if l.Base() != 0 {
+		t.Fatalf("base before durable floor = %d, want 0", l.Base())
+	}
+	// Checkpoint at 4 < acked 6: trim to 4.
+	l.SetDurableFloor(4)
+	if l.Base() != 4 {
+		t.Fatalf("base after ckpt 4 = %d, want 4", l.Base())
+	}
+	// Checkpoint at 9 > acked 6: trim held at the ack floor.
+	l.SetDurableFloor(9)
+	if l.Base() != 6 {
+		t.Fatalf("base after ckpt 9 = %d, want 6 (min acked)", l.Base())
+	}
+	s.Ack(0, 10)
+	if l.Base() != 9 {
+		t.Fatalf("base after ack 10 = %d, want 9 (checkpoint floor)", l.Base())
 	}
 }
 

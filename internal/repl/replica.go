@@ -38,6 +38,14 @@ type ReplicaConfig struct {
 	// replica reads the stream late by exactly the lag being measured,
 	// while the poll connection stays idle and current.
 	HeadInterval time.Duration
+	// Snapshot bootstraps the replica via the SNAP verb: each shard's
+	// current state is fetched atomically at its recorded commit-log
+	// index and installed in one batch, then the log is subscribed from
+	// the next index. Required when the primary has trimmed its log
+	// (retention, checkpoints), and cheaper than replay-from-1 against
+	// any long-running primary. Off, the replica replays from index 1 —
+	// which the primary refuses once trimmed.
+	Snapshot bool
 }
 
 // Replica is a live replication client. Create one with StartReplica.
@@ -83,7 +91,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		done:     make(chan struct{}),
 	}
 	br := bufio.NewReaderSize(conn, 256*1024)
-	pre, err := r.handshake(br)
+	pre, err := r.handshake(br, cfg.Snapshot)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -95,14 +103,16 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	return r, nil
 }
 
-// handshake checks the primary's shard count via STATS, subscribes every
-// shard, and reads until each subscription is confirmed (OK <shard>
-// <head>). LOG pushes of already-confirmed shards may interleave with
-// later confirmations; they are buffered and returned for the run loop
-// to apply first. Any ERR reply — e.g. "not a replication primary" —
-// fails the handshake, so a misdirected replica dies at startup instead
-// of serving an empty snapshot.
-func (r *Replica) handshake(br *bufio.Reader) (map[int][]Record, error) {
+// handshake checks the primary's shard count via STATS, optionally
+// snapshot-bootstraps every shard (SNAP), subscribes every shard from
+// just above its installed position, and reads until each subscription
+// is confirmed (OK <shard> <head>). LOG pushes of already-confirmed
+// shards may interleave with later confirmations; they are buffered and
+// returned for the run loop to apply first. Any ERR reply — e.g. "not a
+// replication primary", or "log trimmed" for a non-snapshot replica
+// joining a trimmed log — fails the handshake, so a misdirected replica
+// dies at startup instead of serving an empty snapshot.
+func (r *Replica) handshake(br *bufio.Reader, snapshot bool) (map[int][]Record, error) {
 	if _, err := fmt.Fprintf(r.w, "STATS\n"); err != nil {
 		return nil, err
 	}
@@ -128,8 +138,13 @@ func (r *Replica) handshake(br *bufio.Reader) (map[int][]Record, error) {
 	if shards != r.store.NumShards() {
 		return nil, fmt.Errorf("repl: shard count mismatch: primary has %d, replica has %d", shards, r.store.NumShards())
 	}
+	if snapshot {
+		if err := r.bootstrap(br, shards); err != nil {
+			return nil, err
+		}
+	}
 	for i := 0; i < shards; i++ {
-		if _, err := fmt.Fprintf(r.w, "REPL %d 1\n", i); err != nil {
+		if _, err := fmt.Fprintf(r.w, "REPL %d %d\n", i, r.appliedIdx(i)+1); err != nil {
 			return nil, err
 		}
 	}
@@ -154,7 +169,91 @@ func (r *Replica) handshake(br *bufio.Reader) (map[int][]Record, error) {
 			return nil, err
 		}
 	}
+	// Announce the bootstrapped positions: the primary's lag accounting
+	// and trim floors should start from the snapshot indices, not from
+	// zero. (ACK is only legal after a REPL created the subscription.)
+	acked := false
+	for i := 0; i < shards; i++ {
+		if a := r.appliedIdx(i); a > 0 {
+			if _, err := fmt.Fprintf(r.w, "ACK %d %d\n", i, a); err != nil {
+				return nil, err
+			}
+			r.mu.Lock()
+			r.acked[i] = a
+			r.mu.Unlock()
+			acked = true
+		}
+	}
+	if acked {
+		if err := r.w.Flush(); err != nil {
+			return nil, err
+		}
+	}
 	return pre, nil
+}
+
+// bootstrap fetches and installs every shard's SNAP snapshot. Replies
+// are strictly ordered (nothing is subscribed yet, so no pushes
+// interleave): per shard, an "OK <shard> <index> <n>" header, then the
+// n pairs across SNAPKV lines. The snapshot is installed through the
+// same ApplyReplicated path as streamed records — one batch, native
+// commit visibility, and (on a durable or chaining replica) one record
+// in the local commit log.
+func (r *Replica) bootstrap(br *bufio.Reader, shards int) error {
+	for i := 0; i < shards; i++ {
+		if _, err := fmt.Fprintf(r.w, "SNAP %d\n", i); err != nil {
+			return err
+		}
+	}
+	if err := r.w.Flush(); err != nil {
+		return err
+	}
+	for i := 0; i < shards; i++ {
+		raw, err := br.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("repl: snapshot: %w", err)
+		}
+		fields := strings.Fields(strings.TrimSpace(raw))
+		if len(fields) != 4 || fields[0] != "OK" {
+			return fmt.Errorf("repl: primary refused snapshot: %s", strings.TrimSpace(raw))
+		}
+		head, err1 := strconv.ParseUint(fields[2], 10, 64)
+		n, err2 := strconv.Atoi(fields[3])
+		if fields[1] != strconv.Itoa(i) || err1 != nil || err2 != nil || n < 0 {
+			return fmt.Errorf("repl: malformed snapshot header %q", strings.TrimSpace(raw))
+		}
+		writes := make(map[string][]byte, n)
+		for got := 0; got < n; {
+			raw, err := br.ReadString('\n')
+			if err != nil {
+				return fmt.Errorf("repl: snapshot body: %w", err)
+			}
+			kvf := strings.Fields(strings.TrimSpace(raw))
+			if len(kvf) < 3 || kvf[0] != "SNAPKV" || kvf[1] != strconv.Itoa(i) {
+				return fmt.Errorf("repl: unexpected line in snapshot body: %q", strings.TrimSpace(raw))
+			}
+			for _, pair := range kvf[2:] {
+				k, v, err := ParsePair(pair)
+				if err != nil {
+					return fmt.Errorf("repl: bad snapshot pair %q", pair)
+				}
+				writes[k] = v
+				got++
+			}
+		}
+		if len(writes) > 0 {
+			if err := r.store.ApplyReplicated(i, []map[string][]byte{writes}); err != nil {
+				return err
+			}
+		}
+		r.mu.Lock()
+		r.applied[i] = head
+		r.mu.Unlock()
+		if r.gate != nil {
+			r.gate.ObserveApplied(i, head, 0, 0)
+		}
+	}
+	return nil
 }
 
 // pollHeads keeps the lag gate's view of the primary's log heads current

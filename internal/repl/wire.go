@@ -53,11 +53,23 @@ func ParseLog(fields []string) (shard int, r Record, err error) {
 	}
 	r.Writes = make(map[string][]byte, len(fields)-2)
 	for _, pair := range fields[2:] {
-		k, v, ok := strings.Cut(pair, ":")
-		if !ok || k == "" {
+		k, v, err := ParsePair(pair)
+		if err != nil {
 			return 0, Record{}, fmt.Errorf("repl: bad LOG pair %q", pair)
 		}
-		r.Writes[k] = []byte(v)
+		r.Writes[k] = v
 	}
 	return shard, r, nil
+}
+
+// ParsePair decodes one <key>:<value> token — the encoding LOG records
+// and SNAPKV snapshot lines share. The first ':' separates (keys never
+// contain one); both consumers must use this single decoder so a future
+// change to the pair syntax cannot apply to one path and not the other.
+func ParsePair(pair string) (string, []byte, error) {
+	k, v, ok := strings.Cut(pair, ":")
+	if !ok || k == "" {
+		return "", nil, fmt.Errorf("repl: bad pair %q", pair)
+	}
+	return k, []byte(v), nil
 }

@@ -1,0 +1,373 @@
+// End-to-end durability and snapshot-bootstrap tests: crash recovery
+// through a real server (data directory reopened by a second instance),
+// the CKPT verb and its STATS counters, and the SNAP joiner path —
+// including the equivalence oracle of satellite 4: a replica bootstrapped
+// via SNAP converges to exactly the state of one that replayed the log
+// from index 1.
+package server
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/repl"
+	"repro/internal/server/client"
+)
+
+// startDurableServer starts a server with a data directory. Unlike
+// startServer it does not register cleanup: crash-recovery tests close
+// (or abandon) servers mid-test themselves.
+func startDurableServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(lis)
+	return s, lis.Addr().String()
+}
+
+// driveMixedLoad writes single-shard and cross-shard transactions and
+// returns the expected key set.
+func driveMixedLoad(t *testing.T, addr string, rounds int) []string {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	keys := make([]string, 24)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dk%d", i)
+	}
+	for round := 0; round < rounds; round++ {
+		for i, k := range keys {
+			if _, err := c.Add(k, int64(i+round)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i+1 < len(keys); i += 2 {
+			if _, err := c.Update([]client.Op{
+				{Key: keys[i], Delta: -3, Write: true},
+				{Key: keys[i+1], Delta: 3, Write: true},
+			}, client.TxOpts{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return keys
+}
+
+// snapshotKeys reads every key through a fresh client.
+func snapshotKeys(t *testing.T, addr string, keys []string) map[string]int64 {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	out := make(map[string]int64, len(keys))
+	for _, k := range keys {
+		n, _, err := c.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[k] = n
+	}
+	return out
+}
+
+// TestServerCrashRecovery: a primary with a data directory is closed and
+// a second instance reopened over the same directory recovers every
+// acknowledged commit, reports recovered_index, and keeps serving (and
+// logging) new commits above the recovered history.
+func TestServerCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Shards:  4,
+		Repl:    ReplOptions{Primary: true},
+		Durable: durable.Options{Dir: dir},
+	}
+	s1, addr1 := startDurableServer(t, cfg)
+	keys := driveMixedLoad(t, addr1, 10)
+	want := snapshotKeys(t, addr1, keys)
+	heads := s1.Feed().Heads()
+	var total uint64
+	for _, h := range heads {
+		total += h
+	}
+	s1.Close()
+
+	s2, addr2 := startDurableServer(t, cfg)
+	defer s2.Close()
+	if got := snapshotKeys(t, addr2, keys); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered state %v, want %v", got, want)
+	}
+	if rec := s2.Durable().RecoveredIndex(); rec != total {
+		t.Fatalf("recovered_index = %d, want %d", rec, total)
+	}
+	for i, h := range s2.Feed().Heads() {
+		if h != heads[i] {
+			t.Fatalf("shard %d log head after restart = %d, want %d", i, h, heads[i])
+		}
+	}
+	// STATS reports the durability counters, including recovered_index.
+	rc := dialRaw(t, addr2)
+	rc.send("STATS")
+	st := rc.recv()
+	if !strings.Contains(st, fmt.Sprintf("recovered_index=%d", total)) {
+		t.Fatalf("STATS %q lacks recovered_index=%d", st, total)
+	}
+	if !strings.Contains(st, "wal_appends=") || !strings.Contains(st, "ckpt_count=") {
+		t.Fatalf("STATS %q lacks durability counters", st)
+	}
+	// New commits append above the recovered history.
+	c, err := client.Dial(addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Add(keys[0], 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCKPTVerbAndRecoveryFromCheckpoint: the CKPT verb captures every
+// dirty shard; a restart recovers from checkpoint + WAL suffix; the
+// in-memory log is trimmed below the checkpoint (no subscribers), so a
+// plain replay-from-1 joiner is refused while a SNAP joiner succeeds.
+func TestCKPTVerbAndRecoveryFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{
+		Shards:  2,
+		Repl:    ReplOptions{Primary: true},
+		Durable: durable.Options{Dir: dir},
+	}
+	s1, addr1 := startDurableServer(t, cfg)
+	keys := driveMixedLoad(t, addr1, 6)
+
+	rc := dialRaw(t, addr1)
+	rc.send("CKPT")
+	if got := rc.recv(); got != "OK 2" {
+		t.Fatalf("CKPT = %q, want OK 2 (both shards dirty)", got)
+	}
+	rc.send("STATS")
+	if st := rc.recv(); !strings.Contains(st, "ckpt_count=2") {
+		t.Fatalf("STATS %q lacks ckpt_count=2", st)
+	}
+	// With no subscribers, the checkpoint floor trims the whole log.
+	for i := 0; i < 2; i++ {
+		if base, head := s1.Feed().Log(i).Base(), s1.Feed().Log(i).Head(); base != head {
+			t.Fatalf("shard %d log base %d != head %d after CKPT with no subscribers", i, base, head)
+		}
+	}
+	rc.send("STATS")
+	if st := rc.recv(); !strings.Contains(st, "log_trimmed=") || strings.Contains(st, "log_trimmed=0") {
+		t.Fatalf("STATS %q lacks nonzero log_trimmed", st)
+	}
+
+	// A replay-from-1 subscriber is refused with a SNAP pointer...
+	sub := dialRaw(t, addr1)
+	sub.send("REPL 0 1")
+	if got := sub.recv(); !strings.HasPrefix(got, "ERR log trimmed") || !strings.Contains(got, "SNAP") {
+		t.Fatalf("REPL 0 1 on trimmed log = %q, want ERR log trimmed ... SNAP", got)
+	}
+	// ...and a SNAP bootstrap succeeds despite the trimmed history.
+	want := snapshotKeys(t, addr1, keys)
+	repCfg := Config{Shards: 2}
+	rep, repAddr := startServer(t, repCfg)
+	r, err := repl.StartReplica(repl.ReplicaConfig{
+		Primary:  addr1,
+		Store:    rep.Store(),
+		Snapshot: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := snapshotKeys(t, repAddr, keys); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("SNAP-bootstrapped replica state %v, want %v", got, want)
+	}
+	// Post-checkpoint commits land in the WAL and survive a restart.
+	more := driveMixedLoad(t, addr1, 2)
+	want = snapshotKeys(t, addr1, more)
+	s1.Close()
+
+	s2, addr2 := startDurableServer(t, cfg)
+	defer s2.Close()
+	if got := snapshotKeys(t, addr2, more); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-checkpoint recovery state %v, want %v", got, want)
+	}
+}
+
+// TestSnapBootstrapEquivalence is satellite 4's oracle: one replica
+// replays the primary's log from index 1, another joins later via SNAP;
+// both must converge to identical stores, and the SNAP joiner must never
+// have requested records below its snapshot index.
+func TestSnapBootstrapEquivalence(t *testing.T) {
+	pri, priAddr := startServer(t, Config{Shards: 4, Repl: ReplOptions{Primary: true}})
+	keys := driveMixedLoad(t, priAddr, 8)
+
+	// Replica A: full replay from index 1 (the PR 3 path).
+	repA, addrA := startServer(t, Config{Shards: 4})
+	rA, err := repl.StartReplica(repl.ReplicaConfig{Primary: priAddr, Store: repA.Store()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rA.Close()
+
+	// More load lands after A subscribed, before B joins.
+	driveMixedLoad(t, priAddr, 4)
+
+	// Replica B: SNAP bootstrap, subscribed only above the snapshot.
+	repB, addrB := startServer(t, Config{Shards: 4})
+	rB, err := repl.StartReplica(repl.ReplicaConfig{Primary: priAddr, Store: repB.Store(), Snapshot: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rB.Close()
+
+	// B's applied positions start at its snapshot indices — strictly
+	// positive on every shard the load touched — and never regress.
+	snapIdx := rB.Applied()
+
+	// Final writes both replicas must stream.
+	driveMixedLoad(t, priAddr, 2)
+	waitCaughtUp(t, pri, rA)
+	waitCaughtUp(t, pri, rB)
+
+	stateA := snapshotKeys(t, addrA, keys)
+	stateB := snapshotKeys(t, addrB, keys)
+	statePri := snapshotKeys(t, priAddr, keys)
+	if fmt.Sprint(stateA) != fmt.Sprint(statePri) {
+		t.Fatalf("replay replica %v != primary %v", stateA, statePri)
+	}
+	if fmt.Sprint(stateB) != fmt.Sprint(statePri) {
+		t.Fatalf("SNAP replica %v != primary %v", stateB, statePri)
+	}
+
+	// The log-replay oracle: independently replaying the primary's full
+	// log reproduces what both replicas serve (indices dense from 1).
+	replay := make(map[string]string)
+	for i := 0; i < pri.Feed().Shards(); i++ {
+		recs, _, err := pri.Feed().Log(i).From(1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		next := uint64(1)
+		for _, rec := range recs {
+			if rec.Index != next {
+				t.Fatalf("shard %d log not dense at %d", i, rec.Index)
+			}
+			next++
+			for k, v := range rec.Writes {
+				replay[k] = string(v)
+			}
+		}
+	}
+	for _, k := range keys {
+		if replay[k] != strconv.FormatInt(stateB[k], 10) {
+			t.Fatalf("oracle replay of %s = %s, SNAP replica serves %d", k, replay[k], stateB[k])
+		}
+	}
+
+	// Acceptance: the SNAP joiner's first requested record per shard was
+	// snapIdx+1 — its applied index can never have been observed below
+	// the snapshot, and the snapshot covered the pre-join load.
+	var totalSnap uint64
+	for i, idx := range snapIdx {
+		totalSnap += idx
+		if final := rB.Applied()[i]; final < idx {
+			t.Fatalf("shard %d applied regressed below snapshot: %d < %d", i, final, idx)
+		}
+	}
+	if totalSnap == 0 {
+		t.Fatal("SNAP bootstrap installed nothing; equivalence test degenerated to full replay")
+	}
+}
+
+// TestSnapVerbErrors pins the SNAP/CKPT error surface.
+func TestSnapVerbErrors(t *testing.T) {
+	_, priAddr := startServer(t, Config{Shards: 2, Repl: ReplOptions{Primary: true}})
+	rc := dialRaw(t, priAddr)
+	for in, wantPrefix := range map[string]string{
+		"SNAP":         "ERR usage: SNAP",
+		"SNAP x":       "ERR bad shard",
+		"SNAP 9":       "ERR bad shard",
+		"CKPT":         "ERR durability disabled",
+		"REQ 1 SNAP 0": "RES 1 ERR SNAP requires bare framing",
+	} {
+		rc.send(in)
+		if got := rc.recv(); !strings.HasPrefix(got, wantPrefix) {
+			t.Errorf("%q -> %q, want prefix %q", in, got, wantPrefix)
+		}
+	}
+	// SNAP of an empty shard: a bare header, zero pairs, no SNAPKV lines
+	// (the next reply arrives immediately after).
+	rc.send("SNAP 0")
+	if got := rc.recv(); got != "OK 0 0 0" {
+		t.Errorf("SNAP of empty shard = %q, want OK 0 0 0", got)
+	}
+	rc.send("PING")
+	if got := rc.recv(); got != "OK pong" {
+		t.Errorf("connection unusable after empty SNAP: %q", got)
+	}
+
+	_, plainAddr := startServer(t, Config{Shards: 2})
+	pc := dialRaw(t, plainAddr)
+	pc.send("SNAP 0")
+	if got := pc.recv(); got != "ERR not a replication primary" {
+		t.Errorf("SNAP on non-primary -> %q", got)
+	}
+}
+
+// TestRetentionTrimsWithoutDurability is satellite 1 end-to-end: a pure
+// in-memory primary with a retention floor trims below the min acked
+// index as its replica acks, without any data directory.
+func TestRetentionTrimsWithoutDurability(t *testing.T) {
+	pri, priAddr := startServer(t, Config{Shards: 1, Repl: ReplOptions{Primary: true, Retain: 4}})
+	rep, _ := startServer(t, Config{Shards: 1})
+	r, err := repl.StartReplica(repl.ReplicaConfig{Primary: priAddr, Store: rep.Store()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	c, err := client.Dial(priAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 64
+	for i := 0; i < n; i++ {
+		if _, err := c.Add("rk", 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCaughtUp(t, pri, r)
+	log := pri.Feed().Log(0)
+	deadline := time.Now().Add(10 * time.Second)
+	for log.Base() < n-4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("retention trim never caught up: base=%d head=%d trimmed=%d", log.Base(), log.Head(), log.Trimmed())
+		}
+		// Acks race the check; one more commit re-runs auto-trim.
+		if _, err := c.Add("rk", 0); err != nil {
+			t.Fatal(err)
+		}
+		waitCaughtUp(t, pri, r)
+		time.Sleep(time.Millisecond)
+	}
+	if log.Trimmed() == 0 {
+		t.Fatal("log_trimmed stayed 0 despite retention and acks")
+	}
+}

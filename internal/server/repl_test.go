@@ -141,7 +141,7 @@ func TestReplicationConverges(t *testing.T) {
 	replay := make(map[string]string)
 	var records uint64
 	for i := 0; i < pri.Feed().Shards(); i++ {
-		recs, _ := pri.Feed().Log(i).From(1, 0)
+		recs, _, _ := pri.Feed().Log(i).From(1, 0)
 		records += uint64(len(recs))
 		next := uint64(1)
 		for _, rec := range recs {

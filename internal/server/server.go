@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/repl"
 	"repro/internal/shard"
@@ -51,6 +52,11 @@ type Config struct {
 	PipelineDepth int
 	// Repl configures replication roles (docs/PROTOCOL.md, "Replication").
 	Repl ReplOptions
+	// Durable enables crash durability (internal/durable) when Dir is
+	// set: per-shard WALs fed at the commit boundary, checkpoints, and
+	// recovery of the data directory at startup — construction then goes
+	// through Open, which can fail on unreadable or corrupt directories.
+	Durable durable.Options
 }
 
 // ReplOptions selects a server's replication role. Both may be set: a
@@ -66,6 +72,16 @@ type ReplOptions struct {
 	// catches up (repl_shed in STATS). The gate is fed by the
 	// repl.Replica streaming into this server's store.
 	Gate *repl.LagGate
+	// Retain, when nonzero, bounds each in-memory commit log: records
+	// acked by every tracking subscriber are trimmed once the log holds
+	// more than Retain newer ones (with no subscribers, the newest
+	// Retain records are simply kept). Trimmed history is served to
+	// joiners via SNAP bootstrap instead of replay-from-1. Zero means
+	// no retention bound: on an in-memory server the log then grows
+	// unboundedly (the PR 3 behavior); on a durable server checkpoints
+	// still trim below min(checkpoint index, min acked), so replay-from-1
+	// joiners need a retention bound or SNAP.
+	Retain uint64
 }
 
 // Server serves a sharded store over TCP.
@@ -73,8 +89,9 @@ type Server struct {
 	store         *shard.Store
 	adm           *Admission
 	pipelineDepth int
-	feed          *repl.Feed    // non-nil on replication primaries
-	gate          *repl.LagGate // non-nil on read replicas
+	feed          *repl.Feed       // non-nil on replication primaries
+	gate          *repl.LagGate    // non-nil on read replicas
+	durable       *durable.Manager // non-nil with a data directory
 
 	// mu guards connection lifecycle only; per-request counters use
 	// their own synchronization so requests never serialize on it.
@@ -91,8 +108,26 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// New returns a server over a fresh sharded store.
+// New returns a server over a fresh sharded store. It cannot fail for
+// in-memory configurations; a Config with durability enabled can, so it
+// must go through Open — New panics on it to make the misuse loud.
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		panic("server.New with durability must be server.Open: " + err.Error())
+	}
+	return s
+}
+
+// Open builds a server over a fresh sharded store, recovering it from
+// cfg.Durable.Dir first when durability is enabled. The wiring order is
+// what makes recovery clean: the store opens with no commit logs, the
+// durability manager replays checkpoint + WAL suffix through ApplyLocked
+// (nothing re-logs), and only then is each shard's commit-log sink
+// installed — with the replication feed's log bases reset to the
+// recovered indices, so a replica subscribed above the base streams
+// seamlessly across a primary restart.
+func Open(cfg Config) (*Server, error) {
 	if cfg.PipelineDepth <= 0 {
 		cfg.PipelineDepth = 128
 	}
@@ -101,28 +136,47 @@ func New(cfg Config) *Server {
 		// the replication feed is sized to the store it logs.
 		cfg.Shards = shard.DefaultShards
 	}
-	scfg := shard.Config{
+	store := shard.Open(shard.Config{
 		Shards: cfg.Shards,
 		Engine: engine.Config{Mode: cfg.Mode, GroupCommit: cfg.GroupCommit},
-	}
+	})
 	var feed *repl.Feed
 	if cfg.Repl.Primary {
 		feed = repl.NewFeed(cfg.Shards)
-		scfg.CommitLogFor = func(i int) engine.CommitLog { return feed.Log(i) }
+		if cfg.Repl.Retain > 0 {
+			feed.SetRetention(cfg.Repl.Retain)
+		}
+	}
+	var man *durable.Manager
+	if cfg.Durable.Dir != "" {
+		var err error
+		man, err = durable.Open(cfg.Durable, store, feed)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	} else if feed != nil {
+		for i := 0; i < cfg.Shards; i++ {
+			store.Shard(i).SetCommitLog(feed.Log(i))
+		}
 	}
 	return &Server{
-		store:         shard.Open(scfg),
+		store:         store,
 		adm:           NewAdmission(cfg.Admission),
 		pipelineDepth: cfg.PipelineDepth,
 		feed:          feed,
 		gate:          cfg.Repl.Gate,
+		durable:       man,
 		conns:         make(map[net.Conn]struct{}),
 		lat:           stats.NewSample(4096, 1),
-	}
+	}, nil
 }
 
 // Feed exposes the primary's replication feed (nil unless Repl.Primary).
 func (s *Server) Feed() *repl.Feed { return s.feed }
+
+// Durable exposes the durability manager (nil without a data directory).
+func (s *Server) Durable() *durable.Manager { return s.durable }
 
 // Store exposes the backing sharded store (stats inspection, seeding).
 func (s *Server) Store() *shard.Store { return s.store }
@@ -201,6 +255,11 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.wg.Wait()
 	s.store.Close()
+	if s.durable != nil {
+		// After the store drains: the final WAL sync in Close covers
+		// every acknowledged commit.
+		s.durable.Close()
+	}
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -310,6 +369,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			// connection into a push stream), so they are handled here,
 			// not in dispatch.
 			s.handleRepl(strings.ToUpper(fields[0]), fields[1:], &sub, out, stop, &workers)
+		case "SNAP":
+			// SNAP's reply spans several lines (header + SNAPKV batches),
+			// so like REPL it needs bare framing; a joiner issues its
+			// SNAPs before subscribing, keeping the stream unambiguous.
+			s.handleSnap(fields[1:], &sub, out)
 		default:
 			out <- s.dispatch(fields)
 		}
@@ -356,15 +420,29 @@ func (s *Server) handleRepl(verb string, args []string, sub **repl.Sub, out chan
 	if *sub == nil {
 		*sub = s.feed.Subscribe()
 	}
+	// Track before the trimmed-base check: tracking pins the shard's trim
+	// floor at this subscriber's acked index, so a base observed to be
+	// below the requested start cannot advance past it afterwards.
 	(*sub).Track(shardIdx)
 	log := s.feed.Log(shardIdx)
+	if base := log.Base(); index <= base {
+		out <- fmt.Sprintf("ERR log trimmed through %d; SNAP %d to bootstrap, then REPL above it", base, shardIdx)
+		return
+	}
 	out <- fmt.Sprintf("OK %d %d", shardIdx, log.Head())
 	workers.Add(1)
 	go func() {
 		defer workers.Done()
 		next := index
 		for {
-			recs, wake := log.From(next, 256)
+			recs, wake, err := log.From(next, 256)
+			if err != nil {
+				// Trimmed past a tracked, streaming subscriber — possible
+				// only if it never acked while the retention window slid
+				// by. The stream cannot resync; tell it to re-bootstrap.
+				out <- fmt.Sprintf("ERR log trimmed through %d; SNAP %d to bootstrap, then REPL above it", log.Base(), shardIdx)
+				return
+			}
 			if len(recs) == 0 {
 				select {
 				case <-wake:
@@ -383,6 +461,76 @@ func (s *Server) handleRepl(verb string, args []string, sub **repl.Sub, out chan
 			}
 		}
 	}()
+}
+
+// snapBatch is how many key:value pairs one SNAPKV line carries — small
+// enough that a line stays far under the 1MB request bound for the
+// integer values this protocol stores, large enough to amortize framing.
+const snapBatch = 256
+
+// handleSnap serves SNAP <shard>: an atomic snapshot of one shard's
+// committed state paired with the commit-log index it corresponds to.
+// The shard is latched for the copy (appends happen under the same
+// latch, so the head read is exact), then released before any line is
+// written. Reply: "OK <shard> <index> <npairs>" followed by
+// ceil(npairs/256) SNAPKV lines. A joining replica installs the pairs,
+// then subscribes with REPL <shard> <index+1> — never touching log
+// records at or below the snapshot index, trimmed or not.
+//
+// On a durable primary the published log head can trail the installed
+// state by the current commit batch (records ship only after their WAL
+// sync), so a snapshot may already contain the effects of records just
+// above <index>. That is harmless: log writes carry absolute values,
+// so the replica re-applying them is idempotent.
+func (s *Server) handleSnap(args []string, sub **repl.Sub, out chan<- string) {
+	if s.feed == nil {
+		out <- "ERR not a replication primary"
+		return
+	}
+	if len(args) != 1 {
+		out <- "ERR usage: SNAP <shard>"
+		return
+	}
+	shardIdx, err := strconv.Atoi(args[0])
+	if err != nil || shardIdx < 0 || shardIdx >= s.feed.Shards() {
+		out <- fmt.Sprintf("ERR bad shard %q (have %d shards)", args[0], s.feed.Shards())
+		return
+	}
+	if *sub == nil {
+		*sub = s.feed.Subscribe()
+	}
+	eng := s.store.Shard(shardIdx)
+	log := s.feed.Log(shardIdx)
+	var pairs []string
+	eng.LockCommit()
+	head := log.Head()
+	// Pin the shard's trim floor at the snapshot index before the latch
+	// drops: the joiner is about to REPL from head+1, and without a
+	// tracked subscription a background checkpoint could trim past head
+	// in the SNAP-to-REPL window and refuse the very subscription this
+	// snapshot exists to seed. The floor is released when the
+	// connection (and with it the Sub) goes away.
+	(*sub).Track(shardIdx)
+	(*sub).Ack(shardIdx, head)
+	eng.RangeLocked(func(k string, v []byte) bool {
+		pairs = append(pairs, k+":"+string(v))
+		return true
+	})
+	eng.UnlockCommit()
+	// Nothing leaves the server before it is durable: the captured state
+	// can include commits whose WAL sync is still pending (they were
+	// installed under the latch we just held), so force the sync now —
+	// after it, every record the snapshot reflects is on stable storage
+	// and the disown-and-reissue hazard sync-before-ship guards against
+	// cannot pass through SNAP either. (A broken WAL makes this a no-op;
+	// the server is about to fail-stop anyway.)
+	eng.SyncCommitLog()
+	out <- fmt.Sprintf("OK %d %d %d", shardIdx, head, len(pairs))
+	for len(pairs) > 0 {
+		n := min(snapBatch, len(pairs))
+		out <- fmt.Sprintf("SNAPKV %d %s", shardIdx, strings.Join(pairs[:n], " "))
+		pairs = pairs[n:]
+	}
 }
 
 // parseReplArgs validates "<shard> <index>" for REPL (from-index) and ACK
@@ -508,10 +656,23 @@ func (s *Server) dispatch(fields []string) string {
 			b.WriteString(strconv.FormatUint(h, 10))
 		}
 		return b.String()
-	case "REPL", "ACK":
-		// Bare REPL/ACK are intercepted by serveConn; reaching dispatch
-		// means REQ framing (or the fuzzer), where a push stream cannot
-		// be correlated.
+	case "CKPT":
+		// Operator-triggered checkpoint: capture every shard with records
+		// since its last checkpoint, highest pending-value first, and
+		// trim WAL segments + in-memory log below the new floors. The
+		// reply reports how many shards were captured.
+		if s.durable == nil {
+			return "ERR durability disabled"
+		}
+		order, err := s.durable.CheckpointAll()
+		if err != nil {
+			return "ERR checkpoint: " + err.Error()
+		}
+		return "OK " + strconv.Itoa(len(order))
+	case "REPL", "ACK", "SNAP":
+		// Bare REPL/ACK/SNAP are intercepted by serveConn; reaching
+		// dispatch means REQ framing (or the fuzzer), where a push stream
+		// or multi-line reply cannot be correlated.
 		return "ERR " + verb + " requires bare framing on a dedicated connection"
 	default:
 		return "ERR unknown verb " + verb
@@ -708,11 +869,17 @@ func (s *Server) statsLine() string {
 	// primary-and-replica reports the replica-side repl_lag (last key
 	// wins in k=v parsers).
 	if s.feed != nil {
-		line += fmt.Sprintf(" repl_subs=%d repl_lag=%d", s.feed.Subscribers(), s.feed.MaxLag())
+		line += fmt.Sprintf(" repl_subs=%d repl_lag=%d log_trimmed=%d",
+			s.feed.Subscribers(), s.feed.MaxLag(), s.feed.Trimmed())
 	}
 	if s.gate != nil {
 		line += fmt.Sprintf(" repl_applied=%d repl_lag=%d repl_shed=%d",
 			s.gate.Applied(), s.gate.LagRecords(), s.gate.Shed())
+	}
+	if s.durable != nil {
+		d := s.durable.Stats()
+		line += fmt.Sprintf(" wal_appends=%d wal_fsyncs=%d ckpt_count=%d recovered_index=%d dur_errors=%d",
+			d.WALAppends, d.WALFsyncs, d.Checkpoints, d.RecoveredIndex, d.Errors)
 	}
 	return line
 }

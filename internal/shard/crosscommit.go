@@ -27,6 +27,7 @@ import (
 type crossReq struct {
 	reads  map[int]map[string]uint64 // read versions, grouped by shard
 	writes map[int]map[string][]byte // writes, grouped by shard (nil = validate only)
+	value  float64                   // transaction value, forwarded to the shards' commit logs
 	done   chan bool
 }
 
@@ -61,7 +62,7 @@ func signature(involved []int) string {
 // used to decide whether a closure error came from a serializable read
 // cut. Blocks until a combiner (possibly the caller) delivers the verdict.
 func (s *Store) commitCross(involved []int, c *crossTx, apply bool) bool {
-	req := crossReq{reads: s.groupReads(c.reads), done: make(chan bool, 1)}
+	req := crossReq{reads: s.groupReads(c.reads), value: c.value, done: make(chan bool, 1)}
 	if apply {
 		req.writes = make(map[int]map[string][]byte)
 		for key, val := range c.writes {
@@ -120,7 +121,9 @@ func (s *Store) combineCross(q *crossQueue) {
 		s.shards[idx].LockCommit()
 	}
 	s.crossBatches.Add(1)
-	for _, req := range batch {
+	verdicts := make([]bool, len(batch))
+	installed := false
+	for i, req := range batch {
 		ok := true
 		for idx, reads := range req.reads {
 			if !s.shards[idx].ValidateLocked(reads) {
@@ -130,13 +133,44 @@ func (s *Store) combineCross(q *crossQueue) {
 		}
 		if ok {
 			for idx, writes := range req.writes {
-				s.shards[idx].ApplyLocked(writes)
+				s.shards[idx].ApplyValuedLocked(writes, req.value)
 			}
+			installed = installed || len(req.writes) > 0
 		}
-		req.done <- ok
+		verdicts[i] = ok
 	}
 	for _, idx := range q.involved {
 		s.shards[idx].UnlockCommit()
+	}
+	// Durability boundary: every shard the batch wrote is synced before
+	// any verdict is delivered, so a cross-shard ack implies the record
+	// is durable on each involved shard. Shards without a sync hook are
+	// skipped up front — the in-memory path pays nothing — and multiple
+	// syncs target independent WAL files, so they run concurrently: the
+	// batch waits one fsync, not len(involved) of them.
+	if installed {
+		var toSync []int
+		for _, idx := range q.involved {
+			if s.shards[idx].NeedsCommitSync() {
+				toSync = append(toSync, idx)
+			}
+		}
+		if len(toSync) == 1 {
+			s.shards[toSync[0]].SyncCommitLog()
+		} else if len(toSync) > 1 {
+			var syncs sync.WaitGroup
+			for _, idx := range toSync {
+				syncs.Add(1)
+				go func(idx int) {
+					defer syncs.Done()
+					s.shards[idx].SyncCommitLog()
+				}(idx)
+			}
+			syncs.Wait()
+		}
+	}
+	for i, req := range batch {
+		req.done <- verdicts[i]
 	}
 
 	s.cross.mu.Lock()

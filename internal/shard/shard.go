@@ -133,6 +133,12 @@ func Open(cfg Config) *Store {
 // NumShards returns the partition count.
 func (s *Store) NumShards() int { return len(s.shards) }
 
+// Shard returns one partition's engine. It exists for the layers that
+// operate per shard — recovery wiring (SetCommitLog after replay),
+// checkpoint/snapshot capture (LockCommit + RangeLocked) — not for
+// routing reads or writes around the partitioner.
+func (s *Store) Shard(i int) *engine.Store { return s.shards[i] }
+
 // ShardOf returns the partition that owns key. The hash is FNV-1a
 // inlined (identical values to hash/fnv.New32a) because this sits on
 // every routed operation and the stdlib hasher heap-allocates.
@@ -239,7 +245,7 @@ func (s *Store) UpdateGatedResult(value float64, keys []string, gate RetryGate, 
 			return fn(guardTx{tx: etx, s: s, shard: idx})
 		})
 	}
-	return s.updateCross(s.shardSet(keys), gate, fn)
+	return s.updateCross(value, s.shardSet(keys), gate, fn)
 }
 
 // guardTx wraps the native engine transaction on the fast path, verifying
@@ -273,6 +279,7 @@ func (g guardTx) Stash(v any) { g.tx.Stash(v) }
 type crossTx struct {
 	s        *Store
 	involved map[int]struct{}
+	value    float64
 	reads    map[string]uint64
 	writes   map[string][]byte
 	result   any
@@ -309,8 +316,11 @@ func (c *crossTx) Set(key string, val []byte) error {
 }
 
 // updateCross runs the OCC execute/validate/apply loop for a multi-shard
-// transaction, consulting gate (if any) before each re-execution.
-func (s *Store) updateCross(involved []int, gate RetryGate, fn func(Tx) error) (any, error) {
+// transaction, consulting gate (if any) before each re-execution. value
+// rides along to the shards' commit logs (pending-value accounting for
+// the durability layer); cross-shard conflict resolution itself stays
+// optimistic.
+func (s *Store) updateCross(value float64, involved []int, gate RetryGate, fn func(Tx) error) (any, error) {
 	invSet := make(map[int]struct{}, len(involved))
 	for _, i := range involved {
 		invSet[i] = struct{}{}
@@ -329,6 +339,7 @@ func (s *Store) updateCross(involved []int, gate RetryGate, fn func(Tx) error) (
 		c := &crossTx{
 			s:        s,
 			involved: invSet,
+			value:    value,
 			reads:    make(map[string]uint64),
 			writes:   make(map[string][]byte),
 		}
@@ -384,6 +395,12 @@ func (s *Store) ApplyReplicated(shard int, records []map[string][]byte) error {
 		sh.ApplyLocked(writes)
 	}
 	sh.UnlockCommit()
+	// One durability sync per applied batch (a no-op without a syncing
+	// commit log): the replica's ACK covering these records follows this
+	// call, so an acked record is a durable one on a durable replica.
+	if len(records) > 0 {
+		sh.SyncCommitLog()
+	}
 	return nil
 }
 
