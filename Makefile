@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz e2e e2e-recover lint docs clean-data
+.PHONY: check build vet test race bench fuzz e2e e2e-recover e2e-interactive lint docs clean-data
 
 check: build vet race
 
@@ -40,6 +40,13 @@ e2e:
 # commit (conservation + recovered_index); see scripts/e2e_recover.sh.
 e2e-recover:
 	bash scripts/e2e_recover.sh
+
+# e2e-interactive drives interactive TXN sessions (think time, pipelined
+# sessions, mixed with one-shot traffic) against a live sccserve and
+# checks sccload's conservation + lost-update invariants; see
+# scripts/e2e_interactive.sh.
+e2e-interactive:
+	bash scripts/e2e_interactive.sh
 
 # clean-data removes the local durability directory the README quickstart
 # uses, so repeated local runs start cold instead of accreting state.

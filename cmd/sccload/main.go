@@ -17,6 +17,16 @@
 // every transaction's latency, deadline, and value accounting is still
 // measured on its own request/response pair.
 //
+// With -interactive each transaction becomes a server-side TXN session:
+// BEGIN enters the admission queue, every operation is its own round
+// trip preceded by -think of client think time (the engine's SCC
+// shadows stay live in between), and COMMIT returns the committed write
+// results. Combined with -pipeline n, each client drives n concurrent
+// sessions over one multiplexed connection. Sessions whose value
+// functions cross zero mid-think are reaped server-side and count as
+// shed. This is the workload the one-shot verbs cannot express: open
+// transactions holding speculative state across client latency.
+//
 // Two built-in invariants make every run a correctness check, not just a
 // stopwatch: the balanced deltas mean the final SUM over value keys must
 // be zero (a torn cross-shard commit breaks it), and each client's
@@ -78,12 +88,19 @@ func mixConfig(mix string, keys int, seed int64) workload.Config {
 }
 
 // cntSlotKey names one audit-counter key. Counters are sharded per
-// in-flight slot: every transaction of a pipelined batch writes a
-// different counter, so a client's own pipeline never self-conflicts on
-// its audit key (entries of a batch execute concurrently). Slot is always
-// 0 in per-round-trip mode.
+// in-flight slot: every transaction of a pipelined batch (or every
+// concurrent interactive session) writes a different counter, so a
+// client's own pipeline never self-conflicts on its audit key. Slot is
+// always 0 in per-round-trip mode.
 func cntSlotKey(runID int64, w, slot int) string {
 	return fmt.Sprintf("cnt%d.%d.%d", runID, w, slot)
+}
+
+// txnBeginner opens interactive transaction sessions: both the blocking
+// Client and the pipelined Mux qualify, so -interactive composes with
+// -pipeline.
+type txnBeginner interface {
+	Begin(client.TxOpts) (*client.Txn, error)
 }
 
 // clientResult accumulates one client's outcomes.
@@ -110,7 +127,9 @@ func main() {
 	keys := flag.Int("keys", 256, "keyspace size for the low/two mixes")
 	mix := flag.String("mix", "low", "workload mix: low | high | two | single")
 	seed := flag.Int64("seed", 1, "base RNG seed")
-	pipeline := flag.Int("pipeline", 0, "transactions kept in flight per connection via REQ/RES pipelining (0 = one blocking round trip per transaction)")
+	pipeline := flag.Int("pipeline", 0, "transactions kept in flight per connection via REQ/RES pipelining (0 = one blocking round trip per transaction); with -interactive: concurrent sessions per connection")
+	interactive := flag.Bool("interactive", false, "drive each transaction as an interactive TXN session (BEGIN, one round trip per op, COMMIT) instead of a one-shot UPD")
+	think := flag.Duration("think", 0, "with -interactive: client think time before each operation of a session")
 	replicaAddr := flag.String("replica", "", "read-replica address: a fraction of each client's transactions become read-only snapshot reads sent there")
 	replicaReads := flag.Float64("replica-reads", 0.25, "with -replica: fraction of transactions issued read-only against the replica")
 	runIDFlag := flag.Int64("run-id", 0, "key-namespace nonce (0 = derive from the clock); pin it to audit a run across a server restart")
@@ -230,6 +249,12 @@ func main() {
 					replRng = rand.New(rand.NewSource(*seed + int64(w)*31 + 17))
 				}
 			}
+			// replMu guards the replica accounting fields: concurrent
+			// interactive sessions of one client share them. The network
+			// round trip itself runs unlocked (Client serializes its own
+			// connection), so sessions never stall behind each other's
+			// replica RTT.
+			var replMu sync.Mutex
 			replicaRead := func(t *model.Txn) {
 				ops := make([]client.Op, 0, len(t.Ops))
 				for _, o := range t.Ops {
@@ -238,6 +263,8 @@ func main() {
 				t0 := time.Now()
 				_, err := replC.Update(ops, txOpts(t))
 				lat := time.Since(t0).Seconds()
+				replMu.Lock()
+				defer replMu.Unlock()
 				switch err {
 				case nil:
 					res.replReads++
@@ -250,6 +277,92 @@ func main() {
 			}
 			takeReplica := func() bool {
 				return replC != nil && replRng.Float64() < *replicaReads
+			}
+
+			if *interactive {
+				// Interactive mode: every transaction is a TXN session —
+				// BEGIN enters the admission queue, each op is its own
+				// round trip (with think time before it), COMMIT carries
+				// the committed write results. The conservation and
+				// lost-update invariants audit these exactly like UPDs.
+				// With -pipeline n, n sessions run concurrently over one
+				// Mux (each on its own audit-counter slot); generation
+				// and accounting are serialized on mu, the session round
+				// trips are not.
+				var mu sync.Mutex
+				runSession := func(b txnBeginner, slot int) {
+					mu.Lock()
+					t := gen.Next()
+					takeRepl := takeReplica()
+					mu.Unlock()
+					if takeRepl {
+						replicaRead(t)
+						return
+					}
+					wireOps := wireOpsFor(t, slot)
+					t0 := time.Now()
+					tx, err := b.Begin(txOpts(t))
+					if err == nil {
+						for _, o := range wireOps {
+							if *think > 0 {
+								time.Sleep(*think)
+							}
+							if o.Write {
+								_, err = tx.Add(o.Key, o.Delta)
+							} else {
+								_, err = tx.Get(o.Key)
+							}
+							if err != nil {
+								tx.Abort() // best effort; the reaper covers failures
+								break
+							}
+						}
+						if err == nil {
+							_, err = tx.Commit()
+						}
+					}
+					lat := time.Since(t0).Seconds()
+					mu.Lock()
+					record(t, lat, err)
+					mu.Unlock()
+				}
+
+				if *pipeline > 0 {
+					m, err := client.DialMux(*addr)
+					if err != nil {
+						log.Printf("sccload: client %d: %v", w, err)
+						res.errors = *ops
+						return
+					}
+					defer m.Close()
+					var swg sync.WaitGroup
+					for slot := 0; slot < *pipeline; slot++ {
+						n := *ops / *pipeline
+						if slot < *ops%*pipeline {
+							n++
+						}
+						swg.Add(1)
+						go func(slot, n int) {
+							defer swg.Done()
+							for i := 0; i < n; i++ {
+								runSession(m, slot)
+							}
+						}(slot, n)
+					}
+					swg.Wait()
+					return
+				}
+				c, err := client.Dial(*addr)
+				if err != nil {
+					log.Printf("sccload: client %d: %v", w, err)
+					res.errors = *ops
+					return
+				}
+				defer c.Close()
+				for i := 0; i < *ops; i++ {
+					runSession(c, 0)
+				}
+				return
 			}
 
 			if *pipeline > 0 {
@@ -342,6 +455,13 @@ func main() {
 	framing := "per-round-trip"
 	if *pipeline > 0 {
 		framing = fmt.Sprintf("pipelined(depth=%d)", *pipeline)
+	}
+	if *interactive {
+		framing = fmt.Sprintf("interactive(think=%s", *think)
+		if *pipeline > 0 {
+			framing += fmt.Sprintf(", sessions=%d", *pipeline)
+		}
+		framing += ")"
 	}
 	fmt.Printf("sccload: mix=%s clients=%d ops/client=%d wire=%s run-id=%d\n", *mix, *clients, *ops, framing, runID)
 	fmt.Printf("  committed  %d (shed %d, errors %d) in %.2fs\n", committed, shed, errs, elapsed.Seconds())

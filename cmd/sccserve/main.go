@@ -53,6 +53,7 @@ func main() {
 	dataDir := flag.String("data-dir", "", "durability directory: per-shard WAL + checkpoints, recovered on boot (empty = in-memory only)")
 	fsync := flag.String("fsync", "group", "WAL fsync policy: always (per commit) | group (per commit batch, rides -gc-window) | off (OS page cache only)")
 	ckptEvery := flag.Int("ckpt-every", 4096, "checkpoint a shard after this many WAL records, highest pending-value shard first (0 = only on the CKPT verb)")
+	txnIdle := flag.Duration("txn-idle", 30*time.Second, "reap interactive TXN sessions with no operation for this long (negative = no idle cap — an abandoned no-deadline session then pins its admission slot; value zero-crossing reaping always runs)")
 	statsEvery := flag.Duration("stats", 0, "log engine stats at this interval (0 = off)")
 	flag.Parse()
 
@@ -92,6 +93,7 @@ func main() {
 			Gate:    gate,
 			Retain:  *replRetain,
 		},
+		Txn: server.TxnConfig{MaxIdle: *txnIdle},
 		Durable: durable.Options{
 			Dir:       *dataDir,
 			Fsync:     fsyncPolicy,

@@ -131,16 +131,6 @@ func Open(opts Options, store *shard.Store, feed *repl.Feed) (*Manager, error) {
 		stop:  make(chan struct{}),
 		done:  make(chan struct{}),
 	}
-	// A failure on shard j must not leak what shards 0..j-1 already
-	// built: close their WAL files and detach their sinks, so a caller
-	// that retries Open in-process doesn't accumulate fds or stale logs.
-	fail := func(err error) (*Manager, error) {
-		for _, ms := range m.shards {
-			ms.wal.Close()
-			store.Shard(ms.idx).SetCommitLog(nil)
-		}
-		return nil, err
-	}
 	// The shard count is baked into the directory layout AND the key
 	// routing (FNV mod shards): reopening with a different count would
 	// silently drop the extra shards' history and misroute every
@@ -161,46 +151,88 @@ func Open(opts Options, store *shard.Store, feed *repl.Feed) (*Manager, error) {
 	} else if err := os.WriteFile(metaPath, []byte(fmt.Sprintf("shards=%d\n", store.NumShards())), 0o644); err != nil {
 		return nil, err
 	}
+	// Recovery is parallel per shard: each shard's checkpoint load + WAL
+	// scan + replay touches only its own directory and latches only its
+	// own engine, so one goroutine per shard is safe. Results land in a
+	// slice indexed by shard and all wiring happens after the join, in
+	// shard order — the outcome is bit-identical to a sequential boot,
+	// and on failure the error of the LOWEST shard index wins so repeated
+	// boots of the same damaged directory report the same fault.
+	boots := make([]shardBoot, store.NumShards())
+	var wg sync.WaitGroup
 	for i := 0; i < store.NumShards(); i++ {
-		dir := filepath.Join(opts.Dir, fmt.Sprintf("shard-%04d", i))
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fail(err)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			boots[i].ms, boots[i].head, boots[i].err = m.bootShard(i)
+		}(i)
+	}
+	wg.Wait()
+	for i := range boots {
+		if err := boots[i].err; err != nil {
+			for _, b := range boots {
+				if b.ms != nil {
+					b.ms.wal.Close()
+				}
+			}
+			return nil, err
 		}
-		ckptIdx, kvs, err := loadCheckpoint(dir, i)
-		if err != nil {
-			return fail(err)
-		}
-		wal, recs, err := openWAL(dir, opts.Fsync, ckptIdx)
-		if err != nil {
-			return fail(err)
-		}
-		head, err := m.replayShard(i, ckptIdx, kvs, recs)
-		if err != nil {
-			wal.Close()
-			return fail(err)
-		}
-		ms := &managedShard{
-			m:       m,
-			idx:     i,
-			dir:     dir,
-			wal:     wal,
-			next:    head + 1,
-			ckptIdx: ckptIdx,
-		}
+	}
+	for i, b := range boots {
+		ms := b.ms
 		if feed != nil {
 			log := feed.Log(i)
-			log.ResetBase(head)
-			if ckptIdx > 0 {
-				log.SetDurableFloor(ckptIdx)
+			log.ResetBase(b.head)
+			if ms.ckptIdx > 0 {
+				log.SetDurableFloor(ms.ckptIdx)
 			}
 			ms.replLog = log
 		}
 		m.shards = append(m.shards, ms)
-		m.recovered += head
+		m.recovered += b.head
 		store.Shard(i).SetCommitLog(ms)
 	}
 	go m.checkpointLoop()
 	return m, nil
+}
+
+// shardBoot is one shard's parallel-recovery outcome.
+type shardBoot struct {
+	ms   *managedShard
+	head uint64
+	err  error
+}
+
+// bootShard recovers one shard's durable state: checkpoint, WAL suffix,
+// replay. It is the per-goroutine unit of the parallel boot; the
+// returned managedShard is not yet wired to the feed or the engine.
+func (m *Manager) bootShard(i int) (*managedShard, uint64, error) {
+	dir := filepath.Join(m.opts.Dir, fmt.Sprintf("shard-%04d", i))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, 0, err
+	}
+	ckptIdx, kvs, err := loadCheckpoint(dir, i)
+	if err != nil {
+		return nil, 0, err
+	}
+	wal, recs, err := openWAL(dir, m.opts.Fsync, ckptIdx)
+	if err != nil {
+		return nil, 0, err
+	}
+	head, err := m.replayShard(i, ckptIdx, kvs, recs)
+	if err != nil {
+		wal.Close()
+		return nil, 0, err
+	}
+	ms := &managedShard{
+		m:       m,
+		idx:     i,
+		dir:     dir,
+		wal:     wal,
+		next:    head + 1,
+		ckptIdx: ckptIdx,
+	}
+	return ms, head, nil
 }
 
 // replayShard restores one shard: install the checkpoint, then the WAL

@@ -46,6 +46,17 @@ func (m Mode) String() string {
 // conflict; the closure must propagate it (or any error wrapping it).
 var ErrAborted = errors.New("engine: shadow aborted")
 
+// AttemptsError reports a transaction that exhausted its re-execution
+// budget without committing — the engine's "I give up under contention"
+// verdict. It is a distinct type so callers (the serving layer's TXN
+// COMMIT) can classify it as a retryable conflict without matching
+// message text.
+type AttemptsError struct{ Attempts int }
+
+func (e *AttemptsError) Error() string {
+	return fmt.Sprintf("engine: transaction exceeded %d attempts", e.Attempts)
+}
+
 // Config configures a Store.
 type Config struct {
 	Mode Mode
@@ -473,7 +484,7 @@ func (s *Store) UpdateValuedResult(value float64, fn func(*Tx) error) (any, erro
 		// Fall through to a fresh optimistic attempt (restart).
 	}
 	s.retire(h)
-	return nil, fmt.Errorf("engine: transaction exceeded %d attempts", s.cfg.MaxAttempts)
+	return nil, &AttemptsError{Attempts: s.cfg.MaxAttempts}
 }
 
 // retire removes h from the active set.

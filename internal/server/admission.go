@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/server/opts"
 	"repro/internal/value"
 )
 
@@ -84,6 +85,7 @@ type Admission struct {
 	epoch time.Time
 
 	mu       sync.Mutex
+	closed   bool
 	slots    int
 	waiters  []*waiter
 	opTime   float64 // EWMA of per-op service time, seconds
@@ -111,20 +113,19 @@ func (a *Admission) now() float64 { return time.Since(a.epoch).Seconds() }
 // until the deadline (relative, seconds; <= 0 means none), then declining
 // at gradient per second. A zero gradient with a deadline defaults to
 // losing the full value one relative deadline past it — the "45 degrees"
-// convention of the workload model.
+// convention of the workload model. The semantics live in opts.T.Fn, the
+// one codec every value-carrying path shares; this wrapper just anchors
+// it to the queue's clock.
 func (a *Admission) FnFor(v, deadline, gradient float64) value.Fn {
-	if v <= 0 {
-		v = 1
-	}
-	now := a.now()
-	if deadline <= 0 {
-		return value.Fn{V: v, Deadline: now + 365*24*3600, Gradient: 0}
-	}
-	if gradient <= 0 {
-		gradient = v / deadline
-	}
-	return value.Fn{V: v, Deadline: now + deadline, Gradient: gradient}
+	return a.FnOf(opts.T{
+		Value:    v,
+		Deadline: opts.ClampDuration(deadline * float64(time.Second)),
+		Gradient: gradient,
+	})
 }
+
+// FnOf anchors parsed wire options to the queue's clock.
+func (a *Admission) FnOf(o opts.T) value.Fn { return o.Fn(a.now()) }
 
 // distFor builds the Def. 3 execution-time distribution for a request of
 // numOps operations from the current service-time estimate.
@@ -144,10 +145,30 @@ func (a *Admission) score(w *waiter, now float64) float64 {
 	return value.ExpectedValue(w.f, w.d, sh, now, w.d.Mean)
 }
 
+// Close sheds every queued waiter and makes all future Acquire/Readmit
+// calls fail with ErrShed. A closing server calls it before waiting out
+// its connection handlers: a handler parked in the queue behind slots
+// that only session teardown would free must not stall shutdown.
+func (a *Admission) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closed = true
+	for _, w := range a.waiters {
+		a.shed++
+		w.grant <- ErrShed
+	}
+	a.waiters = nil
+}
+
 // Acquire blocks until the transaction is admitted or shed. numOps sizes
 // the execution-time estimate; f orders the wait and decides shedding.
 func (a *Admission) Acquire(f value.Fn, numOps int) error {
 	a.mu.Lock()
+	if a.closed {
+		a.shed++
+		a.mu.Unlock()
+		return ErrShed
+	}
 	if f.At(a.now()) <= 0 {
 		a.shed++
 		a.mu.Unlock()
@@ -207,7 +228,7 @@ func (a *Admission) Readmit(f value.Fn, numOps int) error {
 	a.mu.Lock()
 	a.readmits++
 	var w *waiter
-	if f.At(a.now()) <= 0 {
+	if a.closed || f.At(a.now()) <= 0 {
 		a.shed++
 	} else {
 		w = a.enqueueLocked(f, numOps)

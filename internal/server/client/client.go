@@ -7,6 +7,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -14,10 +15,13 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/server/opts"
 )
 
 // ErrShed is returned when the server refuses a transaction at admission
-// (value function past its zero-crossing, or evicted from a full queue).
+// (value function past its zero-crossing, or evicted from a full queue),
+// and when an interactive transaction session was reaped server-side.
 var ErrShed = errors.New("client: transaction shed by admission control")
 
 // Client is one protocol connection.
@@ -26,11 +30,26 @@ type Client struct {
 	conn net.Conn
 	r    *bufio.Reader
 	w    *bufio.Writer
+	err  error // first round-trip failure; the stream is desynced after it
 }
 
 // Dial connects to a sccserve instance.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialContext(context.Background(), addr)
+}
+
+// DialTimeout is Dial bounded by a connect timeout.
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialContext(ctx, addr)
+}
+
+// DialContext is Dial governed by ctx: the connect is abandoned when ctx
+// expires or is canceled.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -44,12 +63,65 @@ func Dial(addr string) (*Client, error) {
 // Close closes the connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
-// do sends one request line and reads one response line. It satisfies the
-// doer interface shared with Mux, so both transports reuse the same verb
-// implementations.
+// do sends one request line and reads one response line. Together with
+// doCtx it satisfies the doer interface shared with Mux, so both
+// transports reuse the same verb implementations.
 func (c *Client) do(line string) (string, error) {
+	return c.doCtx(context.Background(), line)
+}
+
+// doCtx is do with a per-call deadline and cancelation: ctx's deadline
+// is applied to the connection for the round trip, and canceling ctx
+// interrupts an in-flight one. A failed, timed-out, or canceled
+// exchange leaves the request/response stream desynced (the reply may
+// still arrive and would be mistaken for the next call's), so the first
+// failure is sticky and every later call returns it.
+func (c *Client) doCtx(ctx context.Context, line string) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.err != nil {
+		return "", c.err
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	if done := ctx.Done(); done != nil {
+		if dl, ok := ctx.Deadline(); ok {
+			c.conn.SetDeadline(dl)
+		}
+		// Cancelation interrupts the blocking I/O by expiring the
+		// connection deadline under it. The watcher is joined before the
+		// deadline resets so a late fire cannot poison the next call.
+		stop := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-done:
+				c.conn.SetDeadline(time.Unix(1, 0))
+			case <-stop:
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-watchDone
+			c.conn.SetDeadline(time.Time{})
+		}()
+	}
+	resp, err := c.exchangeLocked(line)
+	if err != nil {
+		c.err = fmt.Errorf("client: connection desynced: %w", err)
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			// Surface the caller's deadline/cancelation, not the
+			// i/o-timeout artifact it was implemented with.
+			return "", ctxErr
+		}
+		return "", err
+	}
+	return resp, nil
+}
+
+func (c *Client) exchangeLocked(line string) (string, error) {
 	if _, err := c.w.WriteString(line + "\n"); err != nil {
 		return "", err
 	}
@@ -64,9 +136,11 @@ func (c *Client) do(line string) (string, error) {
 }
 
 // doer abstracts one request/response exchange: Client performs a
-// blocking round trip, Mux a pipelined one.
+// blocking round trip, Mux a pipelined one. Every verb implementation is
+// written against it once and served by both transports.
 type doer interface {
 	do(line string) (string, error)
+	doCtx(ctx context.Context, line string) (string, error)
 }
 
 // parse splits a response into its kind and payload, surfacing protocol
@@ -199,23 +273,37 @@ type TxOpts struct {
 	Gradient float64       // value lost per second past it (0 = V/Deadline)
 }
 
+// wire renders the options through the shared codec (internal/server/opts)
+// — the same encoder the server's parser is tested against.
+func (o TxOpts) wire() opts.T {
+	return opts.T{Value: o.Value, Deadline: o.Deadline, Gradient: o.Gradient}
+}
+
+// withCtxDeadline maps a caller's context deadline onto the request's
+// value function when no explicit deadline was given, so client- and
+// server-side deadlines agree: the server sheds (or reaps) the work at
+// the same moment the caller stops waiting for it.
+func (o TxOpts) withCtxDeadline(ctx context.Context) TxOpts {
+	if o.Deadline > 0 {
+		return o
+	}
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem > 0 {
+			o.Deadline = rem
+		}
+	}
+	return o
+}
+
 // updateLine renders ops and opts as one UPD request line, returning the
 // number of write results the response must carry.
-func updateLine(ops []Op, opts TxOpts) (line string, writes int, err error) {
+func updateLine(ops []Op, o TxOpts) (line string, writes int, err error) {
 	if len(ops) == 0 {
 		return "", 0, errors.New("client: no ops")
 	}
 	var b strings.Builder
 	b.WriteString("UPD")
-	if opts.Value > 0 {
-		fmt.Fprintf(&b, " v=%g", opts.Value)
-	}
-	if opts.Deadline > 0 {
-		fmt.Fprintf(&b, " dl=%g", float64(opts.Deadline.Microseconds())/1000)
-	}
-	if opts.Gradient > 0 {
-		fmt.Fprintf(&b, " grad=%g", opts.Gradient)
-	}
+	o.wire().Encode(&b)
 	for _, o := range ops {
 		if err := checkKey(o.Key); err != nil {
 			return "", 0, err
@@ -256,14 +344,24 @@ func parseUpdateResults(body string, writes int) ([]int64, error) {
 
 // Update executes ops as one serializable transaction and returns the new
 // value of each write op, in op order.
-func (c *Client) Update(ops []Op, opts TxOpts) ([]int64, error) { return update(c, ops, opts) }
+func (c *Client) Update(ops []Op, opts TxOpts) ([]int64, error) {
+	return update(context.Background(), c, ops, opts)
+}
 
-func update(d doer, ops []Op, opts TxOpts) ([]int64, error) {
-	line, writes, err := updateLine(ops, opts)
+// UpdateContext is Update with a per-call deadline: the context's
+// deadline bounds the round trip client-side and, when opts carries no
+// explicit deadline, becomes the request's dl= so the server stops
+// spending capacity on it at the same moment the caller stops waiting.
+func (c *Client) UpdateContext(ctx context.Context, ops []Op, opts TxOpts) ([]int64, error) {
+	return update(ctx, c, ops, opts)
+}
+
+func update(ctx context.Context, d doer, ops []Op, opts TxOpts) ([]int64, error) {
+	line, writes, err := updateLine(ops, opts.withCtxDeadline(ctx))
 	if err != nil {
 		return nil, err
 	}
-	resp, err := d.do(line)
+	resp, err := d.doCtx(ctx, line)
 	if err != nil {
 		return nil, err
 	}

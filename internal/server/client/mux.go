@@ -10,6 +10,7 @@ package client
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -51,7 +52,21 @@ type resp struct {
 
 // DialMux connects a pipelined client to a sccserve instance.
 func DialMux(addr string) (*Mux, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialMuxContext(context.Background(), addr)
+}
+
+// DialMuxTimeout is DialMux bounded by a connect timeout.
+func DialMuxTimeout(addr string, timeout time.Duration) (*Mux, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return DialMuxContext(ctx, addr)
+}
+
+// DialMuxContext is DialMux governed by ctx: the connect is abandoned
+// when ctx expires or is canceled.
+func DialMuxContext(ctx context.Context, addr string) (*Mux, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -163,11 +178,35 @@ func (m *Mux) register() (uint64, chan resp, error) {
 }
 
 // await blocks for the response routed to ch, preferring a delivered
-// response over a racing connection failure.
+// response over a racing connection failure. (Kept distinct from
+// awaitCtx: this is the pipelined hot path, and the context arm's extra
+// select case is measurable under high request rates.)
 func (m *Mux) await(ch chan resp) (resp, error) {
 	select {
 	case r := <-ch:
 		return r, nil
+	case <-m.done:
+		select {
+		case r := <-ch:
+			return r, nil
+		default:
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return resp{}, m.err
+	}
+}
+
+// awaitCtx is await bounded by ctx. An abandoned request stays
+// registered: its response channel is buffered, so the read loop's late
+// delivery neither blocks nor desyncs the stream — the reply is simply
+// discarded when it arrives.
+func (m *Mux) awaitCtx(ctx context.Context, ch chan resp) (resp, error) {
+	select {
+	case r := <-ch:
+		return r, nil
+	case <-ctx.Done():
+		return resp{}, ctx.Err()
 	case <-m.done:
 		select {
 		case r := <-ch:
@@ -195,9 +234,40 @@ func (m *Mux) do(line string) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if err := m.send(id, line); err != nil {
+		return "", err
+	}
+	r, err := m.await(ch)
+	return r.body, err
+}
+
+// doCtx is do bounded by ctx's deadline or cancelation. The wait is
+// abandoned, not the request: the server still executes it, and the late
+// response is discarded by the read loop.
+func (m *Mux) doCtx(ctx context.Context, line string) (string, error) {
+	if ctx.Done() == nil {
+		return m.do(line) // no deadline and not cancelable: the hot path
+	}
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	id, ch, err := m.register()
+	if err != nil {
+		return "", err
+	}
+	if err := m.send(id, line); err != nil {
+		return "", err
+	}
+	r, err := m.awaitCtx(ctx, ch)
+	return r.body, err
+}
+
+// send writes one framed request, coalescing flushes across concurrent
+// callers (see the do comment).
+func (m *Mux) send(id uint64, line string) error {
 	m.writers.Add(1)
 	m.wmu.Lock()
-	_, err = fmt.Fprintf(m.w, "REQ %d %s\n", id, line)
+	_, err := fmt.Fprintf(m.w, "REQ %d %s\n", id, line)
 	last := m.writers.Add(-1) == 0
 	if err == nil && last {
 		err = m.w.Flush()
@@ -205,10 +275,9 @@ func (m *Mux) do(line string) (string, error) {
 	m.wmu.Unlock()
 	if err != nil {
 		m.fail(fmt.Errorf("client: write failed: %w", err))
-		return "", err
+		return err
 	}
-	r, err := m.await(ch)
-	return r.body, err
+	return nil
 }
 
 // Ping checks liveness.
@@ -229,7 +298,15 @@ func (m *Mux) Sum(keys ...string) (int64, error) { return sum(m, keys) }
 
 // Update executes ops as one serializable transaction and returns the new
 // value of each write op, in op order.
-func (m *Mux) Update(ops []Op, opts TxOpts) ([]int64, error) { return update(m, ops, opts) }
+func (m *Mux) Update(ops []Op, opts TxOpts) ([]int64, error) {
+	return update(context.Background(), m, ops, opts)
+}
+
+// UpdateContext is Update with a per-call deadline (see
+// Client.UpdateContext for the dl= mapping).
+func (m *Mux) UpdateContext(ctx context.Context, ops []Op, opts TxOpts) ([]int64, error) {
+	return update(ctx, m, ops, opts)
+}
 
 // Stats fetches the server's counters as a string map.
 func (m *Mux) Stats() (map[string]string, error) { return statsCall(m) }

@@ -1,0 +1,266 @@
+// Interactive transactions over the TXN wire verbs. A Txn is one
+// server-side session: operations issued through it execute inside an
+// open transaction on the server — with the engine's SCC speculation
+// live between round trips — and take effect atomically at Commit.
+// Client.Do / Mux.Do wrap the begin/run/commit cycle in a retry loop
+// that mirrors engine.Store.Update, so embedded-engine and network
+// callers share one API shape:
+//
+//	err := c.Do(client.TxOpts{Value: 5, Deadline: time.Second}, func(tx *client.Txn) error {
+//	        bal, err := tx.Get("acct")
+//	        if err != nil {
+//	                return err
+//	        }
+//	        if bal < 10 {
+//	                return errors.New("insufficient")
+//	        }
+//	        _, err = tx.Add("acct", -10)
+//	        return err
+//	})
+//
+// Mid-transaction read results are SPECULATIVE: under SCC the committed
+// execution may have observed fresher values than the ones delivered
+// while the transaction was open (a promoted shadow re-reads). Writes
+// are deltas or absolute sets, so replays are value-safe; Commit's
+// returned results are the committed execution's. Like Store.Update
+// closures, a Do function may run several times and must not rely on
+// side effects of a run that did not commit.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrConflict is returned by Txn.Commit (and retried by Do) when the
+// server gave up on the transaction under contention — its attempt
+// budget was exhausted. The transaction did not commit; re-running it is
+// the correct response.
+var ErrConflict = errors.New("client: transaction conflict")
+
+// ErrTxnFinished is returned by operations on a Txn after Commit or
+// Abort was called on it.
+var ErrTxnFinished = errors.New("client: transaction already finished")
+
+// Txn is an open interactive transaction session. A Txn is not safe for
+// concurrent use; pipelining across transactions comes from running many
+// Txns over one Mux, not from racing one Txn.
+type Txn struct {
+	d   doer
+	ctx context.Context
+	id  string
+	fin bool
+}
+
+// ID returns the server-assigned session id.
+func (t *Txn) ID() string { return t.id }
+
+// Begin opens an interactive transaction session carrying opts' value
+// function: it competes in the server's admission queue like any
+// transaction and is reaped server-side once its value crosses zero.
+func (c *Client) Begin(opts TxOpts) (*Txn, error) {
+	return begin(context.Background(), c, opts)
+}
+
+// BeginContext is Begin with ctx governing every round trip of the
+// session; ctx's deadline maps onto the session's dl= when opts carries
+// no explicit deadline, so the server reaps the session at the same
+// moment the caller stops waiting.
+func (c *Client) BeginContext(ctx context.Context, opts TxOpts) (*Txn, error) {
+	return begin(ctx, c, opts)
+}
+
+// Begin opens an interactive transaction session (see Client.Begin).
+// Many Txns may run concurrently over one Mux: their TXN ops pipeline
+// on the shared connection.
+func (m *Mux) Begin(opts TxOpts) (*Txn, error) {
+	return begin(context.Background(), m, opts)
+}
+
+// BeginContext is Begin with ctx governing the session (see
+// Client.BeginContext).
+func (m *Mux) BeginContext(ctx context.Context, opts TxOpts) (*Txn, error) {
+	return begin(ctx, m, opts)
+}
+
+func begin(ctx context.Context, d doer, o TxOpts) (*Txn, error) {
+	var b strings.Builder
+	b.WriteString("TXN BEGIN")
+	o.withCtxDeadline(ctx).wire().Encode(&b)
+	resp, err := d.doCtx(ctx, b.String())
+	if err != nil {
+		return nil, err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return nil, err
+	}
+	if body == "" || strings.ContainsRune(body, ' ') {
+		return nil, fmt.Errorf("client: malformed TXN BEGIN reply %q", resp)
+	}
+	return &Txn{d: d, ctx: ctx, id: body}, nil
+}
+
+// op issues one session verb and parses the single-integer reply.
+func (t *Txn) op(line string) (int64, error) {
+	if t.fin {
+		return 0, ErrTxnFinished
+	}
+	resp, err := t.d.doCtx(t.ctx, line)
+	if err != nil {
+		return 0, err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return 0, err
+	}
+	if body == "" {
+		return 0, nil
+	}
+	return strconv.ParseInt(body, 10, 64)
+}
+
+// Get reads key inside the transaction. Missing keys read as 0. The
+// result is speculative until Commit (see the package comment).
+func (t *Txn) Get(key string) (int64, error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
+	return t.op("TXN R " + t.id + " " + key)
+}
+
+// Add read-modify-writes key by delta and returns the (speculative) new
+// value; the committed value is in Commit's results.
+func (t *Txn) Add(key string, delta int64) (int64, error) {
+	if err := checkKey(key); err != nil {
+		return 0, err
+	}
+	return t.op(fmt.Sprintf("TXN W %s %s %d", t.id, key, delta))
+}
+
+// Set blind-writes key to n (no read dependency — it never conflicts).
+func (t *Txn) Set(key string, n int64) error {
+	if err := checkKey(key); err != nil {
+		return err
+	}
+	_, err := t.op(fmt.Sprintf("TXN W %s %s =%d", t.id, key, n))
+	return err
+}
+
+// Commit finishes the transaction and returns the committed execution's
+// write results, in op order. A contention give-up surfaces as
+// ErrConflict (wrapped); the transaction did not commit and may be
+// retried from Begin — which is exactly what Do automates.
+func (t *Txn) Commit() ([]int64, error) {
+	if t.fin {
+		return nil, ErrTxnFinished
+	}
+	t.fin = true
+	resp, err := t.d.doCtx(t.ctx, "TXN COMMIT "+t.id)
+	if err != nil {
+		return nil, err
+	}
+	if msg, ok := strings.CutPrefix(resp, "ERR conflict: "); ok {
+		return nil, fmt.Errorf("%w: %s", ErrConflict, msg)
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return nil, err
+	}
+	if body == "" {
+		return nil, nil
+	}
+	fields := strings.Fields(body)
+	out := make([]int64, len(fields))
+	for i, f := range fields {
+		n, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("client: malformed commit result %q", f)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() error {
+	if t.fin {
+		return ErrTxnFinished
+	}
+	t.fin = true
+	resp, err := t.d.doCtx(t.ctx, "TXN ABORT "+t.id)
+	if err != nil {
+		return err
+	}
+	_, err = parse(resp)
+	return err
+}
+
+// maxDoAttempts bounds Do's begin/run/commit retries on ErrConflict.
+const maxDoAttempts = 4
+
+// Do runs fn inside an interactive transaction and commits it, retrying
+// the whole cycle on contention give-ups — the network mirror of
+// engine.Store.Update. fn may therefore run several times: like an
+// engine closure it must tolerate re-execution and must not rely on the
+// side effects of a run that did not commit. A non-conflict error from
+// fn aborts the transaction and is returned as-is; ErrShed is terminal
+// (the work's value is gone — retrying cannot restore it).
+func (c *Client) Do(opts TxOpts, fn func(*Txn) error) error {
+	return doTxn(context.Background(), c, opts, fn)
+}
+
+// DoContext is Do governed by ctx (deadline mapping as in BeginContext).
+func (c *Client) DoContext(ctx context.Context, opts TxOpts, fn func(*Txn) error) error {
+	return doTxn(ctx, c, opts, fn)
+}
+
+// Do runs fn inside an interactive transaction over the pipelined
+// transport (see Client.Do).
+func (m *Mux) Do(opts TxOpts, fn func(*Txn) error) error {
+	return doTxn(context.Background(), m, opts, fn)
+}
+
+// DoContext is Do governed by ctx (see Client.DoContext).
+func (m *Mux) DoContext(ctx context.Context, opts TxOpts, fn func(*Txn) error) error {
+	return doTxn(ctx, m, opts, fn)
+}
+
+func doTxn(ctx context.Context, d doer, o TxOpts, fn func(*Txn) error) error {
+	var last error
+	for attempt := 0; attempt < maxDoAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tx, err := begin(ctx, d, o)
+		if err != nil {
+			return err
+		}
+		if err := fn(tx); err != nil {
+			if !tx.fin {
+				tx.Abort() // best effort; the reaper covers a failed abort
+			}
+			if errors.Is(err, ErrConflict) {
+				last = err
+				continue
+			}
+			return err
+		}
+		if tx.fin {
+			// fn committed or aborted explicitly; its verdict stands.
+			return nil
+		}
+		if _, err := tx.Commit(); err != nil {
+			if errors.Is(err, ErrConflict) {
+				last = err
+				continue
+			}
+			return err
+		}
+		return nil
+	}
+	return last
+}

@@ -28,17 +28,34 @@ func FuzzDispatch(f *testing.F) {
 		"PUT a 99999999999999999999",
 		"GET \x00\xff",
 		"UPD v= dl= grad= w:a:",
+		"TXN BEGIN v=2 dl=50 grad=0.1",
+		"TXN R 1 a",
+		"TXN W 1 a 5",
+		"TXN W 1 a =7",
+		"TXN COMMIT 1",
+		"TXN ABORT 2",
+		"TXN BEGIN hello",
+		"TXN W abc a 1",
+		"TXN R 99999999999999999999 a",
 	} {
 		f.Add(seed)
 	}
 	s := New(Config{Shards: 2, Admission: AdmissionConfig{MaxConcurrent: 4, MaxQueue: 8}})
-	f.Cleanup(func() { s.Store().Close() })
+	f.Cleanup(s.Close)
 	f.Fuzz(func(t *testing.T, line string) {
 		// The transport hands dispatch whitespace-split tokens of one
 		// line; embedded newlines would be separate lines on the wire.
 		if strings.ContainsAny(line, "\n\r") {
 			t.Skip()
 		}
+		// Sessions a previous input left open must not accumulate: each
+		// holds an admission slot, and a fuzzer minting them faster than
+		// the reaper runs would wedge BEGIN in the admission queue.
+		defer func() {
+			for _, ss := range s.sessions.snapshot() {
+				s.txnAbort(ss)
+			}
+		}()
 		resp := s.dispatchLine(line)
 		if strings.ContainsAny(resp, "\n\r") {
 			t.Fatalf("response embeds a line break: %q -> %q", line, resp)

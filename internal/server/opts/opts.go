@@ -1,0 +1,147 @@
+// Package opts is the canonical codec for the wire protocol's value-
+// function options. Every valued verb — UPD, TXN BEGIN — carries the
+// same three tokens (`v=<f>` worth, `dl=<ms>` relative soft deadline,
+// `grad=<g>` penalty gradient, paper Def. 2), and before this package
+// each of server.go, client.go, and the admission path grew its own
+// parser or encoder for them. Now there is exactly one: the server
+// parses tokens with ParseToken (the single place non-finite floats are
+// rejected), the client renders them with Encode, and the admission
+// queue and the replica lag gate both obtain the resulting value.Fn
+// through Fn. docs/PROTOCOL.md specifies the tokens normatively.
+package opts
+
+import (
+	"errors"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/value"
+)
+
+// Errors returned by ParseToken, one per malformed option token. The
+// texts are part of the wire protocol: the server prefixes them with
+// "ERR " verbatim, and the conformance suite pins them.
+var (
+	ErrBadValue    = errors.New("bad v=")
+	ErrBadDeadline = errors.New("bad dl=")
+	ErrBadGradient = errors.New("bad grad=")
+)
+
+// T carries one request's value-function options in client-facing units:
+// worth if committed by the deadline, the relative soft deadline, and
+// the value lost per second past it. The zero value means "worth 1, no
+// deadline" (the protocol's defaults, applied by Fn).
+type T struct {
+	Value    float64
+	Deadline time.Duration
+	Gradient float64
+}
+
+// ParseToken consumes one option token into o. It reports whether tok
+// was an option token at all (v=/dl=/grad= prefixed); a recognized token
+// that fails to parse — including any non-finite float — returns the
+// matching ErrBad* error. This is the only place the protocol validates
+// value-function floats.
+func (o *T) ParseToken(tok string) (bool, error) {
+	switch {
+	case strings.HasPrefix(tok, "v="):
+		f, err := parseFinite(tok[2:])
+		if err != nil {
+			return true, ErrBadValue
+		}
+		o.Value = f
+		return true, nil
+	case strings.HasPrefix(tok, "dl="):
+		ms, err := parseFinite(tok[3:])
+		if err != nil {
+			return true, ErrBadDeadline
+		}
+		o.Deadline = ClampDuration(ms * float64(time.Millisecond))
+		return true, nil
+	case strings.HasPrefix(tok, "grad="):
+		g, err := parseFinite(tok[5:])
+		if err != nil {
+			return true, ErrBadGradient
+		}
+		o.Gradient = g
+		return true, nil
+	}
+	return false, nil
+}
+
+// ClampDuration converts a float nanosecond count to a Duration without
+// the conversion's lies: a positive sub-nanosecond value stays a (tiny)
+// positive duration instead of becoming zero ("none"), and a value past
+// Duration's range saturates far-future instead of overflowing negative.
+// Every float-to-deadline path (wire dl=, Admission.FnFor seconds) must
+// go through it.
+func ClampDuration(ns float64) time.Duration {
+	switch {
+	case ns >= math.MaxInt64:
+		return math.MaxInt64
+	case ns > 0 && ns < 1:
+		return 1
+	}
+	return time.Duration(ns)
+}
+
+func parseFinite(s string) (float64, error) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, errors.New("non-finite")
+	}
+	return f, nil
+}
+
+// Encode appends the canonical wire tokens for o to b, each preceded by
+// one space; zero (or negative) fields are omitted, matching the
+// protocol's defaults. The deadline is rendered in milliseconds with %g,
+// exactly what ParseToken reads back.
+func (o T) Encode(b *strings.Builder) {
+	if o.Value > 0 {
+		b.WriteString(" v=")
+		b.WriteString(strconv.FormatFloat(o.Value, 'g', -1, 64))
+	}
+	if o.Deadline > 0 {
+		b.WriteString(" dl=")
+		// Microsecond-multiple deadlines render exactly as before; a
+		// deadline with sub-microsecond precision falls back to the
+		// nanosecond-exact form so a tiny positive deadline never
+		// encodes as "dl=0" (= none) — the mirror of ParseToken's clamp.
+		var ms float64
+		if o.Deadline%time.Microsecond == 0 {
+			ms = float64(o.Deadline.Microseconds()) / 1000
+		} else {
+			ms = float64(o.Deadline.Nanoseconds()) / 1e6
+		}
+		b.WriteString(strconv.FormatFloat(ms, 'g', -1, 64))
+	}
+	if o.Gradient > 0 {
+		b.WriteString(" grad=")
+		b.WriteString(strconv.FormatFloat(o.Gradient, 'g', -1, 64))
+	}
+}
+
+// Fn builds the Def. 2 value function for a request arriving at absolute
+// time now (seconds in the caller's clock base): worth Value (default 1)
+// until now+Deadline, then declining at Gradient per second. No deadline
+// means effectively never declining (a one-year horizon); a deadline
+// with no gradient defaults to losing the full value one relative
+// deadline past it — the workload model's "45 degrees" convention.
+func (o T) Fn(now float64) value.Fn {
+	v := o.Value
+	if v <= 0 {
+		v = 1
+	}
+	dl := o.Deadline.Seconds()
+	if dl <= 0 {
+		return value.Fn{V: v, Deadline: now + 365*24*3600, Gradient: 0}
+	}
+	grad := o.Gradient
+	if grad <= 0 {
+		grad = v / dl
+	}
+	return value.Fn{V: v, Deadline: now + dl, Gradient: grad}
+}

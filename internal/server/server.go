@@ -31,8 +31,10 @@ import (
 	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/repl"
+	"repro/internal/server/opts"
 	"repro/internal/shard"
 	"repro/internal/stats"
+	"repro/internal/value"
 )
 
 // Config configures a Server.
@@ -52,6 +54,9 @@ type Config struct {
 	PipelineDepth int
 	// Repl configures replication roles (docs/PROTOCOL.md, "Replication").
 	Repl ReplOptions
+	// Txn configures interactive transaction sessions (the TXN verbs):
+	// idle cap and reaper cadence. See session.go.
+	Txn TxnConfig
 	// Durable enables crash durability (internal/durable) when Dir is
 	// set: per-shard WALs fed at the commit boundary, checkpoints, and
 	// recovery of the data directory at startup — construction then goes
@@ -104,6 +109,13 @@ type Server struct {
 	lat       *stats.Sample
 	requests  atomic.Int64
 	crossShed atomic.Int64 // cross-shard retries shed past their zero-crossing
+
+	// Interactive transaction sessions (session.go).
+	sessions     *sessionTable
+	txnBegun     atomic.Int64
+	txnCommitted atomic.Int64
+	txnAborted   atomic.Int64
+	txnReaped    atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -160,7 +172,7 @@ func Open(cfg Config) (*Server, error) {
 			store.Shard(i).SetCommitLog(feed.Log(i))
 		}
 	}
-	return &Server{
+	srv := &Server{
 		store:         store,
 		adm:           NewAdmission(cfg.Admission),
 		pipelineDepth: cfg.PipelineDepth,
@@ -169,7 +181,9 @@ func Open(cfg Config) (*Server, error) {
 		durable:       man,
 		conns:         make(map[net.Conn]struct{}),
 		lat:           stats.NewSample(4096, 1),
-	}, nil
+	}
+	srv.sessions = newSessionTable(srv, cfg.Txn)
+	return srv, nil
 }
 
 // Feed exposes the primary's replication feed (nil unless Repl.Primary).
@@ -253,6 +267,16 @@ func (s *Server) Close() {
 		c.Close()
 	}
 	s.mu.Unlock()
+	// Teardown order matters for liveness: connection handlers can be
+	// parked inside a session operation (waiting on a shadow gated by
+	// another session) or queued in admission behind slots that open
+	// sessions hold — waiting for the handlers first would deadlock.
+	// Closing admission sheds every queued waiter; aborting the sessions
+	// (reaper stopped first) unwinds their live engine transactions and
+	// wakes parked operation handlers; only then are the handlers
+	// awaited and the store closed under a quiesced engine.
+	s.adm.Close()
+	s.sessions.close()
 	s.wg.Wait()
 	s.store.Close()
 	if s.durable != nil {
@@ -323,11 +347,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}()
 
-	// Pipelined (REQ-framed) requests dispatch concurrently, bounded by
-	// the pipeline depth; bare requests run inline so they stay strictly
-	// ordered among themselves. stop ends this connection's replication
+	// Pipelined (REQ-framed) requests dispatch concurrently on a lazily
+	// grown per-connection worker pool, bounded by the pipeline depth;
+	// bare requests run inline so they stay strictly ordered among
+	// themselves. Workers are pooled rather than spawned per request
+	// because dispatch call chains run deep (admission -> shard -> engine
+	// -> commit): a fresh goroutine pays stack growth on every request
+	// (runtime.newstack dominated hot profiles), a pooled one pays it
+	// once per connection. An unbuffered job channel gives the same
+	// backpressure the old per-request semaphore did: with every worker
+	// busy, the reader blocks. stop ends this connection's replication
 	// feeders; sub is its lazily created ack-tracking subscription.
-	sem := make(chan struct{}, s.pipelineDepth)
+	var reqJobs chan reqJob
+	nWorkers := 0
 	var workers sync.WaitGroup
 	stop := make(chan struct{})
 	var sub *repl.Sub
@@ -355,14 +387,27 @@ func (s *Server) serveConn(conn net.Conn) {
 			case len(fields) == 2:
 				out <- "RES " + fields[1] + " ERR missing verb"
 			default:
-				id, rest := fields[1], fields[2:]
-				sem <- struct{}{}
-				workers.Add(1)
-				go func() {
-					defer workers.Done()
-					defer func() { <-sem }()
-					out <- "RES " + id + " " + s.dispatch(rest)
-				}()
+				job := reqJob{id: fields[1], fields: fields[2:]}
+				if reqJobs == nil {
+					reqJobs = make(chan reqJob)
+				}
+				select {
+				case reqJobs <- job:
+				default:
+					// No idle worker: grow the pool up to the depth cap,
+					// then block (TCP backpressure, not an error).
+					if nWorkers < s.pipelineDepth {
+						nWorkers++
+						workers.Add(1)
+						go func() {
+							defer workers.Done()
+							for j := range reqJobs {
+								out <- "RES " + j.id + " " + s.dispatch(j.fields)
+							}
+						}()
+					}
+					reqJobs <- job
+				}
 			}
 		case "REPL", "ACK":
 			// Replication verbs are connection-stateful (they turn the
@@ -380,6 +425,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	tooLong := errors.Is(r.Err(), bufio.ErrTooLong)
 	close(stop)
+	if reqJobs != nil {
+		close(reqJobs)
+	}
 	workers.Wait()
 	if tooLong {
 		// The connection cannot be resynced mid-line, but the client
@@ -553,11 +601,22 @@ func parseReplArgs(verb string, args []string, shards int) (int, uint64, error) 
 	return shardIdx, index, nil
 }
 
-// op is one parsed UPD operation.
+// reqJob is one REQ-framed request handed to a connection's worker pool.
+type reqJob struct {
+	id     string
+	fields []string
+}
+
+// op is one parsed transactional operation, shared by the one-shot
+// verbs (PUT/ADD/UPD) and interactive TXN sessions: a read dependency
+// (write false), a read-modify-write adding delta (write true), or a
+// blind overwrite to delta (write and set — PUT and `TXN W ... =<val>`,
+// which skip the read entirely: an empty read set always validates).
 type op struct {
 	key   string
 	delta int64
 	write bool
+	set   bool
 }
 
 // dispatchLine parses and serves one raw request line. It is the
@@ -601,7 +660,7 @@ func (s *Server) dispatch(fields []string) string {
 		if err != nil {
 			return "ERR bad number"
 		}
-		return s.runUpdate(0, 0, 0, []op{{key: args[0], delta: n, write: true}}, true)
+		return s.runUpdate(opts.T{}, []op{{key: args[0], delta: n, write: true, set: true}})
 	case "ADD":
 		if len(args) != 2 {
 			return "ERR usage: ADD <key> <delta>"
@@ -613,9 +672,11 @@ func (s *Server) dispatch(fields []string) string {
 		if err != nil {
 			return "ERR bad number"
 		}
-		return s.runUpdate(0, 0, 0, []op{{key: args[0], delta: n, write: true}}, false)
+		return s.runUpdate(opts.T{}, []op{{key: args[0], delta: n, write: true}})
 	case "UPD":
 		return s.handleUPD(args)
+	case "TXN":
+		return s.handleTXN(args)
 	case "SUM":
 		if len(args) == 0 {
 			return "ERR usage: SUM <key>..."
@@ -680,28 +741,16 @@ func (s *Server) dispatch(fields []string) string {
 }
 
 func (s *Server) handleUPD(args []string) string {
-	var v, dl, grad float64
+	var o opts.T
 	var ops []op
 	for _, a := range args {
+		if isOpt, err := o.ParseToken(a); isOpt {
+			if err != nil {
+				return "ERR " + err.Error()
+			}
+			continue
+		}
 		switch {
-		case strings.HasPrefix(a, "v="):
-			f, err := strconv.ParseFloat(a[2:], 64)
-			if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
-				return "ERR bad v="
-			}
-			v = f
-		case strings.HasPrefix(a, "dl="):
-			ms, err := strconv.ParseFloat(a[3:], 64)
-			if err != nil || math.IsNaN(ms) || math.IsInf(ms, 0) {
-				return "ERR bad dl="
-			}
-			dl = ms / 1000
-		case strings.HasPrefix(a, "grad="):
-			g, err := strconv.ParseFloat(a[5:], 64)
-			if err != nil || math.IsNaN(g) || math.IsInf(g, 0) {
-				return "ERR bad grad="
-			}
-			grad = g
 		case strings.HasPrefix(a, "r:"):
 			key := a[2:]
 			if key == "" {
@@ -732,13 +781,98 @@ func (s *Server) handleUPD(args []string) string {
 	if len(ops) == 0 {
 		return "ERR no ops"
 	}
-	return s.runUpdate(v, dl, grad, ops, false)
+	return s.runUpdate(o, ops)
 }
 
-// runUpdate admits, executes, and answers one transactional update.
-// overwrite makes writes PUT semantics (set to delta) instead of ADD.
-func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string {
-	f := s.adm.FnFor(v, dl, grad)
+// handleTXN routes the interactive-session verbs (session.go). Every
+// TXN request is one line with one reply, so sessions work identically
+// under bare and REQ framing — and because sessions live in a
+// server-global table keyed by id, a session may even be driven from
+// several connections (though one at a time is the sane shape).
+func (s *Server) handleTXN(args []string) string {
+	if len(args) == 0 {
+		return "ERR usage: TXN BEGIN|R|W|COMMIT|ABORT ..."
+	}
+	sub := strings.ToUpper(args[0])
+	rest := args[1:]
+	if sub == "BEGIN" {
+		var o opts.T
+		for _, tok := range rest {
+			isOpt, err := o.ParseToken(tok)
+			if err != nil {
+				return "ERR " + err.Error()
+			}
+			if !isOpt {
+				return "ERR bad token " + tok
+			}
+		}
+		return s.txnBegin(o)
+	}
+	if len(rest) == 0 {
+		return "ERR usage: TXN " + sub + " <id> ..."
+	}
+	id, err := strconv.ParseUint(rest[0], 10, 64)
+	if err != nil {
+		return "ERR bad txn id " + rest[0]
+	}
+	ss, reaped := s.sessions.get(id)
+	if reaped {
+		// The reaper shed this session at its value zero-crossing (or
+		// idle cap); every later verb on it answers SHED, matching the
+		// admission queue's verdict for worthless work.
+		return "SHED"
+	}
+	if ss == nil {
+		return "ERR no such txn " + rest[0]
+	}
+	switch sub {
+	case "R":
+		if len(rest) != 2 {
+			return "ERR usage: TXN R <id> <key>"
+		}
+		if !validKey(rest[1]) {
+			return "ERR bad key " + rest[1]
+		}
+		return s.txnOp(ss, op{key: rest[1]})
+	case "W":
+		if len(rest) != 3 {
+			return "ERR usage: TXN W <id> <key> <delta|=val>"
+		}
+		if !validKey(rest[1]) {
+			return "ERR bad key " + rest[1]
+		}
+		o := op{key: rest[1], write: true}
+		tok := rest[2]
+		if strings.HasPrefix(tok, "=") {
+			o.set = true
+			tok = tok[1:]
+		}
+		n, err := strconv.ParseInt(tok, 10, 64)
+		if err != nil {
+			return "ERR bad delta " + rest[2]
+		}
+		o.delta = n
+		return s.txnOp(ss, o)
+	case "COMMIT":
+		if len(rest) != 1 {
+			return "ERR usage: TXN COMMIT <id>"
+		}
+		return s.txnCommit(ss)
+	case "ABORT":
+		if len(rest) != 1 {
+			return "ERR usage: TXN ABORT <id>"
+		}
+		return s.txnAbort(ss)
+	default:
+		return "ERR unknown TXN subverb " + sub
+	}
+}
+
+// runUpdate admits, executes, and answers one one-shot transactional
+// update (PUT/ADD/UPD) — the legacy verbs, routed through the same
+// admitted executor interactive session commits use.
+func (s *Server) runUpdate(o opts.T, ops []op) string {
+	f := s.adm.FnOf(o)
 	if s.gate != nil {
 		// Read replica: writes are rejected, and a read-only transaction
 		// is shed when its value function would cross zero before the
@@ -757,21 +891,45 @@ func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string
 		return "SHED"
 	}
 	start := time.Now()
-	holding := true
-	var readmitWait time.Duration
-	defer func() {
-		elapsed := time.Since(start)
-		if holding {
-			// Queue time spent in readmissions is not service time: feeding
-			// it into the per-op estimate would make admission increasingly
-			// pessimistic exactly when the server is loaded.
-			s.adm.Release(elapsed-readmitWait, len(ops))
+	out := s.execAdmitted(f, ops)
+	elapsed := time.Since(start)
+	if out.holding {
+		// Queue time spent in readmissions is not service time: feeding
+		// it into the per-op estimate would make admission increasingly
+		// pessimistic exactly when the server is loaded.
+		s.adm.Release(elapsed-out.readmitWait, len(ops))
+	}
+	s.latMu.Lock()
+	s.lat.Add(elapsed.Seconds())
+	s.latMu.Unlock()
+	if out.err != nil {
+		if errors.Is(out.err, ErrShed) {
+			return "SHED"
 		}
-		s.latMu.Lock()
-		s.lat.Add(elapsed.Seconds())
-		s.latMu.Unlock()
-	}()
+		return "ERR " + out.err.Error()
+	}
+	return okResults(out.results)
+}
 
+// execOutcome is one admitted transaction execution's result.
+type execOutcome struct {
+	results []int64 // new value of each write op, in op order
+	err     error
+	holding bool // the admission slot is still held by the caller
+	// readmitWait is queue time spent re-entering admission on
+	// cross-shard retries — the caller subtracts it from its service-time
+	// measurement (queueing is not service).
+	readmitWait time.Duration
+}
+
+// execAdmitted executes ops as one serializable transaction under an
+// already-held admission slot: the single engine-facing commit path for
+// every path that commits client work — one-shot verbs and interactive
+// TXN COMMIT alike. Cross-shard validation failures surrender the slot
+// and re-enter the admission queue by expected value (Readmit), where a
+// transaction whose value function crossed zero is shed (cross_shed).
+func (s *Server) execAdmitted(f value.Fn, ops []op) execOutcome {
+	out := execOutcome{holding: true}
 	keys := make([]string, len(ops))
 	for i, o := range ops {
 		keys[i] = o.key
@@ -779,20 +937,14 @@ func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string
 	// The transaction value the engine's commit deferment sees is the
 	// request's current value.
 	txValue := f.At(s.adm.now())
-	// Value-cognizant cross-shard deferment: a multi-shard transaction
-	// that failed validation surrenders its slot and re-queues through
-	// the admission queue, which re-dispatches it by expected value or
-	// sheds it once its value function has crossed zero — retries compete
-	// for capacity exactly like fresh arrivals instead of burning slots
-	// on doomed work.
 	gate := func(int) error {
 		t0 := time.Now()
 		if err := s.adm.Readmit(f, len(ops)); err != nil {
-			holding = false
+			out.holding = false
 			s.crossShed.Add(1)
 			return err
 		}
-		readmitWait += time.Since(t0)
+		out.readmitWait += time.Since(t0)
 		return nil
 	}
 	// The closure may run several times concurrently (engine shadows), so
@@ -801,44 +953,59 @@ func (s *Server) runUpdate(v, dl, grad float64, ops []op, overwrite bool) string
 	res, err := s.store.UpdateGatedResult(txValue, keys, gate, func(tx shard.Tx) error {
 		results := make([]int64, 0, len(ops))
 		for _, o := range ops {
-			if !o.write {
-				if _, err := tx.Get(o.key); err != nil {
-					return err
-				}
-				continue
-			}
-			n := o.delta
-			if !overwrite {
-				// Read-modify-write; PUT skips the read entirely — a
-				// blind write has an empty read set, always validates,
-				// and never conflicts.
-				cur, err := tx.Get(o.key)
-				if err != nil {
-					return err
-				}
-				n += parseNum(cur)
-			}
-			if err := tx.Set(o.key, []byte(strconv.FormatInt(n, 10))); err != nil {
+			n, err := applyOp(tx, o)
+			if err != nil {
 				return err
 			}
-			results = append(results, n)
+			if o.write {
+				results = append(results, n)
+			}
 		}
 		tx.Stash(results)
 		return nil
 	})
 	if err != nil {
-		if errors.Is(err, ErrShed) {
-			return "SHED"
-		}
-		return "ERR " + err.Error()
+		out.err = err
+		return out
 	}
+	out.results, _ = res.([]int64)
+	return out
+}
+
+// applyOp executes one operation against a transactional view and
+// returns the value it produced: the observed value for reads, the new
+// value for writes. Blind writes (set) skip the read — an empty read
+// set always validates.
+func applyOp(tx shard.Tx, o op) (int64, error) {
+	if !o.write {
+		v, err := tx.Get(o.key)
+		if err != nil {
+			return 0, err
+		}
+		return parseNum(v), nil
+	}
+	n := o.delta
+	if !o.set {
+		cur, err := tx.Get(o.key)
+		if err != nil {
+			return 0, err
+		}
+		n += parseNum(cur)
+	}
+	if err := tx.Set(o.key, []byte(strconv.FormatInt(n, 10))); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// okResults renders a committed transaction's reply: OK plus the new
+// value of each write op, in op order.
+func okResults(results []int64) string {
 	var b strings.Builder
 	b.WriteString("OK")
-	if results, ok := res.([]int64); ok {
-		for _, n := range results {
-			b.WriteByte(' ')
-			b.WriteString(strconv.FormatInt(n, 10))
-		}
+	for _, n := range results {
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(n, 10))
 	}
 	return b.String()
 }
@@ -865,6 +1032,9 @@ func (s *Server) statsLine() string {
 		st.Engine.Promotions, st.Engine.Deferrals, st.Engine.CommitBatches, st.Views,
 		ad.Admitted, ad.Shed, ad.Readmits, ad.Depth, ad.InFlight, ad.OpTime*1e6,
 		p50*1e6, p99*1e6)
+	line += fmt.Sprintf(" txn_active=%d txn_begun=%d txn_committed=%d txn_aborted=%d txn_reaped=%d",
+		s.sessions.active(), s.txnBegun.Load(), s.txnCommitted.Load(),
+		s.txnAborted.Load(), s.txnReaped.Load())
 	// Replication keys appear only in the role that owns them; a chained
 	// primary-and-replica reports the replica-side repl_lag (last key
 	// wins in k=v parsers).

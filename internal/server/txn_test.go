@@ -1,0 +1,663 @@
+// Tests of the interactive transaction sessions (TXN wire verbs and the
+// Go client's Txn/Do API): protocol conformance, the acceptance check
+// that SCC speculation really spans client round trips (a shadow forked
+// and promoted between TXN R and TXN COMMIT), single-shard-to-cross-
+// shard fallback, value-cognizant session reaping, replica behavior,
+// and a history-oracle serializability replay of concurrent interactive
+// transactions.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/history"
+	"repro/internal/model"
+	"repro/internal/repl"
+	"repro/internal/server/client"
+)
+
+// TestTxnProtocolConformance drives the TXN state machine over a raw
+// connection: happy paths (including two interleaved sessions on one
+// connection), the whole error surface, and the post-finish rules (ops
+// after abort, double commit).
+func TestTxnProtocolConformance(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 4})
+	rc := dialRaw(t, addr)
+
+	exact := func(in, want string) {
+		t.Helper()
+		rc.send(in)
+		if got := rc.recv(); got != want {
+			t.Errorf("%-40q -> %q, want %q", in, got, want)
+		}
+	}
+
+	// Two sessions interleaved on one connection. Session ids are
+	// allocated sequentially from 1 on a fresh server.
+	exact("TXN BEGIN", "OK 1")
+	exact("TXN BEGIN v=2 dl=50", "OK 2")
+	exact("TXN R 1 a", "OK 0") // missing key reads 0
+	exact("TXN W 1 a 5", "OK 5")
+	exact("TXN W 2 b =7", "OK 7") // blind write
+	exact("TXN R 2 b", "OK 7")    // read-your-writes
+	exact("GET a", "NIL")         // uncommitted writes are invisible
+	exact("GET b", "NIL")
+	exact("TXN R 2 a", "OK 0") // isolation: 1's uncommitted write invisible to 2
+	exact("TXN COMMIT 1", "OK 5")
+	exact("GET a", "OK 5")
+	exact("TXN COMMIT 2", "OK 7")
+	exact("GET b", "OK 7")
+
+	// Finished sessions are gone; their ids draw no-such-txn.
+	exact("TXN COMMIT 1", "ERR no such txn 1")
+	exact("TXN R 2 a", "ERR no such txn 2")
+
+	// ABORT discards everything.
+	exact("TXN BEGIN", "OK 3")
+	exact("TXN W 3 gone 9", "OK 9")
+	exact("TXN ABORT 3", "OK")
+	exact("GET gone", "NIL")
+	exact("TXN W 3 gone 9", "ERR no such txn 3")
+
+	// An empty transaction commits trivially.
+	exact("TXN BEGIN", "OK 4")
+	exact("TXN COMMIT 4", "OK")
+
+	// TXN works identically under REQ framing (single-line replies).
+	rc.send("REQ q1 TXN BEGIN")
+	if got := rc.recv(); got != "RES q1 OK 5" {
+		t.Errorf("REQ-framed BEGIN -> %q", got)
+	}
+	rc.send("REQ q2 TXN COMMIT 5")
+	if got := rc.recv(); got != "RES q2 OK" {
+		t.Errorf("REQ-framed COMMIT -> %q", got)
+	}
+
+	// Error surface. Session 6 exists for the argument checks.
+	exact("TXN BEGIN", "OK 6")
+	for in, want := range map[string]string{
+		"TXN":                 "ERR usage: TXN BEGIN|R|W|COMMIT|ABORT ...",
+		"TXN R":               "ERR usage: TXN R <id> ...",
+		"TXN R abc k":         "ERR bad txn id abc",
+		"TXN R 99 k":          "ERR no such txn 99",
+		"TXN R 6":             "ERR usage: TXN R <id> <key>",
+		"TXN R 6 a:b":         "ERR bad key a:b",
+		"TXN W 6 k":           "ERR usage: TXN W <id> <key> <delta|=val>",
+		"TXN W 6 k 1.5":       "ERR bad delta 1.5",
+		"TXN W 6 k =":         "ERR bad delta =",
+		"TXN W 6 a:b 1":       "ERR bad key a:b",
+		"TXN COMMIT 6 extra":  "ERR usage: TXN COMMIT <id>",
+		"TXN ABORT 6 extra":   "ERR usage: TXN ABORT <id>",
+		"TXN NOSUCH 6":        "ERR unknown TXN subverb NOSUCH",
+		"TXN BEGIN v=NaN":     "ERR bad v=",
+		"TXN BEGIN dl=1e309":  "ERR bad dl=",
+		"TXN BEGIN grad=-Inf": "ERR bad grad=",
+		"TXN BEGIN hello":     "ERR bad token hello",
+	} {
+		rc.send(in)
+		if got := rc.recv(); got != want {
+			t.Errorf("%-24q -> %q, want %q", in, got, want)
+		}
+	}
+	exact("TXN ABORT 6", "OK")
+
+	// The connection survived the whole barrage.
+	exact("PING", "OK pong")
+}
+
+// TestTxnSpeculationAcrossRoundTrips is the acceptance check for the
+// session redesign: an interactive transaction begun over TCP observes
+// SCC speculation across its round trips. Session A reads x; a
+// conflicting one-shot write commits between A's round trips, aborting
+// A's optimistic shadow and forking a speculative shadow parked at the
+// read; A's next op and COMMIT are then served by the promoted shadow,
+// which observed the fresh value — no from-scratch client-visible
+// restart, exactly the paper's Sec. 2 mechanism.
+func TestTxnSpeculationAcrossRoundTrips(t *testing.T) {
+	srv, addr := startServer(t, Config{Shards: 1, Mode: engine.SCC2S})
+	a, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	tx, err := a.Begin(client.TxOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A's live optimistic shadow reads x = 0 and records the version.
+	if n, err := tx.Get("x"); err != nil || n != 0 {
+		t.Fatalf("Get(x) = %d, %v", n, err)
+	}
+
+	// B commits a conflicting write while A is "thinking". B's Set forks
+	// a speculative shadow for A (Write Rule), parked at A's read of x;
+	// B's commit then aborts A's optimistic shadow and opens the gate.
+	if _, err := b.Update([]client.Op{{Key: "x", Delta: 5, Write: true}}, client.TxOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	st := srv.Store().Stats()
+	if st.Engine.Forks < 1 {
+		t.Fatalf("no speculative shadow forked for the parked session (forks=%d)", st.Engine.Forks)
+	}
+	if st.Engine.Aborts < 1 {
+		t.Fatalf("optimistic shadow not aborted by the conflicting commit (aborts=%d)", st.Engine.Aborts)
+	}
+
+	// A's next round trip is served by the woken speculative shadow,
+	// which re-read the fresh x=5.
+	if n, err := tx.Add("x", 1); err != nil || n != 6 {
+		t.Fatalf("Add(x,1) = %d, %v (want 6: the shadow observed the fresh value)", n, err)
+	}
+	res, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 6 {
+		t.Fatalf("Commit results = %v, want [6]", res)
+	}
+	st = srv.Store().Stats()
+	if st.Engine.Promotions < 1 {
+		t.Fatalf("the transaction did not commit through a promoted shadow (promotions=%d)", st.Engine.Promotions)
+	}
+	if n, ok, err := a.Get("x"); err != nil || !ok || n != 6 {
+		t.Fatalf("final x = %d, %v, %v", n, ok, err)
+	}
+}
+
+// TestTxnCrossShardFallback: a session whose ops outgrow the bound shard
+// falls back to deferred cross-shard execution transparently — results
+// stay coherent, COMMIT goes through the cross-shard path, and the
+// balanced deltas conserve.
+func TestTxnCrossShardFallback(t *testing.T) {
+	srv, addr := startServer(t, Config{Shards: 8})
+	store := srv.Store()
+	k1 := "fb-a"
+	k2 := ""
+	for i := 0; i < 10000 && k2 == ""; i++ {
+		k := fmt.Sprintf("fb-b%d", i)
+		if store.ShardOf(k) != store.ShardOf(k1) {
+			k2 = k
+		}
+	}
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	tx, err := c.Begin(client.TxOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tx.Add(k1, 3); err != nil || n != 3 {
+		t.Fatalf("Add(%s) = %d, %v", k1, n, err)
+	}
+	// k2 routes off the bound shard: live -> deferred fallback.
+	if n, err := tx.Add(k2, -3); err != nil || n != -3 {
+		t.Fatalf("Add(%s) = %d, %v", k2, n, err)
+	}
+	// Read-your-writes survives the fallback.
+	if n, err := tx.Get(k1); err != nil || n != 3 {
+		t.Fatalf("Get(%s) after fallback = %d, %v", k1, n, err)
+	}
+	res, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0] != 3 || res[1] != -3 {
+		t.Fatalf("Commit results = %v, want [3 -3]", res)
+	}
+	if sum, err := c.Sum(k1, k2); err != nil || sum != 0 {
+		t.Fatalf("Sum = %d, %v", sum, err)
+	}
+	if st := store.Stats(); st.CrossCommits < 1 {
+		t.Errorf("fallback commit did not use the cross-shard path (cross=%d)", st.CrossCommits)
+	}
+}
+
+// TestTxnReap: a session whose value function crosses zero while it sits
+// idle is shed by the reaper — later verbs on it answer SHED, the slot
+// is returned, and txn_reaped counts it.
+func TestTxnReap(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Shards: 2,
+		Txn:    TxnConfig{ReapEvery: time.Millisecond, MaxIdle: -1},
+	})
+	rc := dialRaw(t, addr)
+
+	// Zero-crossing ~1ms after BEGIN.
+	rc.send("TXN BEGIN v=1e-6 dl=1 grad=1e9")
+	if got := rc.recv(); got != "OK 1" {
+		t.Fatalf("BEGIN -> %q", got)
+	}
+	rc.send("TXN W 1 r-x 5")
+	if got := rc.recv(); got != "OK 5" {
+		t.Fatalf("W -> %q", got)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.txnReaped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("session never reaped past its zero-crossing")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for _, verb := range []string{"TXN R 1 r-x", "TXN W 1 r-x 1", "TXN COMMIT 1", "TXN ABORT 1"} {
+		rc.send(verb)
+		if got := rc.recv(); got != "SHED" {
+			t.Errorf("%q on reaped session -> %q, want SHED", verb, got)
+		}
+	}
+	// Nothing committed; the write is gone.
+	rc.send("GET r-x")
+	if got := rc.recv(); got != "NIL" {
+		t.Errorf("GET after reap -> %q", got)
+	}
+	rc.send("STATS")
+	if got := rc.recv(); !strings.Contains(got, "txn_reaped=1") || !strings.Contains(got, "txn_active=0") {
+		t.Errorf("STATS after reap = %q", got)
+	}
+	// The reaped session's admission slot was returned: new work admits.
+	rc.send("TXN BEGIN")
+	if got := rc.recv(); got != "OK 2" {
+		t.Errorf("BEGIN after reap -> %q", got)
+	}
+	rc.send("TXN ABORT 2")
+	rc.recv()
+}
+
+// TestTxnIdleReap: the idle cap reaps an abandoned session even though
+// its value function never declines.
+func TestTxnIdleReap(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Shards: 2,
+		Txn:    TxnConfig{ReapEvery: time.Millisecond, MaxIdle: 20 * time.Millisecond},
+	})
+	rc := dialRaw(t, addr)
+	rc.send("TXN BEGIN") // no deadline: only the idle cap can reap it
+	if got := rc.recv(); got != "OK 1" {
+		t.Fatalf("BEGIN -> %q", got)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.txnReaped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("idle session never reaped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	rc.send("TXN COMMIT 1")
+	if got := rc.recv(); got != "SHED" {
+		t.Errorf("COMMIT on idle-reaped session -> %q, want SHED", got)
+	}
+}
+
+// TestTxnReplica: sessions on a read replica are read-only and priced by
+// the lag gate at BEGIN — a session whose value function would cross
+// zero before the replica's estimated catch-up is shed at the door.
+func TestTxnReplica(t *testing.T) {
+	// A tight lag budget so manufactured lag actually sheds.
+	gate := repl.NewLagGate(4, 10*time.Millisecond, time.Millisecond)
+	pri, priAddr, _, repAddr, r := startReplicaPairGated(t, 4, gate, 0)
+
+	// Seed the primary and let the replica catch up.
+	pc, err := client.Dial(priAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	if err := pc.Put("rt-k", 42); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, pri, r)
+
+	c, err := client.Dial(repAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	tx, err := c.Begin(client.TxOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tx.Get("rt-k"); err != nil || n != 42 {
+		t.Fatalf("replica Get = %d, %v", n, err)
+	}
+	if _, err := tx.Add("rt-k", 1); err == nil || !strings.Contains(err.Error(), "read-only replica") {
+		t.Fatalf("replica write err = %v, want read-only replica", err)
+	}
+	if _, err := tx.Commit(); err != nil {
+		t.Fatalf("read-only commit: %v", err)
+	}
+
+	// Manufacture hopeless lag: BEGIN with a tight value function sheds.
+	gate.ObserveHead(0, 1_000_000)
+	_, err = c.Begin(client.TxOpts{Value: 1e-6, Deadline: time.Millisecond, Gradient: 1e9})
+	if !errors.Is(err, client.ErrShed) {
+		t.Fatalf("lagging BEGIN err = %v, want ErrShed", err)
+	}
+	// A patient session (no deadline) is still served from the snapshot.
+	tx2, err := c.Begin(client.TxOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := tx2.Get("rt-k"); err != nil || n != 42 {
+		t.Fatalf("patient replica Get = %d, %v", n, err)
+	}
+	if err := tx2.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTxnClientDo: the Do retry loop mirrors Store.Update — fn runs
+// inside a session, a clean return commits, an error aborts.
+func TestTxnClientDo(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 4})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if err := c.Do(client.TxOpts{Value: 2}, func(tx *client.Txn) error {
+		if _, err := tx.Add("do-a", 10); err != nil {
+			return err
+		}
+		_, err := tx.Add("do-b", -10)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum, err := c.Sum("do-a", "do-b"); err != nil || sum != 0 {
+		t.Fatalf("Sum = %d, %v", sum, err)
+	}
+	if n, ok, _ := c.Get("do-a"); !ok || n != 10 {
+		t.Fatalf("do-a = %d, %v", n, ok)
+	}
+
+	// fn error aborts: nothing committed.
+	boom := errors.New("boom")
+	if err := c.Do(client.TxOpts{}, func(tx *client.Txn) error {
+		if _, err := tx.Add("do-c", 1); err != nil {
+			return err
+		}
+		return boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("Do err = %v, want boom", err)
+	}
+	if _, ok, _ := c.Get("do-c"); ok {
+		t.Fatal("aborted Do leaked a write")
+	}
+
+	// fn may commit explicitly to observe results; Do honors the verdict.
+	var res []int64
+	if err := c.Do(client.TxOpts{}, func(tx *client.Txn) error {
+		if _, err := tx.Add("do-d", 7); err != nil {
+			return err
+		}
+		var err error
+		res, err = tx.Commit()
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 7 {
+		t.Fatalf("explicit commit results = %v", res)
+	}
+}
+
+// TestTxnCtxDeadlineMapsToReap: a context deadline given to BeginContext
+// becomes the session's dl= on the wire, so the server's reaper sheds
+// the session once the caller's deadline (plus the default post-deadline
+// decline) has consumed its value — client- and server-side deadlines
+// agree without the caller saying anything twice.
+func TestTxnCtxDeadlineMapsToReap(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Shards: 2,
+		Txn:    TxnConfig{ReapEvery: time.Millisecond, MaxIdle: -1},
+	})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := c.BeginContext(ctx, client.TxOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	// Value 1, deadline ~20ms, default gradient => zero-crossing ~40ms.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.txnReaped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("ctx-deadline session never reaped: dl= was not mapped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTxnInteractiveSerializableHistory replays concurrent interactive
+// transactions through the history oracle, exactly like the pipelined
+// one-shot test but with every transaction spanning three round trips
+// (BEGIN, two writes, COMMIT) and many sessions interleaved per
+// connection. Commit results are the committed execution's values, so
+// the same cumulative-sum trick rebuilds read versions.
+func TestTxnInteractiveSerializableHistory(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 8, Mode: engine.SCC2S})
+	const (
+		clients    = 4
+		perSession = 2 // concurrent sessions per connection
+		perWorker  = 15
+		hotKeys    = 4
+		gKey       = "txnseq"
+	)
+
+	var mu sync.Mutex
+	var all []obs
+	var wg sync.WaitGroup
+	for cI := 0; cI < clients; cI++ {
+		m, err := client.DialMux(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		for sI := 0; sI < perSession; sI++ {
+			wg.Add(1)
+			go func(cI, sI int) {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					hk := (cI*11 + sI*5 + i*3) % hotKeys
+					var res []int64
+					err := m.Do(client.TxOpts{Value: 1, Deadline: 10 * time.Second}, func(tx *client.Txn) error {
+						if _, err := tx.Add(gKey, 1); err != nil {
+							return err
+						}
+						if _, err := tx.Add(fmt.Sprintf("txnhot%d", hk), 1); err != nil {
+							return err
+						}
+						var err error
+						res, err = tx.Commit()
+						return err
+					})
+					if err != nil {
+						t.Errorf("worker %d.%d: %v", cI, sI, err)
+						return
+					}
+					if len(res) != 2 {
+						t.Errorf("worker %d.%d: results %v", cI, sI, res)
+						return
+					}
+					mu.Lock()
+					all = append(all, obs{gval: res[0], hkey: hk, hval: res[1]})
+					mu.Unlock()
+				}
+			}(cI, sI)
+		}
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	want := clients * perSession * perWorker
+	if len(all) != want {
+		t.Fatalf("collected %d commits, want %d", len(all), want)
+	}
+	gPage := model.PageID(0)
+	hPage := func(k int) model.PageID { return model.PageID(1 + k) }
+	gWriter := make(map[int64]model.TxnID, len(all))
+	hWriter := make(map[int]map[int64]model.TxnID, hotKeys)
+	for i, o := range all {
+		id := model.TxnID(i + 1)
+		if _, dup := gWriter[o.gval]; dup {
+			t.Fatalf("duplicate sequencer value %d: lost update", o.gval)
+		}
+		gWriter[o.gval] = id
+		if hWriter[o.hkey] == nil {
+			hWriter[o.hkey] = make(map[int64]model.TxnID)
+		}
+		if _, dup := hWriter[o.hkey][o.hval]; dup {
+			t.Fatalf("duplicate hot%d value %d: lost update", o.hkey, o.hval)
+		}
+		hWriter[o.hkey][o.hval] = id
+	}
+	version := func(m map[int64]model.TxnID, preVal int64, what string) model.TxnID {
+		if preVal == 0 {
+			return 0
+		}
+		id, ok := m[preVal]
+		if !ok {
+			t.Fatalf("%s: observed pre-value %d produced by no committed transaction", what, preVal)
+		}
+		return id
+	}
+	var rec history.Recorder
+	for i, o := range all {
+		id := model.TxnID(i + 1)
+		rec.Add(history.CommitRecord{
+			ID:  id,
+			Seq: int(o.gval),
+			Reads: []model.ReadObs{
+				{Page: gPage, Version: version(gWriter, o.gval-1, "txnseq")},
+				{Page: hPage(o.hkey), Version: version(hWriter[o.hkey], o.hval-1, fmt.Sprintf("txnhot%d", o.hkey))},
+			},
+			Writes: []model.PageID{gPage, hPage(o.hkey)},
+		})
+	}
+	if err := rec.Check(); err != nil {
+		t.Fatalf("interactive execution not serializable: %v", err)
+	}
+}
+
+// TestCloseUnblocksSessions: Server.Close must not deadlock behind open
+// sessions — a BEGIN queued behind session-held admission slots and an
+// op parked on a live session are both unblocked by the teardown order
+// (admission closed, sessions aborted, then handlers awaited).
+func TestCloseUnblocksSessions(t *testing.T) {
+	srv, addr := startServer(t, Config{
+		Shards:    2,
+		Admission: AdmissionConfig{MaxConcurrent: 1},
+		Txn:       TxnConfig{MaxIdle: -1}, // no idle cap: only Close can unwedge
+	})
+	c1, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	// Session 1 takes the only admission slot and binds a live engine
+	// transaction, then sits idle.
+	tx, err := c1.Begin(client.TxOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Add("cu-k", 1); err != nil {
+		t.Fatal(err)
+	}
+	// A second BEGIN queues behind the held slot.
+	c2, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	beginDone := make(chan error, 1)
+	go func() {
+		_, err := c2.Begin(client.TxOpts{})
+		beginDone <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the BEGIN reach the queue
+
+	closed := make(chan struct{})
+	go func() {
+		srv.Close()
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Server.Close deadlocked behind open sessions")
+	}
+	select {
+	case err := <-beginDone:
+		if !errors.Is(err, client.ErrShed) && err == nil {
+			t.Errorf("queued BEGIN at shutdown = %v, want shed or connection error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued BEGIN never unblocked")
+	}
+}
+
+// TestUPDMatchesTxn: the legacy one-shot UPD and an equivalent
+// interactive session produce identical results — they share one
+// executor. (Exact UPD reply bytes are pinned by the main conformance
+// suite; this checks end-to-end equivalence of the two surfaces.)
+func TestUPDMatchesTxn(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 4})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	updRes, err := c.Update([]client.Op{
+		{Key: "eq-a", Delta: 4, Write: true},
+		{Key: "eq-b"},
+		{Key: "eq-c", Delta: -4, Write: true},
+	}, client.TxOpts{Value: 3, Deadline: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tx, err := c.Begin(client.TxOpts{Value: 3, Deadline: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Add("eq2-a", 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Get("eq2-b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Add("eq2-c", -4); err != nil {
+		t.Fatal(err)
+	}
+	txnRes, err := tx.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(updRes) != len(txnRes) || updRes[0] != txnRes[0] || updRes[1] != txnRes[1] {
+		t.Fatalf("UPD results %v != TXN results %v", updRes, txnRes)
+	}
+}

@@ -49,6 +49,16 @@ var ErrKeyNotDeclared = errors.New("shard: access to key outside declared shard 
 // ErrReadOnly is returned by Set inside a View.
 var ErrReadOnly = errors.New("shard: Set inside read-only View")
 
+// AttemptsError reports a cross-shard transaction that exhausted its
+// validation-retry budget — the multi-shard counterpart of
+// engine.AttemptsError, kept a distinct type for the same reason:
+// callers classify it as a retryable conflict, not a protocol error.
+type AttemptsError struct{ Attempts int }
+
+func (e *AttemptsError) Error() string {
+	return fmt.Sprintf("shard: cross-shard transaction exceeded %d attempts", e.Attempts)
+}
+
 // RetryGate decides whether a cross-shard transaction may re-execute
 // after a validation failure. It is called with the 1-based retry number
 // before each re-execution; returning a non-nil error abandons the
@@ -361,7 +371,7 @@ func (s *Store) updateCross(value float64, involved []int, gate RetryGate, fn fu
 		}
 		s.crossRestarts.Add(1)
 	}
-	return nil, fmt.Errorf("shard: cross-shard transaction exceeded %d attempts", s.maxAttempts)
+	return nil, &AttemptsError{Attempts: s.maxAttempts}
 }
 
 // groupReads splits a transaction's read set by owning shard.
