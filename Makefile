@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench fuzz e2e e2e-recover e2e-interactive lint docs clean-data
+.PHONY: check build vet test race bench bench-sweep bench-race fuzz e2e e2e-recover e2e-interactive lint docs clean-data
 
 check: build vet race
 
@@ -28,6 +28,19 @@ race:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 0.5s .
+
+# bench-sweep runs the standard sccserve/sccload scenario sweep and
+# writes one merged JSON artifact (the checked-in BENCH_<pr>.json
+# trajectory files); see scripts/bench_sweep.sh.
+BENCH_OUT ?= BENCH.json
+bench-sweep:
+	bash scripts/bench_sweep.sh $(BENCH_OUT)
+
+# bench-race is the CI guard that the instrumented hot path stays
+# race-clean under benchmark load: one pass of the pipelined benchmark
+# with the race detector on.
+bench-race:
+	$(GO) test -race -run '^$$' -bench 'BenchmarkPipelined' -benchtime 1x .
 
 fuzz:
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime 30s

@@ -49,16 +49,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 	"os"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/server/client"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -103,6 +107,119 @@ type txnBeginner interface {
 	Begin(client.TxOpts) (*client.Txn, error)
 }
 
+// traceAgg pools sampled lifecycle traces across all clients. For each
+// stage it keeps the offsets (seconds since submit) at which traced
+// transactions reached it, so the report can show where server-side time
+// went — queueing, speculation, parking, commit — not just the
+// end-to-end round trip.
+type traceAgg struct {
+	mu      sync.Mutex
+	sampled int                      // transactions issued with trace=1
+	carried int                      // replies that actually carried a timeline
+	stages  map[string]*stats.Sample // stage -> submit-relative offsets (s)
+}
+
+func newTraceAgg() *traceAgg {
+	return &traceAgg{stages: make(map[string]*stats.Sample)}
+}
+
+// add books one traced transaction's reply timeline (empty for verdicts
+// that carry no trace, e.g. sheds and errors — still counted as sampled).
+func (a *traceAgg) add(trace string) {
+	events := obs.ParseTrace(trace)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sampled++
+	if len(events) == 0 {
+		return
+	}
+	a.carried++
+	for _, e := range events {
+		s := a.stages[e.Stage]
+		if s == nil {
+			s = stats.NewSample(0, int64(len(a.stages)))
+			a.stages[e.Stage] = s
+		}
+		s.Add(e.At.Seconds())
+	}
+}
+
+// stageOrder is the lifecycle order for the trace report; stages outside
+// it (future additions) sort after, alphabetically.
+var stageOrder = []string{
+	obs.StageEnqueue, obs.StageAdmit, obs.StageFork, obs.StagePark,
+	obs.StageResume, obs.StagePromotion, obs.StageRestart, obs.StageDefer,
+	obs.StageDeferred, obs.StageInstall, obs.StageCommit, obs.StageAbort,
+	obs.StageShed, obs.StageReap,
+}
+
+// orderedStages returns the observed stage names in lifecycle order.
+func (a *traceAgg) orderedStages() []string {
+	rank := make(map[string]int, len(stageOrder))
+	for i, s := range stageOrder {
+		rank[s] = i
+	}
+	names := make([]string, 0, len(a.stages))
+	for s := range a.stages {
+		names = append(names, s)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ri, iok := rank[names[i]]
+		rj, jok := rank[names[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok != jok:
+			return iok
+		default:
+			return names[i] < names[j]
+		}
+	})
+	return names
+}
+
+// benchStage is one stage's summary in the -bench-out artifact.
+type benchStage struct {
+	N     int64   `json:"n"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// benchOutput is the machine-readable run summary written by -bench-out.
+// BENCH_<n>.json artifacts checked into the repo use this schema; the CI
+// nightly bench job uploads one per run, so the fields are append-only.
+type benchOutput struct {
+	Timestamp  string  `json:"timestamp"`
+	Mix        string  `json:"mix"`
+	Clients    int     `json:"clients"`
+	OpsClient  int     `json:"ops_per_client"`
+	Pipeline   int     `json:"pipeline"`
+	Interact   bool    `json:"interactive"`
+	ThinkMs    float64 `json:"think_ms"`
+	RunID      int64   `json:"run_id"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	Committed  int64   `json:"committed"`
+	Shed       int     `json:"shed"`
+	Errors     int     `json:"errors"`
+	Throughput float64 `json:"throughput_txn_per_sec"`
+	P50Ms      float64 `json:"latency_p50_ms"`
+	P99Ms      float64 `json:"latency_p99_ms"`
+	MeanMs     float64 `json:"latency_mean_ms"`
+	MissedPct  float64 `json:"deadline_missed_pct"`
+	ValuePct   float64 `json:"value_pct_of_max"`
+	ValueSum   float64 `json:"value_sum"`
+	MaxValue   float64 `json:"value_max"`
+
+	// Server-side counters snapshot (STATS verb) after the run.
+	Server map[string]string `json:"server,omitempty"`
+
+	// Per-stage submit-relative offsets from -trace-sample, lifecycle
+	// order preserved via the stage name keys.
+	TraceSampled int                   `json:"trace_sampled,omitempty"`
+	TraceCarried int                   `json:"trace_carried,omitempty"`
+	Stages       map[string]benchStage `json:"stages,omitempty"`
+}
+
 // clientResult accumulates one client's outcomes.
 type clientResult struct {
 	m         stats.Metrics
@@ -135,6 +252,8 @@ func main() {
 	runIDFlag := flag.Int64("run-id", 0, "key-namespace nonce (0 = derive from the clock); pin it to audit a run across a server restart")
 	verifyOnly := flag.Bool("verify-only", false, "skip the load phase: only re-check conservation over -run-id's keyspace (the kill-and-restart self-check)")
 	expectRecovered := flag.Bool("expect-recovered", false, "fail unless the server's STATS report recovered_index > 0 (assert the server restarted from a data directory)")
+	traceSample := flag.Int("trace-sample", 0, "request a server-side lifecycle trace (trace=1) on every nth transaction and report per-stage p50/p99 offsets (0 = off)")
+	benchOut := flag.String("bench-out", "", "write the run summary as JSON to this file (the BENCH_<n>.json artifact schema)")
 	flag.Parse()
 
 	// Every key carries a per-run nonce: counters so each run audits its
@@ -178,6 +297,15 @@ func main() {
 			}
 		}
 		return
+	}
+
+	// Lifecycle trace sampling: a global sequence across all clients
+	// traces every nth transaction, so the sample spreads over the whole
+	// run rather than front-loading one client's burst.
+	traces := newTraceAgg()
+	var traceSeq atomic.Int64
+	sampleTrace := func() bool {
+		return *traceSample > 0 && (traceSeq.Add(1)-1)%int64(*traceSample) == 0
 	}
 
 	results := make([]clientResult, *clients)
@@ -300,8 +428,11 @@ func main() {
 						return
 					}
 					wireOps := wireOpsFor(t, slot)
+					opt := txOpts(t)
+					traced := sampleTrace()
+					opt.Trace = traced
 					t0 := time.Now()
-					tx, err := b.Begin(txOpts(t))
+					tx, err := b.Begin(opt)
 					if err == nil {
 						for _, o := range wireOps {
 							if *think > 0 {
@@ -322,6 +453,13 @@ func main() {
 						}
 					}
 					lat := time.Since(t0).Seconds()
+					if traced {
+						tr := ""
+						if tx != nil {
+							tr = tx.Trace()
+						}
+						traces.add(tr)
+					}
 					mu.Lock()
 					record(t, lat, err)
 					mu.Unlock()
@@ -381,19 +519,27 @@ func main() {
 					n := min(*pipeline, *ops-done)
 					reqs := make([]client.UpdateReq, 0, n)
 					txns := make([]*model.Txn, 0, n)
+					tracedReq := make([]bool, 0, n)
 					for j := 0; j < n; j++ {
 						t := gen.Next()
 						if takeReplica() {
 							replicaRead(t)
 							continue
 						}
+						opt := txOpts(t)
+						traced := sampleTrace()
+						opt.Trace = traced
 						txns = append(txns, t)
+						tracedReq = append(tracedReq, traced)
 						reqs = append(reqs, client.UpdateReq{
 							Ops:  wireOpsFor(t, len(reqs)),
-							Opts: txOpts(t),
+							Opts: opt,
 						})
 					}
 					for j, o := range m.Batch(reqs) {
+						if tracedReq[j] {
+							traces.add(o.Trace)
+						}
 						record(txns[j], o.Elapsed.Seconds(), o.Err)
 					}
 					done += n
@@ -416,7 +562,14 @@ func main() {
 				}
 				wireOps := wireOpsFor(t, 0)
 				t0 := time.Now()
-				_, err := c.Update(wireOps, txOpts(t))
+				var err error
+				if sampleTrace() {
+					var tr string
+					_, tr, err = c.UpdateTraced(wireOps, txOpts(t))
+					traces.add(tr)
+				} else {
+					_, err = c.Update(wireOps, txOpts(t))
+				}
 				record(t, time.Since(t0).Seconds(), err)
 			}
 		}(w)
@@ -479,6 +632,15 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if *traceSample > 0 {
+		fmt.Printf("  traces     sampled %d, carried %d; stage offsets from submit:\n",
+			traces.sampled, traces.carried)
+		for _, stage := range traces.orderedStages() {
+			smp := traces.stages[stage]
+			fmt.Printf("    %-10s n=%-6d p50 %8.3fms  p99 %8.3fms\n",
+				stage, smp.N(), smp.Percentile(50)*1000, smp.Percentile(99)*1000)
+		}
+	}
 
 	// Conservation must be checked over the page span the mix actually
 	// wrote (the high mix pins DBPages=16 regardless of -keys; the
@@ -496,8 +658,10 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("  invariants PASS (value conserved, no lost updates)")
+	var serverStats map[string]string
 	if c, err := client.Dial(*addr); err == nil {
 		if st, err := c.Stats(); err == nil {
+			serverStats = st
 			fmt.Printf("  server     cross=%s cross_restarts=%s cross_shed=%s shed=%s commit_batches=%s commits=%s\n",
 				st["cross"], st["cross_restarts"], st["cross_shed"], st["shed"], st["commit_batches"], st["commits"])
 			if wa, ok := st["wal_appends"]; ok {
@@ -506,6 +670,53 @@ func main() {
 			}
 		}
 		c.Close()
+	}
+	if *benchOut != "" {
+		out := benchOutput{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			Mix:        *mix,
+			Clients:    *clients,
+			OpsClient:  *ops,
+			Pipeline:   *pipeline,
+			Interact:   *interactive,
+			ThinkMs:    think.Seconds() * 1000,
+			RunID:      runID,
+			ElapsedSec: elapsed.Seconds(),
+			Committed:  committed,
+			Shed:       shed,
+			Errors:     errs,
+			Throughput: float64(committed) / elapsed.Seconds(),
+			MissedPct:  m.MissedRatio(),
+			ValuePct:   m.SystemValuePct(),
+			ValueSum:   m.ValueSum,
+			MaxValue:   m.MaxValueSum,
+			Server:     serverStats,
+		}
+		if all.N() > 0 {
+			out.P50Ms = all.Percentile(50) * 1000
+			out.P99Ms = all.Percentile(99) * 1000
+			out.MeanMs = all.Mean() * 1000
+		}
+		if *traceSample > 0 {
+			out.TraceSampled = traces.sampled
+			out.TraceCarried = traces.carried
+			out.Stages = make(map[string]benchStage, len(traces.stages))
+			for stage, smp := range traces.stages {
+				out.Stages[stage] = benchStage{
+					N:     int64(smp.N()),
+					P50Ms: smp.Percentile(50) * 1000,
+					P99Ms: smp.Percentile(99) * 1000,
+				}
+			}
+		}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			log.Fatalf("sccload: -bench-out: %v", err)
+		}
+		if err := os.WriteFile(*benchOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("sccload: -bench-out: %v", err)
+		}
+		fmt.Printf("  bench-out  %s\n", *benchOut)
 	}
 	if *expectRecovered && checkRecovered(*addr) {
 		os.Exit(1)

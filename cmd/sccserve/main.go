@@ -23,9 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the -metrics-addr mux
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -35,6 +39,21 @@ import (
 	"repro/internal/repl"
 	"repro/internal/server"
 )
+
+// parseLogLevel maps the -log-level flag onto a slog.Level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", s)
+}
 
 func main() {
 	addr := flag.String("addr", ":7070", "listen address")
@@ -55,7 +74,18 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 4096, "checkpoint a shard after this many WAL records, highest pending-value shard first (0 = only on the CKPT verb)")
 	txnIdle := flag.Duration("txn-idle", 30*time.Second, "reap interactive TXN sessions with no operation for this long (negative = no idle cap — an abandoned no-deadline session then pins its admission slot; value zero-crossing reaping always runs)")
 	statsEvery := flag.Duration("stats", 0, "log engine stats at this interval (0 = off)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address serving GET /metrics (Prometheus text exposition of the same registry as the METRICS wire verb) and /debug/pprof (empty = off)")
+	logLevel := flag.String("log-level", "info", "structured-log verbosity on stderr: debug | info | warn | error")
+	resumeFile := flag.String("repl-resume", "", "replica: file persisting the primary's per-shard applied indices so a restart resumes the stream instead of re-bootstrapping via SNAP (default <data-dir>/replica.resume when -data-dir is set)")
 	flag.Parse()
+
+	lvl, err := parseLogLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("sccserve: %v", err)
+	}
+	// All operational logging goes to stderr via slog; stdout stays
+	// reserved for the machine-parsed "final:" summary line.
+	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
 
 	var m engine.Mode
 	switch strings.ToLower(*mode) {
@@ -104,8 +134,8 @@ func main() {
 		log.Fatalf("sccserve: %v", err)
 	}
 	if d := srv.Durable(); d != nil {
-		log.Printf("sccserve: durable in %s (fsync %s, ckpt every %d records): recovered %d committed records",
-			*dataDir, fsyncPolicy, *ckptEvery, d.RecoveredIndex())
+		slog.Info("sccserve: durable", "dir", *dataDir, "fsync", fsyncPolicy.String(),
+			"ckpt_every", *ckptEvery, "recovered_records", d.RecoveredIndex())
 		// Fail-stop on a broken WAL: the engine cannot un-commit, so once
 		// the log stops persisting, every further ack would be a lie that
 		// the next recovery exposes. Dying bounds the non-durable window
@@ -122,12 +152,18 @@ func main() {
 
 	var rep *repl.Replica
 	if *replicaOf != "" {
+		resume := *resumeFile
+		if resume == "" && *dataDir != "" {
+			resume = filepath.Join(*dataDir, "replica.resume")
+		}
 		var err error
 		rep, err = repl.StartReplica(repl.ReplicaConfig{
-			Primary:  *replicaOf,
-			Store:    srv.Store(),
-			Gate:     gate,
-			Snapshot: *replSnapshot,
+			Primary:    *replicaOf,
+			Store:      srv.Store(),
+			Gate:       gate,
+			Snapshot:   *replSnapshot,
+			ResumePath: resume,
+			Metrics:    server.NewReplicaMetrics(srv.Metrics()),
 		})
 		if err != nil {
 			log.Fatalf("sccserve: replication: %v", err)
@@ -136,7 +172,26 @@ func main() {
 		go func() {
 			<-rep.Done()
 			if err := rep.Err(); err != nil {
-				log.Printf("sccserve: replication stream ended: %v (serving frozen snapshot)", err)
+				slog.Warn("sccserve: replication stream ended; serving frozen snapshot", "err", err)
+			}
+		}()
+	}
+
+	if *metricsAddr != "" {
+		// /metrics joins net/http/pprof's /debug/pprof/* handlers on the
+		// default mux: one diagnostic listener, kept off the data port.
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			srv.Metrics().Expose(w)
+		})
+		mlis, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			log.Fatalf("sccserve: metrics listener: %v", err)
+		}
+		slog.Info("sccserve: metrics", "addr", mlis.Addr().String())
+		go func() {
+			if err := http.Serve(mlis, nil); err != nil {
+				slog.Error("sccserve: metrics listener failed", "err", err)
 			}
 		}()
 	}
@@ -153,18 +208,18 @@ func main() {
 	if *replicaOf != "" {
 		role = fmt.Sprintf("replica of %s (lag budget %s)", *replicaOf, *replLagBudget)
 	}
-	log.Printf("sccserve: %s serving %d shards on %s as %s (admission: %d slots, queue %d; group commit %s)",
-		m, *shards, lis.Addr(), role, *concurrency, *queue, gc)
+	slog.Info("sccserve: serving", "mode", m.String(), "shards", *shards, "addr", lis.Addr().String(),
+		"role", role, "slots", *concurrency, "queue", *queue, "group_commit", gc)
 
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
 				st := srv.Store().Stats()
 				ad := srv.Admission().Stats()
-				log.Printf("sccserve: commits=%d (fast=%d cross=%d) restarts=%d forks=%d promotions=%d admitted=%d shed=%d depth=%d",
-					st.TotalCommits(), st.FastPath, st.CrossCommits,
-					st.Engine.Restarts+st.CrossRestarts, st.Engine.Forks,
-					st.Engine.Promotions, ad.Admitted, ad.Shed, ad.Depth)
+				slog.Info("sccserve: stats",
+					"commits", st.TotalCommits(), "fast", st.FastPath, "cross", st.CrossCommits,
+					"restarts", st.Engine.Restarts+st.CrossRestarts, "forks", st.Engine.Forks,
+					"promotions", st.Engine.Promotions, "admitted", ad.Admitted, "shed", ad.Shed, "depth", ad.Depth)
 			}
 		}()
 	}
@@ -176,7 +231,7 @@ func main() {
 
 	select {
 	case s := <-sig:
-		log.Printf("sccserve: %v, shutting down", s)
+		slog.Info("sccserve: shutting down", "signal", s.String())
 		srv.Close()
 		<-done
 	case err := <-done:

@@ -24,13 +24,15 @@ package durable
 import (
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/shard"
 )
@@ -48,6 +50,20 @@ type Options struct {
 	// accumulate in its WAL since the last checkpoint (0 = only on the
 	// CKPT verb / explicit CheckpointAll).
 	CkptEvery int
+	// Metrics, when non-nil, receives durability observations (fsync and
+	// checkpoint latency). All fields must be populated.
+	Metrics *Metrics
+}
+
+// Metrics are the durability layer's instruments, registered by the
+// serving layer and shared across shards.
+type Metrics struct {
+	// FsyncSeconds observes each WAL fsync — the stall every commit in a
+	// batch waits out before its verdict under the group policy.
+	FsyncSeconds *obs.Histogram
+	// CheckpointSeconds observes whole-shard checkpoint passes: rotate,
+	// latched snapshot, atomic file write, trim.
+	CheckpointSeconds *obs.Histogram
 }
 
 // Stats are cumulative durability counters, summed over shards.
@@ -219,6 +235,9 @@ func (m *Manager) bootShard(i int) (*managedShard, uint64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
+	if m.opts.Metrics != nil {
+		wal.fsyncObs = m.opts.Metrics.FsyncSeconds
+	}
 	head, err := m.replayShard(i, ckptIdx, kvs, recs)
 	if err != nil {
 		wal.Close()
@@ -354,7 +373,8 @@ func (m *Manager) checkpointLoop() {
 			if err := m.checkpointShard(ms); err != nil {
 				if msg := err.Error(); msg != lastLogged {
 					lastLogged = msg
-					log.Printf("durable: checkpoint of shard %d failed (will retry; WAL keeps growing): %v", ms.idx, err)
+					slog.Warn("durable: checkpoint failed; will retry and WAL keeps growing",
+						"shard", ms.idx, "err", err)
 				}
 			} else {
 				lastLogged = ""
@@ -422,6 +442,10 @@ func (m *Manager) CheckpointAll() ([]int, error) {
 func (m *Manager) checkpointShard(ms *managedShard) error {
 	m.ckptMu.Lock()
 	defer m.ckptMu.Unlock()
+	if met := m.opts.Metrics; met != nil {
+		start := time.Now()
+		defer func() { met.CheckpointSeconds.Observe(int64(time.Since(start))) }()
+	}
 	if err := ms.wal.Rotate(); err != nil {
 		m.errs.Add(1)
 		return err

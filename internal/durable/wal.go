@@ -20,7 +20,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
-	"log"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -28,7 +28,9 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/repl"
 )
 
@@ -168,6 +170,10 @@ type WAL struct {
 
 	appends atomic.Int64
 	fsyncs  atomic.Int64
+
+	// fsyncObs, when non-nil, observes each fsync's duration (set by the
+	// durability manager before the WAL sees traffic).
+	fsyncObs *obs.Histogram
 }
 
 // openWAL opens (creating if needed) a shard's WAL in dir, scanning the
@@ -210,7 +216,8 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 	var lastValidLen int
 	for _, seg := range w.segments {
 		if broken {
-			log.Printf("durable: WAL %s unreachable past a missing record (want %d); discarding", seg.path, next)
+			slog.Warn("durable: WAL segment unreachable past a missing record; discarding",
+				"segment", seg.path, "want", next)
 			os.Remove(seg.path)
 			continue
 		}
@@ -246,7 +253,8 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 			took = true
 		}
 		if broken && !took {
-			log.Printf("durable: WAL %s unreachable past a missing record (want %d); discarding", seg.path, next)
+			slog.Warn("durable: WAL segment unreachable past a missing record; discarding",
+				"segment", seg.path, "want", next)
 			os.Remove(seg.path)
 			continue
 		}
@@ -382,12 +390,19 @@ func (w *WAL) Sync() error {
 }
 
 func (w *WAL) syncLocked() error {
+	var start time.Time
+	if w.fsyncObs != nil {
+		start = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		w.broken = err
 		return err
 	}
 	w.dirty = false
 	w.fsyncs.Add(1)
+	if w.fsyncObs != nil {
+		w.fsyncObs.Observe(int64(time.Since(start)))
+	}
 	return nil
 }
 

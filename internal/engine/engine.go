@@ -22,6 +22,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // Mode selects the concurrency control protocol.
@@ -75,6 +78,32 @@ type Config struct {
 	// neither must the log. It can also be installed after Open with
 	// SetCommitLog, which recovery uses to replay history unlogged.
 	CommitLog CommitLog
+	// Metrics, when non-nil, receives hot-path observations (group-commit
+	// batch sizes and flush latency, speculative-shadow park waits,
+	// conflict-scan work). All fields must be populated. Each observation
+	// is an atomic add or two, so leaving this enabled in production is
+	// the intended configuration.
+	Metrics *Metrics
+}
+
+// Metrics are the engine's optional instruments, registered by the
+// serving layer in its obs.Registry and shared across shards (the
+// counters aggregate; the per-shard split is not worth the label
+// cardinality).
+type Metrics struct {
+	// BatchSize observes commits processed per commit-latch acquisition
+	// (1 on the per-commit path); the coalescing win is its mean.
+	BatchSize *obs.Histogram
+	// FlushSeconds observes group-commit flush latency: latch acquisition
+	// through WAL sync, the window every commit in the batch waits out.
+	FlushSeconds *obs.Histogram
+	// ParkSeconds observes how long speculative shadows sit parked at
+	// their gate — the park→promotion gap when the shadow goes on to win.
+	ParkSeconds *obs.Histogram
+	// ConflictScans counts in-flight handles examined by the Read and
+	// Write Rules — the O(active) work that makes conflict detection
+	// expensive under load.
+	ConflictScans *obs.Counter
 }
 
 // CommitLog records installed write sets in commit order. Append is called
@@ -197,6 +226,7 @@ type txnHandle struct {
 	store *Store
 	fn    func(*Tx) error
 	value float64
+	tr    *obs.Trace // nil unless the request asked for a lifecycle trace
 
 	// done is closed when the transaction commits or gives up; shadows of
 	// other transactions gate on it.
@@ -258,20 +288,30 @@ func (tx *Tx) Get(key string) ([]byte, error) {
 	if a.spec && a.readSeq == a.gateIdx && a.gateOn != nil {
 		gate, gateAtt := a.gateOn, a.gateAtt
 		a.gateOn, a.gateAtt = nil, nil
+		a.h.tr.Event(obs.StagePark)
+		parkStart := time.Now()
+		aborted := false
 		if gateAtt != nil {
 			select {
 			case <-gate.done:
 			case <-gateAtt.aborted:
 			case <-a.aborted:
-				return nil, ErrAborted
+				aborted = true
 			}
 		} else {
 			select {
 			case <-gate.done:
 			case <-a.aborted:
-				return nil, ErrAborted
+				aborted = true
 			}
 		}
+		if met := s.cfg.Metrics; met != nil {
+			met.ParkSeconds.Observe(int64(time.Since(parkStart)))
+		}
+		if aborted {
+			return nil, ErrAborted
+		}
+		a.h.tr.Event(obs.StageResume)
 	}
 	select {
 	case <-a.aborted:
@@ -302,13 +342,18 @@ func (tx *Tx) Get(key string) ([]byte, error) {
 
 	// Read Rule: this read conflicts with every in-flight writer of key.
 	if !a.spec && s.cfg.Mode == SCC2S {
+		scanned := 0
 		for other := range s.active {
 			if other == a.h || other.resolved {
 				continue
 			}
+			scanned++
 			if _, wrote := other.writes[key]; wrote {
 				s.forkShadowLocked(a.h, other, idx)
 			}
+		}
+		if met := s.cfg.Metrics; met != nil && scanned > 0 {
+			met.ConflictScans.Add(int64(scanned))
 		}
 	}
 	out := make([]byte, len(v.val))
@@ -342,13 +387,18 @@ func (tx *Tx) Set(key string, val []byte) error {
 		a.h.writes[key] = buf
 		// Write Rule: in-flight readers of key gain a conflict with us.
 		if s.cfg.Mode == SCC2S {
+			scanned := 0
 			for other := range s.active {
 				if other == a.h || other.resolved || other.opt == nil {
 					continue
 				}
+				scanned++
 				if at, read := other.opt.readAt[key]; read {
 					s.forkShadowLocked(other, a.h, at)
 				}
+			}
+			if met := s.cfg.Metrics; met != nil && scanned > 0 {
+				met.ConflictScans.Add(int64(scanned))
 			}
 		}
 	}
@@ -370,6 +420,7 @@ func (s *Store) forkShadowLocked(h, gateOn *txnHandle, gateIdx int) {
 	}
 	h.shadow = sh
 	s.stats.Forks++
+	h.tr.Event(obs.StageFork)
 	go h.runAttempt(sh)
 }
 
@@ -405,10 +456,20 @@ func (s *Store) UpdateValued(value float64, fn func(*Tx) error) error {
 // observing the commit is race-free even if a losing shadow is still
 // executing the closure.
 func (s *Store) UpdateValuedResult(value float64, fn func(*Tx) error) (any, error) {
+	return s.UpdateTracedResult(value, nil, fn)
+}
+
+// UpdateTracedResult is UpdateValuedResult with a lifecycle trace: when
+// tr is non-nil, every stage the transaction passes through inside the
+// engine — fork, park, resume, promotion, restart, defer, install — is
+// stamped onto it, from whichever shadow goroutine reaches the stage.
+// A nil tr costs one predictable branch per site.
+func (s *Store) UpdateTracedResult(value float64, tr *obs.Trace, fn func(*Tx) error) (any, error) {
 	h := &txnHandle{
 		store:  s,
 		fn:     fn,
 		value:  value,
+		tr:     tr,
 		done:   make(chan struct{}),
 		writes: make(map[string][]byte),
 	}
@@ -432,6 +493,7 @@ func (s *Store) UpdateValuedResult(value float64, fn func(*Tx) error) (any, erro
 		s.active[h] = struct{}{}
 		if attempts > 0 {
 			s.stats.Restarts++
+			h.tr.Event(obs.StageRestart)
 		}
 		s.mu.Unlock()
 
@@ -546,6 +608,7 @@ func (s *Store) deferForValue(a *attempt) {
 		}
 		if wait != nil {
 			s.stats.Deferrals++
+			a.h.tr.Event(obs.StageDefer)
 		}
 		s.mu.Unlock()
 		if wait == nil {
@@ -601,6 +664,11 @@ func (s *Store) tryCommit(a *attempt) bool {
 	ok := s.commitLocked(a)
 	syncer, _ := s.cfg.CommitLog.(CommitSyncer)
 	s.mu.Unlock()
+	if met := s.cfg.Metrics; met != nil {
+		// The per-commit path is a batch of one; FlushSeconds is left to
+		// the group-commit path so this stays a single atomic add.
+		met.BatchSize.Observe(1)
+	}
 	if ok && syncer != nil {
 		syncer.Sync()
 	}
@@ -628,11 +696,13 @@ func (s *Store) commitLocked(a *attempt) bool {
 	h.resolved = true
 	h.result = a.result
 	delete(s.active, h)
-	s.installLocked(a.writes, h.value)
-	s.stats.Commits++
 	if a.spec {
 		s.stats.Promotions++
+		h.tr.Event(obs.StagePromotion)
 	}
+	s.installLocked(a.writes, h.value)
+	s.stats.Commits++
+	h.tr.Event(obs.StageInstall)
 	return true
 }
 

@@ -140,6 +140,7 @@ func (g *groupCommitter) flush() {
 		return
 	}
 	s := g.s
+	flushStart := time.Now()
 	s.mu.Lock()
 	// Starvation control: when a batch carries several conflicting
 	// read-modify-writes of one key, only the first to validate commits —
@@ -167,6 +168,10 @@ func (g *groupCommitter) flush() {
 	// thing deferred).
 	if installed && syncer != nil {
 		syncer.Sync()
+	}
+	if met := s.cfg.Metrics; met != nil {
+		met.BatchSize.Observe(int64(len(batch)))
+		met.FlushSeconds.Observe(int64(time.Since(flushStart)))
 	}
 	for i, req := range batch {
 		req.done <- verdicts[i]

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Canonical lifecycle stage names. The trace timeline, the per-stage
+// latency histograms, and docs/PROTOCOL.md all use these spellings; a
+// stage string appearing anywhere else is a bug the conformance test
+// should catch.
+const (
+	StageEnqueue   = "enqueue"   // entered the admission queue
+	StageAdmit     = "admit"     // dispatched by admission control
+	StageFork      = "fork"      // speculative shadow forked (Read/Write Rule)
+	StagePark      = "park"      // speculative shadow parked at its gate
+	StageResume    = "resume"    // gate opened; shadow re-reads and continues
+	StagePromotion = "promotion" // speculative shadow committed the transaction
+	StageRestart   = "restart"   // from-scratch re-execution (OCC-BC / give-up path)
+	StageDefer     = "defer"     // yielded to a higher-value conflicter (VW rule)
+	StageDeferred  = "deferred"  // session fell back to the deferred overlay path
+	StageInstall   = "install"   // writes installed under the commit latch
+	StageCommit    = "commit"    // verdict delivered (post WAL sync)
+	StageAbort     = "abort"     // transaction aborted
+	StageShed      = "shed"      // refused or evicted by admission control
+	StageReap      = "reap"      // session reaped (value zero-crossed or idle)
+)
+
+// Lost-value attribution stages: where realized value fell short of the
+// value at submission. These label scc_lost_value_total.
+const (
+	LossExecution     = "execution"      // decay between submit and commit (queueing included)
+	LossSession       = "session"        // decay across an interactive session's round trips
+	LossAdmissionShed = "admission_shed" // remaining value destroyed by a shed
+	LossCrossShed     = "cross_shed"     // shed at re-admission of a cross-shard retry
+	LossConflictAbort = "conflict_abort" // attempt budget exhausted under contention
+	LossClientAbort   = "client_abort"   // client issued TXN ABORT
+	LossReap          = "reap"           // session reaped server-side
+	LossError         = "error"          // transaction failed with an error
+	LossReplicaLag    = "replica_lag"    // replica read shed by the lag gate
+)
+
+// TraceEvent is one timestamped lifecycle stage.
+type TraceEvent struct {
+	Stage string
+	At    time.Duration // since the trace started
+}
+
+// Trace is a per-transaction lifecycle timeline. All methods are
+// nil-safe: untraced requests carry a nil *Trace and every Event call
+// on it is a no-op branch, which is what keeps tracing opt-in free.
+// Shadows run on other goroutines, so appends are mutex-guarded — a
+// traced transaction already pays for channels and goroutine wakeups,
+// so the lock is noise.
+type Trace struct {
+	start time.Time
+	mu    sync.Mutex
+	ev    []TraceEvent
+}
+
+// NewTrace starts a trace at start (the request's submit instant).
+func NewTrace(start time.Time) *Trace {
+	return &Trace{start: start, ev: make([]TraceEvent, 0, 8)}
+}
+
+// Event appends a stage stamped now. No-op on a nil trace.
+func (t *Trace) Event(stage string) {
+	if t == nil {
+		return
+	}
+	t.EventAt(stage, time.Now())
+}
+
+// EventAt appends a stage stamped at. No-op on a nil trace.
+func (t *Trace) EventAt(stage string, at time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.ev = append(t.ev, TraceEvent{Stage: stage, At: at.Sub(t.start)})
+	t.mu.Unlock()
+}
+
+// Snapshot returns a copy of the events recorded so far (nil-safe).
+func (t *Trace) Snapshot() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceEvent, len(t.ev))
+	copy(out, t.ev)
+	return out
+}
+
+// String renders the timeline as the wire token payload:
+// "stage:ns,stage:ns,..." — offsets in integer nanoseconds since the
+// trace start, no spaces, stages in record order. Empty for a nil or
+// eventless trace.
+func (t *Trace) String() string {
+	events := t.Snapshot()
+	if len(events) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, e := range events {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e.Stage)
+		b.WriteByte(':')
+		b.WriteString(strconv.FormatInt(e.At.Nanoseconds(), 10))
+	}
+	return b.String()
+}
+
+// ParseTrace decodes a String()-rendered timeline; it is the client
+// half of the trace= reply token. Malformed input returns nil.
+func ParseTrace(s string) []TraceEvent {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]TraceEvent, 0, len(parts))
+	for _, p := range parts {
+		stage, nsStr, ok := strings.Cut(p, ":")
+		if !ok || stage == "" {
+			return nil
+		}
+		ns, err := strconv.ParseInt(nsStr, 10, 64)
+		if err != nil || ns < 0 {
+			return nil
+		}
+		out = append(out, TraceEvent{Stage: stage, At: time.Duration(ns)})
+	}
+	return out
+}

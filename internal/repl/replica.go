@@ -10,13 +10,17 @@ package repl
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
+	"log/slog"
 	"net"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -46,15 +50,48 @@ type ReplicaConfig struct {
 	// any long-running primary. Off, the replica replays from index 1 —
 	// which the primary refuses once trimmed.
 	Snapshot bool
+	// ResumePath, when non-empty, persists the PRIMARY's per-shard
+	// applied log indices to this file after each applied batch and
+	// resumes the subscription from them at the next start, skipping the
+	// snapshot bootstrap. The local store's own commit-log indices are
+	// useless for this — a snapshot installs as one local record, so
+	// local and primary numbering diverge — which is exactly the bug that
+	// made a durable replica re-SNAP every shard on restart. The file is
+	// written non-synced (tmp+rename): a stale offset only re-applies
+	// records, which is safe because log records carry absolute values.
+	// If the primary has trimmed its log past a resume point, StartReplica
+	// falls back to a fresh snapshot bootstrap automatically.
+	ResumePath string
+	// Metrics, when non-nil, receives apply-path observations. All
+	// fields must be populated.
+	Metrics *ReplicaMetrics
+}
+
+// ReplicaMetrics are the replica's instruments, registered by the
+// operator binary (sccserve) in its obs registry.
+type ReplicaMetrics struct {
+	// ApplySeconds observes each batch install (latch hold + local
+	// commit-log sync).
+	ApplySeconds *obs.Histogram
+	// ApplyBatch observes records installed per latch hold — the
+	// replica-side coalescing win.
+	ApplyBatch *obs.Histogram
+	// Resumes counts subscriptions resumed from persisted primary
+	// offsets; Snapshots counts shard snapshot bootstraps. A restarting
+	// durable replica should grow Resumes, not Snapshots.
+	Resumes   *obs.Counter
+	Snapshots *obs.Counter
 }
 
 // Replica is a live replication client. Create one with StartReplica.
 type Replica struct {
-	conn     net.Conn
-	store    *shard.Store
-	gate     *LagGate
-	maxBatch int
-	w        *bufio.Writer
+	conn       net.Conn
+	store      *shard.Store
+	gate       *LagGate
+	maxBatch   int
+	w          *bufio.Writer
+	resumePath string
+	met        *ReplicaMetrics
 
 	mu      sync.Mutex
 	applied []uint64
@@ -65,10 +102,13 @@ type Replica struct {
 }
 
 // StartReplica connects to the primary, verifies the shard counts match,
-// subscribes every shard from index 1 and waits for every subscription
-// to be confirmed (so a non-primary target fails here, at startup), then
-// starts the apply loop. The stream runs until Close or a connection
-// error; Done/Err report the end.
+// subscribes every shard — from persisted primary offsets when
+// ResumePath holds them, from a snapshot bootstrap or index 1 otherwise
+// — and waits for every subscription to be confirmed (so a non-primary
+// target fails here, at startup), then starts the apply loop. A resumed
+// subscription the primary refuses (log trimmed past the resume point)
+// falls back to a fresh snapshot bootstrap before giving up. The stream
+// runs until Close or a connection error; Done/Err report the end.
 func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.MaxBatch <= 0 {
 		cfg.MaxBatch = 256
@@ -76,31 +116,121 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 	if cfg.HeadInterval <= 0 {
 		cfg.HeadInterval = 25 * time.Millisecond
 	}
-	conn, err := net.Dial("tcp", cfg.Primary)
-	if err != nil {
-		return nil, err
-	}
 	r := &Replica{
-		conn:     conn,
-		store:    cfg.Store,
-		gate:     cfg.Gate,
-		maxBatch: cfg.MaxBatch,
-		w:        bufio.NewWriter(conn),
-		applied:  make([]uint64, cfg.Store.NumShards()),
-		acked:    make([]uint64, cfg.Store.NumShards()),
-		done:     make(chan struct{}),
+		store:      cfg.Store,
+		gate:       cfg.Gate,
+		maxBatch:   cfg.MaxBatch,
+		resumePath: cfg.ResumePath,
+		met:        cfg.Metrics,
+		applied:    make([]uint64, cfg.Store.NumShards()),
+		acked:      make([]uint64, cfg.Store.NumShards()),
+		done:       make(chan struct{}),
 	}
-	br := bufio.NewReaderSize(conn, 256*1024)
-	pre, err := r.handshake(br, cfg.Snapshot)
+	resumed := false
+	if cfg.ResumePath != "" {
+		if offs := loadOffsets(cfg.ResumePath, cfg.Store.NumShards()); offs != nil {
+			copy(r.applied, offs)
+			resumed = true
+		}
+	}
+	br, pre, err := r.connect(cfg.Primary, cfg.Snapshot && !resumed)
+	if err != nil && resumed && cfg.Snapshot && errors.As(err, new(*refusedError)) {
+		// The primary trimmed its log past the resume point. The persisted
+		// offsets are durable truth about what was applied, but the
+		// primary can no longer serve the suffix — start over from a
+		// snapshot on a fresh connection (SNAP must precede REPL).
+		slog.Warn("repl: resume refused by primary; falling back to snapshot bootstrap",
+			"err", err)
+		for i := range r.applied {
+			r.applied[i] = 0
+			r.acked[i] = 0
+		}
+		br, pre, err = r.connect(cfg.Primary, true)
+	}
 	if err != nil {
-		conn.Close()
 		return nil, err
+	}
+	if resumed && r.met != nil {
+		r.met.Resumes.Add(int64(cfg.Store.NumShards()))
 	}
 	go r.run(br, pre)
 	if r.gate != nil {
 		go r.pollHeads(cfg.Primary, cfg.HeadInterval)
 	}
 	return r, nil
+}
+
+// connect dials the primary and runs the subscription handshake,
+// leaving r.conn/r.w bound to the new connection. On error the
+// connection is closed.
+func (r *Replica) connect(primary string, snapshot bool) (*bufio.Reader, map[int][]Record, error) {
+	conn, err := net.Dial("tcp", primary)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.conn = conn
+	r.w = bufio.NewWriter(conn)
+	br := bufio.NewReaderSize(conn, 256*1024)
+	pre, err := r.handshake(br, snapshot)
+	if err != nil {
+		conn.Close()
+		return nil, nil, err
+	}
+	return br, pre, nil
+}
+
+// refusedError marks a subscription the primary rejected with an ERR
+// reply — the "log trimmed" case a resumed replica must recover from by
+// re-bootstrapping, as opposed to transport failures, which must not
+// silently discard persisted progress.
+type refusedError struct{ line string }
+
+func (e *refusedError) Error() string { return "repl: primary refused subscription: " + e.line }
+
+// loadOffsets reads persisted per-shard primary indices; nil means no
+// usable file (absent, malformed, or written for another shard count —
+// all treated as "no resume", never as an error).
+func loadOffsets(path string, shards int) []uint64 {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	fields := strings.Fields(string(b))
+	if len(fields) != shards+1 || fields[0] != "v1" {
+		return nil
+	}
+	out := make([]uint64, shards)
+	for i, f := range fields[1:] {
+		n, err := strconv.ParseUint(f, 10, 64)
+		if err != nil {
+			return nil
+		}
+		out[i] = n
+	}
+	return out
+}
+
+// saveOffsets persists the primary's applied indices with an atomic
+// tmp+rename, no fsync: losing the newest write costs a re-apply of a
+// few records (idempotent — records carry absolute values), while a
+// torn file would cost a full re-bootstrap.
+func (r *Replica) saveOffsets() {
+	if r.resumePath == "" {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("v1")
+	r.mu.Lock()
+	for _, idx := range r.applied {
+		fmt.Fprintf(&b, " %d", idx)
+	}
+	r.mu.Unlock()
+	b.WriteByte('\n')
+	tmp := r.resumePath + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return
+	}
+	os.Rename(tmp, r.resumePath)
 }
 
 // handshake checks the primary's shard count via STATS, optionally
@@ -160,7 +290,7 @@ func (r *Replica) handshake(br *bufio.Reader, snapshot bool) (map[int][]Record, 
 		}
 		line := strings.TrimSpace(raw)
 		if strings.HasPrefix(line, "ERR") {
-			return nil, fmt.Errorf("repl: primary refused subscription: %s", line)
+			return nil, &refusedError{line: line}
 		}
 		if fields := strings.Fields(line); len(fields) == 3 && fields[0] == "OK" {
 			confirmed++
@@ -249,10 +379,16 @@ func (r *Replica) bootstrap(br *bufio.Reader, shards int) error {
 		r.mu.Lock()
 		r.applied[i] = head
 		r.mu.Unlock()
+		if r.met != nil {
+			r.met.Snapshots.Inc()
+		}
 		if r.gate != nil {
 			r.gate.ObserveApplied(i, head, 0, 0)
 		}
 	}
+	// Record the bootstrap positions immediately: a replica restarted
+	// before any stream traffic should still resume, not re-SNAP.
+	r.saveOffsets()
 	return nil
 }
 
@@ -385,10 +521,12 @@ func (r *Replica) consume(line string, batch map[int][]Record) error {
 // apply installs the gathered records in index order per shard under one
 // latch hold each, then acknowledges the new positions to the primary.
 func (r *Replica) apply(batch map[int][]Record) error {
+	appliedAny := false
 	for shardIdx, recs := range batch {
 		if len(recs) == 0 {
 			continue
 		}
+		appliedAny = true
 		writes := make([]map[string][]byte, len(recs))
 		next := r.appliedIdx(shardIdx) + 1
 		for i, rec := range recs {
@@ -402,12 +540,17 @@ func (r *Replica) apply(batch map[int][]Record) error {
 		if err := r.store.ApplyReplicated(shardIdx, writes); err != nil {
 			return err
 		}
+		took := time.Since(t0)
+		if r.met != nil {
+			r.met.ApplySeconds.Observe(int64(took))
+			r.met.ApplyBatch.Observe(int64(len(recs)))
+		}
 		last := recs[len(recs)-1].Index
 		r.mu.Lock()
 		r.applied[shardIdx] = last
 		r.mu.Unlock()
 		if r.gate != nil {
-			r.gate.ObserveApplied(shardIdx, last, time.Since(t0), len(recs))
+			r.gate.ObserveApplied(shardIdx, last, took, len(recs))
 		}
 		if _, err := fmt.Fprintf(r.w, "ACK %d %d\n", shardIdx, last); err != nil {
 			return fmt.Errorf("repl: ack: %w", err)
@@ -416,6 +559,12 @@ func (r *Replica) apply(batch map[int][]Record) error {
 		r.acked[shardIdx] = last
 		r.mu.Unlock()
 		delete(batch, shardIdx)
+	}
+	// One offsets write per apply round, after the batch's local commit-
+	// log sync inside ApplyReplicated: the file can trail durable state
+	// (safe re-apply) but never lead it.
+	if appliedAny {
+		r.saveOffsets()
 	}
 	return r.w.Flush()
 }

@@ -271,12 +271,29 @@ type TxOpts struct {
 	Value    float64       // value added if committed by the deadline
 	Deadline time.Duration // relative soft deadline (0 = none)
 	Gradient float64       // value lost per second past it (0 = V/Deadline)
+	// Trace asks the server for a lifecycle trace: the verdict reply's
+	// trace= token ("stage:ns,..." offsets from submit) is surfaced by
+	// UpdateTraced and Txn.Trace.
+	Trace bool
 }
 
 // wire renders the options through the shared codec (internal/server/opts)
 // — the same encoder the server's parser is tested against.
 func (o TxOpts) wire() opts.T {
-	return opts.T{Value: o.Value, Deadline: o.Deadline, Gradient: o.Gradient}
+	return opts.T{Value: o.Value, Deadline: o.Deadline, Gradient: o.Gradient, Trace: o.Trace}
+}
+
+// cutTrace splits a verdict reply body's trailing trace= token (present
+// only when the request asked for one) from the result fields.
+func cutTrace(body string) (rest, trace string) {
+	i := strings.LastIndexByte(body, ' ')
+	if tr, ok := strings.CutPrefix(body[i+1:], "trace="); ok {
+		if i < 0 {
+			return "", tr
+		}
+		return body[:i], tr
+	}
+	return body, ""
 }
 
 // withCtxDeadline maps a caller's context deadline onto the request's
@@ -357,23 +374,72 @@ func (c *Client) UpdateContext(ctx context.Context, ops []Op, opts TxOpts) ([]in
 }
 
 func update(ctx context.Context, d doer, ops []Op, opts TxOpts) ([]int64, error) {
+	res, _, err := updateTraced(ctx, d, ops, opts)
+	return res, err
+}
+
+func updateTraced(ctx context.Context, d doer, ops []Op, opts TxOpts) ([]int64, string, error) {
 	line, writes, err := updateLine(ops, opts.withCtxDeadline(ctx))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	resp, err := d.doCtx(ctx, line)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	body, err := parse(resp)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
-	return parseUpdateResults(body, writes)
+	body, trace := cutTrace(body)
+	res, err := parseUpdateResults(body, writes)
+	return res, trace, err
+}
+
+// UpdateTraced is Update with lifecycle tracing forced on: it also
+// returns the server's trace= stage timeline ("stage:ns,..." offsets
+// from submit; see docs/PROTOCOL.md, "Lifecycle traces").
+func (c *Client) UpdateTraced(ops []Op, opts TxOpts) ([]int64, string, error) {
+	opts.Trace = true
+	return updateTraced(context.Background(), c, ops, opts)
 }
 
 // Stats fetches the server's counters as a string map.
 func (c *Client) Stats() (map[string]string, error) { return statsCall(c) }
+
+// Metrics fetches the server's telemetry registry as Prometheus text
+// exposition (the METRICS verb: "OK <nlines>" then that many exposition
+// lines). The verb is bare-framing only, so it exists on Client, not Mux.
+func (c *Client) Metrics() (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return "", c.err
+	}
+	resp, err := c.exchangeLocked("METRICS")
+	if err != nil {
+		c.err = fmt.Errorf("client: connection desynced: %w", err)
+		return "", err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return "", err
+	}
+	n, err := strconv.Atoi(body)
+	if err != nil || n < 0 {
+		return "", fmt.Errorf("client: malformed METRICS header %q", resp)
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			c.err = fmt.Errorf("client: connection desynced: %w", err)
+			return "", err
+		}
+		b.WriteString(line)
+	}
+	return b.String(), nil
+}
 
 func statsCall(d doer) (map[string]string, error) {
 	resp, err := d.do("STATS")

@@ -321,6 +321,10 @@ type UpdateReq struct {
 type UpdateResult struct {
 	Results []int64 // new value of each write op, in op order
 	Err     error
+	// Trace is the lifecycle trace the verdict carried ("" unless the
+	// entry's TxOpts.Trace was set and it committed): "stage:ns" pairs,
+	// comma-separated, offsets from submit.
+	Trace string
 	// Elapsed is the entry's own request/response time: from this
 	// entry's write into the burst to the arrival of its RES line
 	// (stamped in the read loop, not when the caller got around to
@@ -400,6 +404,7 @@ func (m *Mux) Batch(reqs []UpdateReq) []UpdateResult {
 			out[i].Err = err
 			continue
 		}
+		body, out[i].Trace = cutTrace(body)
 		out[i].Results, out[i].Err = parseUpdateResults(body, pend[i].writes)
 	}
 	return out

@@ -49,14 +49,20 @@ var ErrTxnFinished = errors.New("client: transaction already finished")
 // concurrent use; pipelining across transactions comes from running many
 // Txns over one Mux, not from racing one Txn.
 type Txn struct {
-	d   doer
-	ctx context.Context
-	id  string
-	fin bool
+	d     doer
+	ctx   context.Context
+	id    string
+	fin   bool
+	trace string
 }
 
 // ID returns the server-assigned session id.
 func (t *Txn) ID() string { return t.id }
+
+// Trace returns the lifecycle trace the commit reply carried ("" unless
+// the session was begun with TxOpts.Trace and committed): "stage:ns"
+// pairs, comma-separated, offsets from BEGIN.
+func (t *Txn) Trace() string { return t.trace }
 
 // Begin opens an interactive transaction session carrying opts' value
 // function: it competes in the server's admission queue like any
@@ -170,6 +176,7 @@ func (t *Txn) Commit() ([]int64, error) {
 	if err != nil {
 		return nil, err
 	}
+	body, t.trace = cutTrace(body)
 	if body == "" {
 		return nil, nil
 	}

@@ -9,12 +9,14 @@ package server
 import (
 	"fmt"
 	"net"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/durable"
+	obspkg "repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/server/client"
 )
@@ -369,5 +371,152 @@ func TestRetentionTrimsWithoutDurability(t *testing.T) {
 	}
 	if log.Trimmed() == 0 {
 		t.Fatal("log_trimmed stayed 0 despite retention and acks")
+	}
+}
+
+// newTestReplicaMetrics builds a ReplicaMetrics set on a throwaway
+// registry so resume tests can assert which bootstrap path ran.
+func newTestReplicaMetrics() *repl.ReplicaMetrics {
+	reg := obspkg.NewRegistry()
+	return &repl.ReplicaMetrics{
+		ApplySeconds: reg.NsHistogram("test_repl_apply_seconds", "test"),
+		ApplyBatch:   reg.Histogram("test_repl_apply_batch", "test", 0, 12, 1),
+		Resumes:      reg.Counter("test_repl_resumes", "test"),
+		Snapshots:    reg.Counter("test_repl_snapshots", "test"),
+	}
+}
+
+// TestDurableReplicaResumesWithoutReSnap is the regression test for the
+// restart bug: a durable replica recorded its own commit-log indices, but
+// a snapshot installs as ONE local record, so local and primary numbering
+// diverge and every restart re-SNAPped every shard. With ResumePath the
+// replica persists the primary's indices and a restart must resume the
+// stream — zero snapshot fetches — and still converge.
+func TestDurableReplicaResumesWithoutReSnap(t *testing.T) {
+	priDir, repDir := t.TempDir(), t.TempDir()
+	priCfg := Config{
+		Shards:  4,
+		Repl:    ReplOptions{Primary: true},
+		Durable: durable.Options{Dir: priDir},
+	}
+	pri, priAddr := startDurableServer(t, priCfg)
+	defer pri.Close()
+	keys := driveMixedLoad(t, priAddr, 6)
+
+	repCfg := Config{Shards: 4, Durable: durable.Options{Dir: repDir}}
+	resume := filepath.Join(repDir, "resume")
+	rep1, _ := startDurableServer(t, repCfg)
+	m1 := newTestReplicaMetrics()
+	r1, err := repl.StartReplica(repl.ReplicaConfig{
+		Primary:    priAddr,
+		Store:      rep1.Store(),
+		Snapshot:   true,
+		ResumePath: resume,
+		Metrics:    m1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First start over an empty directory: snapshot bootstrap, no resume.
+	if m1.Snapshots.Value() == 0 || m1.Resumes.Value() != 0 {
+		t.Fatalf("fresh start: snapshots=%d resumes=%d, want snapshots>0 resumes=0",
+			m1.Snapshots.Value(), m1.Resumes.Value())
+	}
+	waitCaughtUp(t, pri, r1)
+	r1.Close()
+	rep1.Close()
+
+	// The primary moves on while the replica is down.
+	driveMixedLoad(t, priAddr, 3)
+
+	// Restart over the same directory: the stream must resume from the
+	// persisted primary offsets, with no snapshot fetch at all.
+	rep2, repAddr2 := startDurableServer(t, repCfg)
+	defer rep2.Close()
+	m2 := newTestReplicaMetrics()
+	r2, err := repl.StartReplica(repl.ReplicaConfig{
+		Primary:    priAddr,
+		Store:      rep2.Store(),
+		Snapshot:   true,
+		ResumePath: resume,
+		Metrics:    m2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if m2.Resumes.Value() == 0 {
+		t.Fatal("restart did not resume from persisted offsets")
+	}
+	if n := m2.Snapshots.Value(); n != 0 {
+		t.Fatalf("restart fetched %d shard snapshots, want 0 (the re-SNAP bug)", n)
+	}
+	waitCaughtUp(t, pri, r2)
+	want := snapshotKeys(t, priAddr, keys)
+	if got := snapshotKeys(t, repAddr2, keys); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("resumed replica state %v, want %v", got, want)
+	}
+}
+
+// TestDurableReplicaResumeFallsBackToSnapshot: when the primary has
+// trimmed its log past the persisted resume point, the resumed
+// subscription is refused and StartReplica must fall back to a fresh
+// snapshot bootstrap instead of failing.
+func TestDurableReplicaResumeFallsBackToSnapshot(t *testing.T) {
+	priDir, repDir := t.TempDir(), t.TempDir()
+	pri, priAddr := startDurableServer(t, Config{
+		Shards:  2,
+		Repl:    ReplOptions{Primary: true},
+		Durable: durable.Options{Dir: priDir},
+	})
+	defer pri.Close()
+	keys := driveMixedLoad(t, priAddr, 4)
+
+	repCfg := Config{Shards: 2, Durable: durable.Options{Dir: repDir}}
+	resume := filepath.Join(repDir, "resume")
+	rep1, _ := startDurableServer(t, repCfg)
+	r1, err := repl.StartReplica(repl.ReplicaConfig{
+		Primary:    priAddr,
+		Store:      rep1.Store(),
+		Snapshot:   true,
+		ResumePath: resume,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, pri, r1)
+	r1.Close()
+	rep1.Close()
+
+	// With the replica gone, more load plus a checkpoint trims the whole
+	// log: the persisted resume point now asks for discarded records.
+	driveMixedLoad(t, priAddr, 2)
+	rc := dialRaw(t, priAddr)
+	rc.send("CKPT")
+	if got := rc.recv(); !strings.HasPrefix(got, "OK") {
+		t.Fatalf("CKPT = %q", got)
+	}
+
+	rep2, repAddr2 := startDurableServer(t, repCfg)
+	defer rep2.Close()
+	m := newTestReplicaMetrics()
+	r2, err := repl.StartReplica(repl.ReplicaConfig{
+		Primary:    priAddr,
+		Store:      rep2.Store(),
+		Snapshot:   true,
+		ResumePath: resume,
+		Metrics:    m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if m.Snapshots.Value() == 0 {
+		t.Fatal("trimmed-log restart did not fall back to snapshot bootstrap")
+	}
+	waitCaughtUp(t, pri, r2)
+	want := snapshotKeys(t, priAddr, keys)
+	if got := snapshotKeys(t, repAddr2, keys); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("fallback replica state %v, want %v", got, want)
 	}
 }

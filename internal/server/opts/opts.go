@@ -27,6 +27,7 @@ var (
 	ErrBadValue    = errors.New("bad v=")
 	ErrBadDeadline = errors.New("bad dl=")
 	ErrBadGradient = errors.New("bad grad=")
+	ErrBadTrace    = errors.New("bad trace=")
 )
 
 // T carries one request's value-function options in client-facing units:
@@ -37,6 +38,10 @@ type T struct {
 	Value    float64
 	Deadline time.Duration
 	Gradient float64
+	// Trace requests a lifecycle trace: the final verdict reply carries a
+	// trace= token with the transaction's stage timeline (docs/PROTOCOL.md,
+	// "Lifecycle traces").
+	Trace bool
 }
 
 // ParseToken consumes one option token into o. It reports whether tok
@@ -66,6 +71,16 @@ func (o *T) ParseToken(tok string) (bool, error) {
 			return true, ErrBadGradient
 		}
 		o.Gradient = g
+		return true, nil
+	case strings.HasPrefix(tok, "trace="):
+		switch tok[6:] {
+		case "1":
+			o.Trace = true
+		case "0":
+			o.Trace = false
+		default:
+			return true, ErrBadTrace
+		}
 		return true, nil
 	}
 	return false, nil
@@ -121,6 +136,9 @@ func (o T) Encode(b *strings.Builder) {
 	if o.Gradient > 0 {
 		b.WriteString(" grad=")
 		b.WriteString(strconv.FormatFloat(o.Gradient, 'g', -1, 64))
+	}
+	if o.Trace {
+		b.WriteString(" trace=1")
 	}
 }
 

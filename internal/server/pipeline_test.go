@@ -223,9 +223,9 @@ func TestCrossShedOverWire(t *testing.T) {
 	}
 }
 
-// obs is one committed pipelined transaction's observation: the returned
+// pobs is one committed pipelined transaction's observation: the returned
 // (post-increment) values of its two write ops.
-type obs struct {
+type pobs struct {
 	gval int64 // global sequencer key value — doubles as version order
 	hkey int   // which hot key this transaction also wrote
 	hval int64
@@ -263,7 +263,7 @@ func TestPipelinedSerializableHistory(t *testing.T) {
 				gKey      = "seq"
 			)
 
-			results := make([][]obs, clients)
+			results := make([][]pobs, clients)
 			var wg sync.WaitGroup
 			for c := 0; c < clients; c++ {
 				wg.Add(1)
@@ -296,7 +296,7 @@ func TestPipelinedSerializableHistory(t *testing.T) {
 								t.Errorf("client %d: results %v", c, o.Results)
 								return
 							}
-							results[c] = append(results[c], obs{gval: o.Results[0], hkey: hks[j], hval: o.Results[1]})
+							results[c] = append(results[c], pobs{gval: o.Results[0], hkey: hks[j], hval: o.Results[1]})
 						}
 					}
 				}(c)
@@ -343,7 +343,7 @@ func TestPipelinedSerializableHistory(t *testing.T) {
 			// Rebuild the history. Pages: 0 = g, 1+k = hot key k. Writer
 			// maps recover, for every observed pre-value, the transaction
 			// that produced it (version 0 = initial state).
-			var all []obs
+			var all []pobs
 			for _, r := range results {
 				all = append(all, r...)
 			}

@@ -18,6 +18,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -30,6 +31,7 @@ import (
 
 	"repro/internal/durable"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/server/opts"
 	"repro/internal/shard"
@@ -97,6 +99,7 @@ type Server struct {
 	feed          *repl.Feed       // non-nil on replication primaries
 	gate          *repl.LagGate    // non-nil on read replicas
 	durable       *durable.Manager // non-nil with a data directory
+	met           *serverMetrics   // telemetry registry (metrics.go), always non-nil
 
 	// mu guards connection lifecycle only; per-request counters use
 	// their own synchronization so requests never serialize on it.
@@ -148,9 +151,10 @@ func Open(cfg Config) (*Server, error) {
 		// the replication feed is sized to the store it logs.
 		cfg.Shards = shard.DefaultShards
 	}
+	met := newServerMetrics()
 	store := shard.Open(shard.Config{
 		Shards: cfg.Shards,
-		Engine: engine.Config{Mode: cfg.Mode, GroupCommit: cfg.GroupCommit},
+		Engine: engine.Config{Mode: cfg.Mode, GroupCommit: cfg.GroupCommit, Metrics: met.engineMetrics()},
 	})
 	var feed *repl.Feed
 	if cfg.Repl.Primary {
@@ -161,6 +165,10 @@ func Open(cfg Config) (*Server, error) {
 	}
 	var man *durable.Manager
 	if cfg.Durable.Dir != "" {
+		cfg.Durable.Metrics = &durable.Metrics{
+			FsyncSeconds:      met.stage.With("wal_fsync"),
+			CheckpointSeconds: met.stage.With("checkpoint"),
+		}
 		var err error
 		man, err = durable.Open(cfg.Durable, store, feed)
 		if err != nil {
@@ -179,10 +187,12 @@ func Open(cfg Config) (*Server, error) {
 		feed:          feed,
 		gate:          cfg.Repl.Gate,
 		durable:       man,
+		met:           met,
 		conns:         make(map[net.Conn]struct{}),
 		lat:           stats.NewSample(4096, 1),
 	}
 	srv.sessions = newSessionTable(srv, cfg.Txn)
+	srv.registerDerived()
 	return srv, nil
 }
 
@@ -419,6 +429,11 @@ func (s *Server) serveConn(conn net.Conn) {
 			// so like REPL it needs bare framing; a joiner issues its
 			// SNAPs before subscribing, keeping the stream unambiguous.
 			s.handleSnap(fields[1:], &sub, out)
+		case "METRICS":
+			// Prometheus text exposition spans many lines, so like SNAP it
+			// is bare-framing only: "OK <nlines>" then exactly that many
+			// exposition lines.
+			s.handleMetrics(out)
 		default:
 			out <- s.dispatch(fields)
 		}
@@ -581,6 +596,22 @@ func (s *Server) handleSnap(args []string, sub **repl.Sub, out chan<- string) {
 	}
 }
 
+// handleMetrics serves the METRICS verb: the server's whole telemetry
+// registry in Prometheus text exposition format 0.0.4, framed for the
+// line protocol as "OK <nlines>" followed by exactly nlines exposition
+// lines. STATS is untouched: its k=v line stays the stable,
+// byte-conservative surface, METRICS the complete one.
+func (s *Server) handleMetrics(out chan<- string) {
+	s.requests.Add(1)
+	var buf bytes.Buffer
+	s.met.reg.Expose(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	out <- "OK " + strconv.Itoa(len(lines))
+	for _, ln := range lines {
+		out <- ln
+	}
+}
+
 // parseReplArgs validates "<shard> <index>" for REPL (from-index) and ACK
 // (applied-index).
 func parseReplArgs(verb string, args []string, shards int) (int, uint64, error) {
@@ -631,9 +662,15 @@ func (s *Server) dispatchLine(line string) string {
 }
 
 func (s *Server) dispatch(fields []string) string {
-	s.requests.Add(1)
 	verb := strings.ToUpper(fields[0])
-	args := fields[1:]
+	start := time.Now()
+	resp := s.dispatchVerb(verb, fields[1:])
+	s.met.observeVerb(verb, time.Since(start))
+	return resp
+}
+
+func (s *Server) dispatchVerb(verb string, args []string) string {
+	s.requests.Add(1)
 	switch verb {
 	case "PING":
 		return "OK pong"
@@ -730,10 +767,10 @@ func (s *Server) dispatch(fields []string) string {
 			return "ERR checkpoint: " + err.Error()
 		}
 		return "OK " + strconv.Itoa(len(order))
-	case "REPL", "ACK", "SNAP":
-		// Bare REPL/ACK/SNAP are intercepted by serveConn; reaching
-		// dispatch means REQ framing (or the fuzzer), where a push stream
-		// or multi-line reply cannot be correlated.
+	case "REPL", "ACK", "SNAP", "METRICS":
+		// Bare REPL/ACK/SNAP/METRICS are intercepted by serveConn;
+		// reaching dispatch means REQ framing (or the fuzzer), where a
+		// push stream or multi-line reply cannot be correlated.
 		return "ERR " + verb + " requires bare framing on a dedicated connection"
 	default:
 		return "ERR unknown verb " + verb
@@ -870,9 +907,19 @@ func (s *Server) handleTXN(args []string) string {
 
 // runUpdate admits, executes, and answers one one-shot transactional
 // update (PUT/ADD/UPD) — the legacy verbs, routed through the same
-// admitted executor interactive session commits use.
+// admitted executor interactive session commits use. Value accounting
+// (metrics.go) brackets the whole path: the submit-time value enters
+// scc_value_submitted_total here, and every exit attributes what was
+// realized and what was lost, so the conservation invariant holds.
 func (s *Server) runUpdate(o opts.T, ops []op) string {
 	f := s.adm.FnOf(o)
+	var tr *obs.Trace
+	if o.Trace {
+		tr = obs.NewTrace(time.Now())
+		s.met.traces.Inc()
+	}
+	v0 := clampValue(f.At(s.adm.now()))
+	s.met.submitted.Add(v0)
 	if s.gate != nil {
 		// Read replica: writes are rejected, and a read-only transaction
 		// is shed when its value function would cross zero before the
@@ -880,18 +927,25 @@ func (s *Server) runUpdate(o opts.T, ops []op) string {
 		// deliver while it still carries value.
 		for _, o := range ops {
 			if o.write {
+				s.met.lostValue(obs.LossError, v0)
 				return "ERR read-only replica"
 			}
 		}
 		if err := s.gate.Admit(f, s.adm.now()); err != nil {
+			s.met.lostValue(obs.LossReplicaLag, v0)
 			return "SHED"
 		}
 	}
+	tr.Event(obs.StageEnqueue)
+	admitStart := time.Now()
 	if err := s.adm.Acquire(f, len(ops)); err != nil {
+		s.met.lostValue(obs.LossAdmissionShed, v0)
 		return "SHED"
 	}
 	start := time.Now()
-	out := s.execAdmitted(f, ops)
+	s.met.admitWait.Observe(int64(start.Sub(admitStart)))
+	tr.Event(obs.StageAdmit)
+	out := s.execAdmitted(f, ops, tr)
 	elapsed := time.Since(start)
 	if out.holding {
 		// Queue time spent in readmissions is not service time: feeding
@@ -904,11 +958,42 @@ func (s *Server) runUpdate(o opts.T, ops []op) string {
 	s.latMu.Unlock()
 	if out.err != nil {
 		if errors.Is(out.err, ErrShed) {
+			s.met.lostValue(obs.LossCrossShed, v0)
 			return "SHED"
 		}
+		s.met.lostValue(lossReason(out.err), v0)
 		return "ERR " + out.err.Error()
 	}
-	return okResults(out.results)
+	vEnd := clampValue(f.At(s.adm.now()))
+	s.met.realized.Add(vEnd)
+	s.met.lostValue(obs.LossExecution, v0-vEnd)
+	tr.Event(obs.StageCommit)
+	reply := okResults(out.results)
+	if tr != nil {
+		reply += " trace=" + tr.String()
+	}
+	return reply
+}
+
+// clampValue floors a value-function sample at zero: a request past its
+// zero-crossing has no value left to account, not negative value.
+func clampValue(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// lossReason maps a failed execution's error to the lost-value reason:
+// exhausted conflict-retry budgets are conflict losses, anything else
+// (bad keys, closed store) is an error loss.
+func lossReason(err error) string {
+	var ea *engine.AttemptsError
+	var sa *shard.AttemptsError
+	if errors.As(err, &ea) || errors.As(err, &sa) {
+		return obs.LossConflictAbort
+	}
+	return obs.LossError
 }
 
 // execOutcome is one admitted transaction execution's result.
@@ -928,7 +1013,9 @@ type execOutcome struct {
 // TXN COMMIT alike. Cross-shard validation failures surrender the slot
 // and re-enter the admission queue by expected value (Readmit), where a
 // transaction whose value function crossed zero is shed (cross_shed).
-func (s *Server) execAdmitted(f value.Fn, ops []op) execOutcome {
+// tr, when non-nil, receives the engine-side lifecycle events (fork,
+// park, promotion, install) of the execution.
+func (s *Server) execAdmitted(f value.Fn, ops []op, tr *obs.Trace) execOutcome {
 	out := execOutcome{holding: true}
 	keys := make([]string, len(ops))
 	for i, o := range ops {
@@ -950,7 +1037,7 @@ func (s *Server) execAdmitted(f value.Fn, ops []op) execOutcome {
 	// The closure may run several times concurrently (engine shadows), so
 	// it must not mutate captured state: each execution builds a fresh
 	// result slice and stashes it; the committed execution's stash wins.
-	res, err := s.store.UpdateGatedResult(txValue, keys, gate, func(tx shard.Tx) error {
+	res, err := s.store.UpdateTracedResult(txValue, keys, gate, tr, func(tx shard.Tx) error {
 		results := make([]int64, 0, len(ops))
 		for _, o := range ops {
 			n, err := applyOp(tx, o)

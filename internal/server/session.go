@@ -37,10 +37,12 @@ package server
 import (
 	"errors"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/server/opts"
 	"repro/internal/shard"
 	"repro/internal/value"
@@ -93,8 +95,9 @@ const (
 type session struct {
 	id  uint64
 	srv *Server
-	f   value.Fn // Def. 2 value function fixed at BEGIN
-	val float64  // f at BEGIN: the engine-facing transaction value
+	f   value.Fn   // Def. 2 value function fixed at BEGIN
+	val float64    // f at BEGIN: the engine-facing transaction value
+	tr  *obs.Trace // lifecycle trace (nil unless BEGIN carried trace=1)
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -153,11 +156,12 @@ func newSessionTable(srv *Server, cfg TxnConfig) *sessionTable {
 }
 
 // add registers a new session whose BEGIN already holds an admission slot.
-func (st *sessionTable) add(f value.Fn, val float64) *session {
+func (st *sessionTable) add(f value.Fn, val float64, tr *obs.Trace) *session {
 	ss := &session{
 		srv:     st.srv,
 		f:       f,
 		val:     val,
+		tr:      tr,
 		overlay: make(map[string]int64),
 		lastOp:  time.Now(),
 	}
@@ -260,6 +264,11 @@ func (st *sessionTable) reapLoop() {
 			ss.cond.Broadcast()
 			ld := ss.liveDone
 			ss.mu.Unlock()
+			// The session realizes nothing, so its whole submitted value
+			// is lost to the reap — counting only the residual would leak
+			// the decayed part out of the conservation invariant.
+			st.srv.met.lostValue(obs.LossReap, clampValue(ss.val))
+			ss.tr.Event(obs.StageReap)
 			go func(ss *session, ld chan struct{}) {
 				if ld != nil {
 					<-ld // let the engine transaction unwind first
@@ -308,13 +317,14 @@ func (st *sessionTable) close() {
 // the bound shard, so the session falls back to deferred cross-shard
 // execution and re-serves the log speculatively.
 func (ss *session) runLive(firstKey string) {
-	res, err := ss.srv.store.UpdateGatedResult(ss.val, []string{firstKey}, nil, ss.liveFn)
+	res, err := ss.srv.store.UpdateTracedResult(ss.val, []string{firstKey}, nil, ss.tr, ss.liveFn)
 	ss.mu.Lock()
 	switch {
 	case err == nil:
 		ss.liveRes, _ = res.([]int64)
 		ss.liveCommitted = true
 	case errors.Is(err, shard.ErrKeyNotDeclared):
+		ss.tr.Event(obs.StageDeferred)
 		ss.mode = sessDeferred
 		ss.replaySpecLocked()
 	case errors.Is(err, errTxnAborted):
@@ -425,18 +435,31 @@ func (ss *session) replaySpecLocked() {
 // the admission queue sees it.
 func (s *Server) txnBegin(o opts.T) string {
 	f := s.adm.FnOf(o)
+	var tr *obs.Trace
+	if o.Trace {
+		tr = obs.NewTrace(time.Now())
+		s.met.traces.Inc()
+	}
+	v0 := clampValue(f.At(s.adm.now()))
+	s.met.submitted.Add(v0)
 	if s.gate != nil {
 		if err := s.gate.Admit(f, s.adm.now()); err != nil {
+			s.met.lostValue(obs.LossReplicaLag, v0)
 			return "SHED"
 		}
 	}
+	tr.Event(obs.StageEnqueue)
+	admitStart := time.Now()
 	// The slot estimate for an interactive transaction is a guess (the
 	// op list does not exist yet); 2 ops is the workload's short-txn
 	// shape. The estimate only orders the wait, it reserves nothing.
 	if err := s.adm.Acquire(f, 2); err != nil {
+		s.met.lostValue(obs.LossAdmissionShed, v0)
 		return "SHED"
 	}
-	ss := s.sessions.add(f, f.At(s.adm.now()))
+	s.met.admitWait.Observe(int64(time.Since(admitStart)))
+	tr.Event(obs.StageAdmit)
+	ss := s.sessions.add(f, f.At(s.adm.now()), tr)
 	s.txnBegun.Add(1)
 	return "OK " + strconv.FormatUint(ss.id, 10)
 }
@@ -547,7 +570,7 @@ func (s *Server) txnCommit(ss *session) string {
 			// time in it), so unlike the live path it feeds the
 			// admission estimate and the latency sample like a one-shot.
 			start := time.Now()
-			out := s.execAdmitted(ss.f, ops)
+			out := s.execAdmitted(ss.f, ops, ss.tr)
 			elapsed := time.Since(start)
 			if out.holding {
 				s.adm.Release(elapsed-out.readmitWait, len(ops))
@@ -574,12 +597,39 @@ func (s *Server) txnCommit(ss *session) string {
 		s.adm.Release(0, 0)
 	}
 	s.sessions.remove(ss.id, false)
+	ss.mu.Lock()
+	nOps := len(ss.ops)
+	ss.mu.Unlock()
+	s.met.sessionOps.Observe(int64(nOps))
 	if len(reply) >= 2 && reply[:2] == "OK" {
 		s.txnCommitted.Add(1)
+		vEnd := clampValue(ss.f.At(s.adm.now()))
+		s.met.realized.Add(vEnd)
+		s.met.lostValue(obs.LossExecution, clampValue(ss.val)-vEnd)
+		ss.tr.Event(obs.StageCommit)
+		if ss.tr != nil {
+			reply += " trace=" + ss.tr.String()
+		}
 	} else {
 		s.txnAborted.Add(1)
+		ss.tr.Event(obs.StageAbort)
+		s.met.lostValue(commitLossReason(reply), clampValue(ss.val))
 	}
 	return reply
+}
+
+// commitLossReason classifies a failed TXN COMMIT reply for the
+// lost-value meter: cross-shard sheds, exhausted conflict budgets, and
+// everything else.
+func commitLossReason(reply string) string {
+	switch {
+	case reply == "SHED":
+		return obs.LossCrossShed
+	case strings.HasPrefix(reply, "ERR conflict"):
+		return obs.LossConflictAbort
+	default:
+		return obs.LossError
+	}
 }
 
 // txnCommitErr renders a commit failure, marking retryable conflicts
@@ -611,6 +661,7 @@ func (s *Server) txnAbort(ss *session) string {
 	ss.fin = finAbort
 	ss.cond.Broadcast()
 	ld := ss.liveDone
+	nOps := len(ss.ops)
 	ss.mu.Unlock()
 	if ld != nil {
 		<-ld
@@ -618,5 +669,8 @@ func (s *Server) txnAbort(ss *session) string {
 	s.adm.Release(0, 0)
 	s.sessions.remove(ss.id, false)
 	s.txnAborted.Add(1)
+	s.met.sessionOps.Observe(int64(nOps))
+	s.met.lostValue(obs.LossClientAbort, clampValue(ss.val))
+	ss.tr.Event(obs.StageAbort)
 	return "OK"
 }

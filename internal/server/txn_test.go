@@ -466,7 +466,7 @@ func TestTxnInteractiveSerializableHistory(t *testing.T) {
 	)
 
 	var mu sync.Mutex
-	var all []obs
+	var all []pobs
 	var wg sync.WaitGroup
 	for cI := 0; cI < clients; cI++ {
 		m, err := client.DialMux(addr)
@@ -501,7 +501,7 @@ func TestTxnInteractiveSerializableHistory(t *testing.T) {
 						return
 					}
 					mu.Lock()
-					all = append(all, obs{gval: res[0], hkey: hk, hval: res[1]})
+					all = append(all, pobs{gval: res[0], hkey: hk, hval: res[1]})
 					mu.Unlock()
 				}
 			}(cI, sI)

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // Tx is the transactional view a closure operates on. engine.Tx satisfies
@@ -235,6 +236,15 @@ func (s *Store) UpdateValuedResult(value float64, keys []string, fn func(Tx) err
 // gate plays no part on the single-shard fast path, whose conflicts the
 // engine resolves internally with shadows.
 func (s *Store) UpdateGatedResult(value float64, keys []string, gate RetryGate, fn func(Tx) error) (any, error) {
+	return s.UpdateTracedResult(value, keys, gate, nil, fn)
+}
+
+// UpdateTracedResult is UpdateGatedResult with a lifecycle trace: a
+// non-nil tr is threaded into the fast-path engine (which stamps fork/
+// park/resume/promotion/restart/install) and stamped by the cross-shard
+// loop's own restarts and install. nil means untraced, at the cost of
+// one branch per stage site.
+func (s *Store) UpdateTracedResult(value float64, keys []string, gate RetryGate, tr *obs.Trace, fn func(Tx) error) (any, error) {
 	if len(keys) == 0 {
 		return nil, errors.New("shard: transaction declared no keys")
 	}
@@ -251,11 +261,11 @@ func (s *Store) UpdateGatedResult(value float64, keys []string, gate RetryGate, 
 	}
 	if single {
 		s.fastPath.Add(1)
-		return s.shards[idx].UpdateValuedResult(value, func(etx *engine.Tx) error {
+		return s.shards[idx].UpdateTracedResult(value, tr, func(etx *engine.Tx) error {
 			return fn(guardTx{tx: etx, s: s, shard: idx})
 		})
 	}
-	return s.updateCross(value, s.shardSet(keys), gate, fn)
+	return s.updateCross(value, s.shardSet(keys), gate, tr, fn)
 }
 
 // guardTx wraps the native engine transaction on the fast path, verifying
@@ -330,7 +340,7 @@ func (c *crossTx) Set(key string, val []byte) error {
 // rides along to the shards' commit logs (pending-value accounting for
 // the durability layer); cross-shard conflict resolution itself stays
 // optimistic.
-func (s *Store) updateCross(value float64, involved []int, gate RetryGate, fn func(Tx) error) (any, error) {
+func (s *Store) updateCross(value float64, involved []int, gate RetryGate, tr *obs.Trace, fn func(Tx) error) (any, error) {
 	invSet := make(map[int]struct{}, len(involved))
 	for _, i := range involved {
 		invSet[i] = struct{}{}
@@ -341,9 +351,12 @@ func (s *Store) updateCross(value float64, involved []int, gate RetryGate, fn fu
 		if s.closed.Load() {
 			return nil, errors.New("shard: store closed")
 		}
-		if attempt > 0 && gate != nil {
-			if err := gate(attempt); err != nil {
-				return nil, err
+		if attempt > 0 {
+			tr.Event(obs.StageRestart)
+			if gate != nil {
+				if err := gate(attempt); err != nil {
+					return nil, err
+				}
 			}
 		}
 		c := &crossTx{
@@ -367,6 +380,7 @@ func (s *Store) updateCross(value float64, involved []int, gate RetryGate, fn fu
 		}
 		if s.commitCross(involved, c, true) {
 			s.crossCommits.Add(1)
+			tr.Event(obs.StageInstall)
 			return c.result, nil
 		}
 		s.crossRestarts.Add(1)
