@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-sweep bench-race fuzz e2e e2e-recover e2e-interactive lint docs clean-data
+.PHONY: check build vet test race bench bench-sweep bench-race fuzz e2e e2e-recover e2e-interactive e2e-chaos lint docs clean-data
 
 check: build vet race
 
@@ -53,6 +53,14 @@ e2e:
 # commit (conservation + recovered_index); see scripts/e2e_recover.sh.
 e2e-recover:
 	bash scripts/e2e_recover.sh
+
+# e2e-chaos injects faults (kill -9 mid-cross-shard-commit loops, fsync
+# errors, stalled replica apply via the SCC_FAULT_* env hooks) and
+# audits crash-atomicity of cross-shard commits, sync-gated verdicts +
+# fail-stop, and barrier-consistent replica reads; see
+# scripts/e2e_chaos.sh.
+e2e-chaos:
+	bash scripts/e2e_chaos.sh
 
 # e2e-interactive drives interactive TXN sessions (think time, pipelined
 # sessions, mixed with one-shot traffic) against a live sccserve and

@@ -57,6 +57,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -252,6 +253,8 @@ func main() {
 	runIDFlag := flag.Int64("run-id", 0, "key-namespace nonce (0 = derive from the clock); pin it to audit a run across a server restart")
 	verifyOnly := flag.Bool("verify-only", false, "skip the load phase: only re-check conservation over -run-id's keyspace (the kill-and-restart self-check)")
 	expectRecovered := flag.Bool("expect-recovered", false, "fail unless the server's STATS report recovered_index > 0 (assert the server restarted from a data directory)")
+	ackedOut := flag.String("acked-out", "", "record each client's acknowledged-commit count to this file after the load phase (written even when the server died mid-run), for a later -verify-only -acked-in audit")
+	ackedIn := flag.String("acked-in", "", "with -verify-only: audit the counter keys against the acked counts this file recorded — counters below the acked count are lost acked commits (fail); counters above it are commits whose ack the crash swallowed (tolerated)")
 	traceSample := flag.Int("trace-sample", 0, "request a server-side lifecycle trace (trace=1) on every nth transaction and report per-stage p50/p99 offsets (0 = off)")
 	benchOut := flag.String("bench-out", "", "write the run summary as JSON to this file (the BENCH_<n>.json artifact schema)")
 	flag.Parse()
@@ -282,15 +285,35 @@ func main() {
 			// the documented connectivity probe.)
 			log.Fatalf("sccload: -verify-only has nothing to audit for -mix %s (no value keys); rerun with the mix the load used", *mix)
 		}
-		// No per-client results survive a restart: the audit is the
-		// conservation invariant (balanced deltas must still sum to
-		// zero over the run's keyspace) plus, optionally, the server's
-		// own recovery report.
-		if failed := verify(*addr, pages, runID, 1, nil); failed {
+		// No per-client results survive a restart unless the load phase
+		// recorded them with -acked-out: the baseline audit is the
+		// conservation invariant (balanced deltas must still sum to zero
+		// over the run's keyspace — all-or-nothing recovery of cross-shard
+		// commits is exactly what keeps it true), plus, optionally, the
+		// server's own recovery report. With -acked-in the counter audit
+		// runs too, against the recorded acked counts: a counter below its
+		// client's acked count is a lost acknowledged commit (the
+		// durability lie, always a failure), while a counter above it is a
+		// commit whose ack the crash swallowed — correct behavior, whether
+		// the write survived recovery or was reconciled away as an
+		// undecided cross-shard epoch.
+		slots := 1
+		var acked []int64
+		if *ackedIn != "" {
+			var err error
+			acked, slots, err = loadAcked(*ackedIn, runID)
+			if err != nil {
+				log.Fatalf("sccload: -acked-in: %v", err)
+			}
+		}
+		if failed := verify(*addr, pages, runID, slots, acked); failed {
 			fmt.Println("  invariants FAIL")
 			os.Exit(1)
 		}
 		fmt.Printf("sccload: verify-only run %d: conservation holds over %d keys\n", runID, pages)
+		if acked != nil {
+			fmt.Printf("sccload: acked-commit audit over %d clients: no acked commit lost\n", len(acked))
+		}
 		if *expectRecovered {
 			if failed := checkRecovered(*addr); failed {
 				os.Exit(1)
@@ -653,7 +676,20 @@ func main() {
 	if *pipeline > 0 {
 		slots = *pipeline
 	}
-	if failed := verify(*addr, pages, runID, slots, results); failed {
+	ackedCounts := make([]int64, len(results))
+	for i := range results {
+		ackedCounts[i] = results[i].committed
+	}
+	// Record the acked counts before verifying: when a chaos harness
+	// kills the server mid-run, this run's verify fails on the dead
+	// connection, but the acked file must still reach the post-restart
+	// -verify-only -acked-in audit.
+	if *ackedOut != "" {
+		if err := saveAcked(*ackedOut, runID, slots, ackedCounts); err != nil {
+			log.Printf("sccload: -acked-out: %v", err)
+		}
+	}
+	if failed := verify(*addr, pages, runID, slots, ackedCounts); failed {
 		fmt.Println("  invariants FAIL")
 		os.Exit(1)
 	}
@@ -783,9 +819,63 @@ func toWireOps(t *model.Txn, keyPrefix, cntKey string) []client.Op {
 	return append(ops, client.Op{Key: cntKey, Delta: 1, Write: true})
 }
 
+// saveAcked persists per-client acknowledged-commit counts for a later
+// -verify-only -acked-in audit: one whitespace-separated line, "v1
+// <runID> <slots> <n> <count>...". tmp+rename so a concurrent kill
+// leaves either nothing or a complete file.
+func saveAcked(path string, runID int64, slots int, counts []int64) error {
+	var b []byte
+	b = fmt.Appendf(b, "v1 %d %d %d", runID, slots, len(counts))
+	for _, c := range counts {
+		b = fmt.Appendf(b, " %d", c)
+	}
+	b = append(b, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// loadAcked reads a saveAcked file, validating it against the run being
+// audited.
+func loadAcked(path string, runID int64) ([]int64, int, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var fileRun int64
+	var slots, n int
+	fields := strings.Fields(string(raw))
+	if len(fields) < 4 || fields[0] != "v1" {
+		return nil, 0, fmt.Errorf("malformed acked file %s", path)
+	}
+	if fileRun, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+		return nil, 0, fmt.Errorf("malformed acked file %s", path)
+	}
+	if fileRun != runID {
+		return nil, 0, fmt.Errorf("acked file %s records run %d, auditing run %d", path, fileRun, runID)
+	}
+	if slots, err = strconv.Atoi(fields[2]); err != nil || slots <= 0 {
+		return nil, 0, fmt.Errorf("malformed acked file %s", path)
+	}
+	if n, err = strconv.Atoi(fields[3]); err != nil || n < 0 || len(fields) != 4+n {
+		return nil, 0, fmt.Errorf("malformed acked file %s", path)
+	}
+	counts := make([]int64, n)
+	for i := range counts {
+		if counts[i], err = strconv.ParseInt(fields[4+i], 10, 64); err != nil {
+			return nil, 0, fmt.Errorf("malformed acked file %s", path)
+		}
+	}
+	return counts, slots, nil
+}
+
 // verify checks the two invariants against the live server. slots is the
-// number of per-client audit-counter keys (the pipeline depth).
-func verify(addr string, keys int, runID int64, slots int, results []clientResult) bool {
+// number of per-client audit-counter keys (the pipeline depth); acked is
+// each client's acknowledged-commit count (nil skips the counter audit —
+// the bare -verify-only shape, where no acks survived the restart).
+func verify(addr string, keys int, runID int64, slots int, acked []int64) bool {
 	c, err := client.Dial(addr)
 	if err != nil {
 		log.Printf("sccload: verify: %v", err)
@@ -822,13 +912,15 @@ func verify(addr string, keys int, runID int64, slots int, results []clientResul
 		failed = true
 	}
 
-	// Invariant 2: every committed transaction bumped one of its client's
-	// slot counters. counter < acks is a genuine lost update; counter >
-	// acks means OK responses were lost in transit after the server
-	// committed (a transport artifact, not a store violation) — warn
-	// without failing.
-	for w := range results {
-		want := results[w].committed
+	// Invariant 2: every acknowledged transaction bumped one of its
+	// client's slot counters. counter < acks is a genuine lost acked
+	// commit; counter > acks means the server committed but the ack never
+	// reached the client — lost in transit, or swallowed by a crash
+	// (after which the write either survived recovery or was discarded as
+	// an undecided cross-shard epoch; both are correct for unacked work)
+	// — warn without failing.
+	for w := range acked {
+		want := acked[w]
 		slotKeys := make([]string, slots)
 		for slot := range slotKeys {
 			slotKeys[slot] = cntSlotKey(runID, w, slot)

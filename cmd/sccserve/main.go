@@ -84,8 +84,15 @@ func main() {
 		log.Fatalf("sccserve: %v", err)
 	}
 	// All operational logging goes to stderr via slog; stdout stays
-	// reserved for the machine-parsed "final:" summary line.
+	// reserved for the machine-parsed "final:" summary line. Note
+	// SetDefault also reroutes the stdlib log package through this
+	// handler at INFO — anything that must survive -log-level warn (the
+	// fail-stop path above all) has to log at ERROR explicitly.
 	slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: lvl})))
+	fatal := func(msg string, args ...any) {
+		slog.Error(msg, args...)
+		os.Exit(1)
+	}
 
 	var m engine.Mode
 	switch strings.ToLower(*mode) {
@@ -94,16 +101,26 @@ func main() {
 	case "occ-bc", "occbc", "occ":
 		m = engine.OCCBC
 	default:
-		log.Fatalf("sccserve: unknown -mode %q (want scc-2s or occ-bc)", *mode)
+		fatal("sccserve: unknown -mode (want scc-2s or occ-bc)", "mode", *mode)
 	}
 
 	fsyncPolicy, err := durable.ParseFsyncPolicy(*fsync)
 	if err != nil {
-		log.Fatalf("sccserve: %v", err)
+		fatal("sccserve: bad -fsync", "err", err)
 	}
 	var gate *repl.LagGate
 	if *replicaOf != "" {
 		gate = repl.NewLagGate(*shards, *replLagBudget, 0)
+	}
+	// Fail-stop on a broken WAL, synchronously: the durability manager
+	// invokes this the moment a sync fails, after the failing batch's
+	// verdicts have already been converted to ERR in-line — so no OK ever
+	// races the fault, and the process dies instead of accumulating
+	// acknowledged-but-non-durable commits. (This replaces the old
+	// once-a-second Err() poll, whose window let thousands of lying acks
+	// through between fault and detection.)
+	onWALError := func(err error) {
+		fatal("sccserve: write-ahead log failed, refusing to acknowledge non-durable commits", "err", err)
 	}
 	srv, err := server.Open(server.Config{
 		Shards: *shards,
@@ -128,26 +145,15 @@ func main() {
 			Dir:       *dataDir,
 			Fsync:     fsyncPolicy,
 			CkptEvery: *ckptEvery,
+			OnError:   onWALError,
 		},
 	})
 	if err != nil {
-		log.Fatalf("sccserve: %v", err)
+		fatal("sccserve: open", "err", err)
 	}
 	if d := srv.Durable(); d != nil {
 		slog.Info("sccserve: durable", "dir", *dataDir, "fsync", fsyncPolicy.String(),
 			"ckpt_every", *ckptEvery, "recovered_records", d.RecoveredIndex())
-		// Fail-stop on a broken WAL: the engine cannot un-commit, so once
-		// the log stops persisting, every further ack would be a lie that
-		// the next recovery exposes. Dying bounds the non-durable window
-		// to one poll interval; a restart either clears the fault or
-		// refuses to serve.
-		go func() {
-			for range time.Tick(time.Second) {
-				if err := d.Err(); err != nil {
-					log.Fatalf("sccserve: write-ahead log failed, refusing to acknowledge non-durable commits: %v", err)
-				}
-			}
-		}()
 	}
 
 	var rep *repl.Replica
@@ -166,7 +172,7 @@ func main() {
 			Metrics:    server.NewReplicaMetrics(srv.Metrics()),
 		})
 		if err != nil {
-			log.Fatalf("sccserve: replication: %v", err)
+			fatal("sccserve: replication", "err", err)
 		}
 		defer rep.Close()
 		go func() {
@@ -186,7 +192,7 @@ func main() {
 		})
 		mlis, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
-			log.Fatalf("sccserve: metrics listener: %v", err)
+			fatal("sccserve: metrics listener", "err", err)
 		}
 		slog.Info("sccserve: metrics", "addr", mlis.Addr().String())
 		go func() {
@@ -198,7 +204,7 @@ func main() {
 
 	lis, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("sccserve: %v", err)
+		fatal("sccserve: listen", "err", err)
 	}
 	gc := "off"
 	if *gcWindow > 0 {
@@ -236,7 +242,7 @@ func main() {
 		<-done
 	case err := <-done:
 		if err != nil {
-			log.Fatalf("sccserve: %v", err)
+			fatal("sccserve: serve", "err", err)
 		}
 	}
 	st := srv.Store().Stats()

@@ -25,7 +25,7 @@ import (
 	"strings"
 )
 
-const ckptMagic = uint32(0x53434B31) // "SCK1"
+const ckptMagic = uint32(0x53434B32) // "SCK2": adds the commit-epoch watermark
 
 func ckptName(index uint64) string { return fmt.Sprintf("ckpt-%020d.snap", index) }
 
@@ -38,13 +38,20 @@ func parseCkptName(name string) (uint64, bool) {
 }
 
 // writeCheckpoint atomically writes shard's snapshot at log index to
-// dir. It deliberately deletes nothing: pruning is pruneCheckpoints's
-// job, under the manager's keep-the-previous policy.
-func writeCheckpoint(dir string, shard int, index uint64, kvs map[string][]byte) error {
+// dir. epoch is the shard's commit-epoch watermark at the capture: every
+// record the checkpoint covers has epoch <= it, and (because the manager
+// waits out undecided cross-shard epochs before writing) every covered
+// cross-shard epoch is decided — which is what lets recovery treat
+// "coordinator checkpoint epoch >= E" as a durable decision for E even
+// after the decision record's segment is trimmed. It deliberately
+// deletes nothing: pruning is pruneCheckpoints's job, under the
+// manager's keep-the-previous policy.
+func writeCheckpoint(dir string, shard int, index, epoch uint64, kvs map[string][]byte) error {
 	buf := make([]byte, 0, 1024)
 	buf = binary.LittleEndian.AppendUint32(buf, ckptMagic)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(shard))
 	buf = binary.LittleEndian.AppendUint64(buf, index)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(kvs)))
 	for k, v := range kvs {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
@@ -104,12 +111,13 @@ func pruneCheckpoints(dir string, keepFrom uint64) {
 }
 
 // loadCheckpoint returns the newest valid checkpoint in dir: its log
-// index and key/value pairs. A missing checkpoint is (0, nil, nil) —
-// recovery then replays the WAL from index 1.
-func loadCheckpoint(dir string, shard int) (uint64, map[string][]byte, error) {
+// index, commit-epoch watermark, and key/value pairs. A missing
+// checkpoint is (0, 0, nil, nil) — recovery then replays the WAL from
+// index 1.
+func loadCheckpoint(dir string, shard int) (uint64, uint64, map[string][]byte, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	var indices []uint64
 	for _, e := range entries {
@@ -119,53 +127,54 @@ func loadCheckpoint(dir string, shard int) (uint64, map[string][]byte, error) {
 	}
 	sort.Slice(indices, func(i, j int) bool { return indices[i] > indices[j] })
 	for _, idx := range indices {
-		kvs, err := readCheckpoint(filepath.Join(dir, ckptName(idx)), shard, idx)
+		epoch, kvs, err := readCheckpoint(filepath.Join(dir, ckptName(idx)), shard, idx)
 		if err == nil {
-			return idx, kvs, nil
+			return idx, epoch, kvs, nil
 		}
 	}
-	return 0, nil, nil
+	return 0, 0, nil, nil
 }
 
-func readCheckpoint(path string, shard int, index uint64) (map[string][]byte, error) {
+func readCheckpoint(path string, shard int, index uint64) (uint64, map[string][]byte, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return 0, nil, err
 	}
-	if len(data) < 28 { // header 24 + crc 4
-		return nil, fmt.Errorf("durable: checkpoint %s too short", path)
+	if len(data) < 36 { // header 32 + crc 4
+		return 0, nil, fmt.Errorf("durable: checkpoint %s too short", path)
 	}
 	body, tail := data[:len(data)-4], data[len(data)-4:]
 	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
-		return nil, fmt.Errorf("durable: checkpoint %s CRC mismatch", path)
+		return 0, nil, fmt.Errorf("durable: checkpoint %s CRC mismatch", path)
 	}
 	if binary.LittleEndian.Uint32(body) != ckptMagic {
-		return nil, fmt.Errorf("durable: checkpoint %s bad magic", path)
+		return 0, nil, fmt.Errorf("durable: checkpoint %s bad magic", path)
 	}
 	if got := binary.LittleEndian.Uint32(body[4:]); int(got) != shard {
-		return nil, fmt.Errorf("durable: checkpoint %s is for shard %d, not %d", path, got, shard)
+		return 0, nil, fmt.Errorf("durable: checkpoint %s is for shard %d, not %d", path, got, shard)
 	}
 	if got := binary.LittleEndian.Uint64(body[8:]); got != index {
-		return nil, fmt.Errorf("durable: checkpoint %s carries index %d, name says %d", path, got, index)
+		return 0, nil, fmt.Errorf("durable: checkpoint %s carries index %d, name says %d", path, got, index)
 	}
-	n := binary.LittleEndian.Uint64(body[16:])
-	payload := body[24:]
+	epoch := binary.LittleEndian.Uint64(body[16:])
+	n := binary.LittleEndian.Uint64(body[24:])
+	payload := body[32:]
 	kvs := make(map[string][]byte, n)
 	for i := uint64(0); i < n; i++ {
 		var k, v string
 		var err error
 		if k, payload, err = cutBytes(payload); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		if v, payload, err = cutBytes(payload); err != nil {
-			return nil, err
+			return 0, nil, err
 		}
 		kvs[k] = []byte(v)
 	}
 	if len(payload) != 0 {
-		return nil, fmt.Errorf("durable: checkpoint %s has %d trailing bytes", path, len(payload))
+		return 0, nil, fmt.Errorf("durable: checkpoint %s has %d trailing bytes", path, len(payload))
 	}
-	return kvs, nil
+	return epoch, kvs, nil
 }
 
 // syncDir fsyncs a directory so a just-renamed file's directory entry is

@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/shard"
@@ -53,6 +54,13 @@ type Options struct {
 	// Metrics, when non-nil, receives durability observations (fsync and
 	// checkpoint latency). All fields must be populated.
 	Metrics *Metrics
+	// OnError, when non-nil, is invoked (once, from its own goroutine)
+	// with the first sticky WAL failure. The serving layer uses it to
+	// fail-stop the process the moment durability is lost, instead of
+	// discovering it on a poll — no acknowledgement can race it, because
+	// every install path also surfaces the same failure synchronously in
+	// its verdict.
+	OnError func(error)
 }
 
 // Metrics are the durability layer's instruments, registered by the
@@ -68,11 +76,13 @@ type Metrics struct {
 
 // Stats are cumulative durability counters, summed over shards.
 type Stats struct {
-	WALAppends     int64  // records appended to WALs
+	WALAppends     int64  // data records appended to WALs
 	WALFsyncs      int64  // fsync calls issued by WALs
 	Checkpoints    int64  // checkpoint files written
 	RecoveredIndex uint64 // sum of per-shard commit-log indices restored at boot
 	Errors         int64  // WAL append/sync failures (sticky per shard)
+	Intents        int64  // cross-shard intent records appended to WALs
+	Reconciled     int64  // undecided cross-shard epochs discarded at boot
 }
 
 // Manager wires durability through a shard.Store: it recovers the store
@@ -80,19 +90,33 @@ type Stats struct {
 // WAL and, when present, the replication feed), and runs the
 // value-prioritized background checkpointer.
 type Manager struct {
-	opts  Options
-	store *shard.Store
-	feed  *repl.Feed // may be nil (durability without replication)
+	opts   Options
+	store  *shard.Store
+	feed   *repl.Feed // may be nil (durability without replication)
+	epochs *engine.Epochs
 
-	shards    []*managedShard
-	recovered uint64
-	ckpts     atomic.Int64
-	errs      atomic.Int64
+	shards     []*managedShard
+	recovered  uint64
+	reconciled int64
+	ckpts      atomic.Int64
+	errs       atomic.Int64
+	failOnce   sync.Once
 
 	ckptMu sync.Mutex // serializes checkpoint passes
 	kick   chan struct{}
 	stop   chan struct{}
 	done   chan struct{}
+}
+
+// fail reports a sticky WAL failure to the OnError hook, once. The
+// callback runs on its own goroutine: fail is called from under shard
+// latches and WAL locks, and the hook (typically a fail-stop shutdown)
+// must not re-enter them.
+func (m *Manager) fail(err error) {
+	if err == nil || m.opts.OnError == nil {
+		return
+	}
+	m.failOnce.Do(func() { go m.opts.OnError(err) })
 }
 
 // managedShard is one shard's durability state. It implements
@@ -105,7 +129,12 @@ type Manager struct {
 // on stable storage (at Sync under the group policy, inside the append
 // under always, after the write(2) under off). Shipping first would
 // let a crash-and-recover primary disown a record a replica already
-// applied, then reissue its index with different writes.
+// applied, then reissue its index with different writes. Cross-shard
+// records are additionally gated on their decision: until ReleaseCross
+// reports the epoch's decision record durable, the record — and, to
+// preserve log order, everything appended behind it — stays unshipped;
+// a crash in that window discards the epoch at recovery, so a replica
+// must never have seen it.
 type managedShard struct {
 	m       *Manager
 	idx     int
@@ -115,15 +144,21 @@ type managedShard struct {
 
 	mu           sync.Mutex
 	next         uint64              // next commit-log index (lockstep with wal and replLog)
-	unshipped    []map[string][]byte // WAL-written, not yet published to replLog
+	synced       uint64              // highest index covered by a successful fsync (ship gate)
+	maxEpoch     uint64              // highest epoch appended (the checkpoint watermark)
+	unshipped    []shipEntry         // WAL-written, not yet published to replLog (in index order)
+	gated        map[uint64]struct{} // cross epochs installed here whose decision is not yet durable
 	appendsSince int                 // records since the last checkpoint
 	pendingValue float64             // summed transaction value since the last checkpoint
 	ckptIdx      uint64              // newest checkpoint's log index
+}
 
-	// shipMu serializes Sync end-to-end (capture → fsync → publish):
-	// concurrent batch syncs would otherwise publish captured batches
-	// out of order, and repl.Log assigns indices by publication order.
-	shipMu sync.Mutex
+// shipEntry is one appended record awaiting publication to the
+// replication log: it ships only once fsync-covered and (for a
+// cross-shard record) un-gated, and only from the queue's head.
+type shipEntry struct {
+	rec   repl.Record
+	gated bool
 }
 
 // Open recovers the store from dir and wires durability into it. The
@@ -167,38 +202,82 @@ func Open(opts Options, store *shard.Store, feed *repl.Feed) (*Manager, error) {
 	} else if err := os.WriteFile(metaPath, []byte(fmt.Sprintf("shards=%d\n", store.NumShards())), 0o644); err != nil {
 		return nil, err
 	}
-	// Recovery is parallel per shard: each shard's checkpoint load + WAL
-	// scan + replay touches only its own directory and latches only its
-	// own engine, so one goroutine per shard is safe. Results land in a
-	// slice indexed by shard and all wiring happens after the join, in
-	// shard order — the outcome is bit-identical to a sequential boot,
-	// and on failure the error of the LOWEST shard index wins so repeated
-	// boots of the same damaged directory report the same fault.
+	// Recovery is parallel per shard with a global reconciliation barrier
+	// in the middle. Phase one (parallel) collects each shard's durable
+	// remains: checkpoint, scanned WAL entries. Then — serially, because
+	// it needs every shard's evidence at once — the cross-shard epochs are
+	// reconciled: an epoch with data records but no durable decision
+	// anywhere (and no coordinator checkpoint covering it) was torn
+	// mid-commit and is discarded on EVERY shard. Phase two (parallel
+	// again) replays each shard, skipping discarded epochs. The outcome is
+	// bit-identical to a sequential boot, and on failure the error of the
+	// LOWEST shard index wins so repeated boots of the same damaged
+	// directory report the same fault.
 	boots := make([]shardBoot, store.NumShards())
+	closeAll := func() {
+		for i := range boots {
+			if boots[i].wal != nil {
+				boots[i].wal.Close()
+			}
+		}
+	}
 	var wg sync.WaitGroup
 	for i := 0; i < store.NumShards(); i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			boots[i].ms, boots[i].head, boots[i].err = m.bootShard(i)
+			boots[i].err = m.collectShard(i, &boots[i])
 		}(i)
 	}
 	wg.Wait()
 	for i := range boots {
 		if err := boots[i].err; err != nil {
-			for _, b := range boots {
-				if b.ms != nil {
-					b.ms.wal.Close()
-				}
-			}
+			closeAll()
 			return nil, err
 		}
 	}
-	for i, b := range boots {
-		ms := b.ms
+	discard, maxEpoch := reconcile(boots)
+	m.reconciled = int64(len(discard))
+	for epoch := range discard {
+		slog.Warn("durable: discarding cross-shard commit with no durable decision (torn mid-commit)",
+			"epoch", epoch)
+	}
+	for i := 0; i < store.NumShards(); i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			boots[i].err = m.replayShard(i, &boots[i], discard)
+		}(i)
+	}
+	wg.Wait()
+	for i := range boots {
+		if err := boots[i].err; err != nil {
+			closeAll()
+			return nil, err
+		}
+	}
+	// New epochs must allocate above everything ever stamped on disk —
+	// including discarded epochs, whose dead data records may still sit in
+	// the WAL: reusing such a number could pair them with a fresh decision
+	// on the next boot and resurrect torn writes.
+	m.epochs = store.Epochs()
+	m.epochs.Observe(maxEpoch)
+	for i := range boots {
+		b := &boots[i]
+		ms := &managedShard{
+			m:        m,
+			idx:      i,
+			dir:      b.dir,
+			wal:      b.wal,
+			next:     b.head + 1,
+			synced:   b.head,
+			maxEpoch: b.lastEpoch,
+			gated:    make(map[uint64]struct{}),
+			ckptIdx:  b.ckptIdx,
+		}
 		if feed != nil {
 			log := feed.Log(i)
-			log.ResetBase(b.head)
+			log.ResetBase(b.head, b.lastEpoch)
 			if ms.ckptIdx > 0 {
 				log.SetDurableFloor(ms.ckptIdx)
 			}
@@ -212,71 +291,124 @@ func Open(opts Options, store *shard.Store, feed *repl.Feed) (*Manager, error) {
 	return m, nil
 }
 
-// shardBoot is one shard's parallel-recovery outcome.
+// shardBoot is one shard's recovery state, filled by collectShard and
+// replayShard.
 type shardBoot struct {
-	ms   *managedShard
-	head uint64
-	err  error
+	dir       string
+	wal       *WAL
+	ckptIdx   uint64            // newest checkpoint's log index
+	ckptEpoch uint64            // its commit-epoch watermark
+	kvs       map[string][]byte // its key/value pairs
+	entries   []walEntry        // WAL entries above (and control records around) it
+	head      uint64            // recovered commit-log head (set by replayShard)
+	lastEpoch uint64            // newest applied epoch (set by replayShard)
+	err       error
 }
 
-// bootShard recovers one shard's durable state: checkpoint, WAL suffix,
-// replay. It is the per-goroutine unit of the parallel boot; the
-// returned managedShard is not yet wired to the feed or the engine.
-func (m *Manager) bootShard(i int) (*managedShard, uint64, error) {
-	dir := filepath.Join(m.opts.Dir, fmt.Sprintf("shard-%04d", i))
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, 0, err
+// collectShard gathers one shard's durable remains without touching the
+// engine: checkpoint load + WAL scan. Replay waits for reconciliation.
+func (m *Manager) collectShard(i int, b *shardBoot) error {
+	b.dir = filepath.Join(m.opts.Dir, fmt.Sprintf("shard-%04d", i))
+	if err := os.MkdirAll(b.dir, 0o755); err != nil {
+		return err
 	}
-	ckptIdx, kvs, err := loadCheckpoint(dir, i)
+	var err error
+	b.ckptIdx, b.ckptEpoch, b.kvs, err = loadCheckpoint(b.dir, i)
 	if err != nil {
-		return nil, 0, err
+		return err
 	}
-	wal, recs, err := openWAL(dir, m.opts.Fsync, ckptIdx)
+	b.wal, b.entries, err = openWAL(b.dir, m.opts.Fsync, b.ckptIdx)
 	if err != nil {
-		return nil, 0, err
+		return err
 	}
 	if m.opts.Metrics != nil {
-		wal.fsyncObs = m.opts.Metrics.FsyncSeconds
+		b.wal.fsyncObs = m.opts.Metrics.FsyncSeconds
 	}
-	head, err := m.replayShard(i, ckptIdx, kvs, recs)
-	if err != nil {
-		wal.Close()
-		return nil, 0, err
+	return nil
+}
+
+// reconcile decides the fate of every cross-shard epoch found in the
+// boots: keep it everywhere (a decision record survives on its
+// coordinator, or the coordinator's checkpoint epoch covers it — the
+// checkpoint never captures undecided epochs, see checkpointShard) or
+// discard it everywhere. It also returns the highest epoch seen anywhere,
+// the floor for new allocations.
+func reconcile(boots []shardBoot) (discard map[uint64]bool, maxEpoch uint64) {
+	decided := make(map[uint64]bool)
+	see := func(e uint64) {
+		if e > maxEpoch {
+			maxEpoch = e
+		}
 	}
-	ms := &managedShard{
-		m:       m,
-		idx:     i,
-		dir:     dir,
-		wal:     wal,
-		next:    head + 1,
-		ckptIdx: ckptIdx,
+	for i := range boots {
+		see(boots[i].ckptEpoch)
+		for _, e := range boots[i].entries {
+			switch e.kind {
+			case walDecision:
+				decided[e.epoch] = true
+				see(e.epoch)
+			case walIntent:
+				see(e.epoch)
+			case walData:
+				see(e.rec.Epoch)
+			}
+		}
 	}
-	return ms, head, nil
+	discard = make(map[uint64]bool)
+	for i := range boots {
+		for _, e := range boots[i].entries {
+			if e.kind != walData || !e.rec.Cross() || e.rec.Index <= boots[i].ckptIdx {
+				continue
+			}
+			epoch, coord := e.rec.Epoch, e.rec.Shards[0]
+			if decided[epoch] {
+				continue
+			}
+			if coord >= 0 && coord < len(boots) && boots[coord].ckptEpoch >= epoch {
+				continue
+			}
+			discard[epoch] = true
+		}
+	}
+	return discard, maxEpoch
 }
 
 // replayShard restores one shard: install the checkpoint, then the WAL
-// suffix above it, in strict index order, all under one latch hold. It
-// returns the recovered commit-log head.
-func (m *Manager) replayShard(i int, ckptIdx uint64, kvs map[string][]byte, recs []repl.Record) (uint64, error) {
+// suffix above it, in strict index order, all under one latch hold.
+// Data records of discarded epochs consume their index — the log
+// numbering is shared with surviving records — but their writes are not
+// applied: the torn commit never happened, on any shard.
+func (m *Manager) replayShard(i int, b *shardBoot, discard map[uint64]bool) error {
 	eng := m.store.Shard(i)
 	eng.LockCommit()
 	defer eng.UnlockCommit()
-	if len(kvs) > 0 {
-		eng.ApplyLocked(kvs)
+	if len(b.kvs) > 0 {
+		eng.ApplyLocked(b.kvs)
 	}
-	head := ckptIdx
-	for _, rec := range recs {
-		if rec.Index <= ckptIdx {
+	head, lastEpoch := b.ckptIdx, b.ckptEpoch
+	for _, e := range b.entries {
+		if e.kind != walData {
+			continue
+		}
+		rec := e.rec
+		if rec.Index <= b.ckptIdx {
 			continue // pre-checkpoint residue in the active segment
 		}
 		if rec.Index != head+1 {
-			return 0, fmt.Errorf("durable: shard %d WAL gap: record %d after %d (checkpoint %d)",
-				i, rec.Index, head, ckptIdx)
+			return fmt.Errorf("durable: shard %d WAL gap: record %d after %d (checkpoint %d)",
+				i, rec.Index, head, b.ckptIdx)
+		}
+		head = rec.Index
+		if rec.Cross() && discard[rec.Epoch] {
+			continue
 		}
 		eng.ApplyLocked(rec.Writes)
-		head = rec.Index
+		if rec.Epoch > lastEpoch {
+			lastEpoch = rec.Epoch
+		}
 	}
-	return head, nil
+	b.head, b.lastEpoch = head, lastEpoch
+	return nil
 }
 
 // Append implements engine.CommitLog (unvalued installs).
@@ -286,28 +418,58 @@ func (ms *managedShard) Append(writes map[string][]byte) { ms.AppendValued(write
 // latch for every install, it writes the WAL and accrues the shard's
 // pending-value for checkpoint prioritization. Publication to the
 // replication log is deferred to the Sync boundary (see the type
-// comment), except under FsyncAlways where the append itself synced.
+// comment); under FsyncAlways the append itself synced, so the record
+// ships immediately unless queued behind a gated cross-shard record.
 func (ms *managedShard) AppendValued(writes map[string][]byte, value float64) {
+	ms.appendRecord(writes, value, 0, nil)
+}
+
+// AppendCross implements engine.CrossCommitLog: one shard's part of a
+// cross-shard commit, stamped with the combiner's pre-allocated epoch
+// and participant set. The record is gated — it ships only after
+// ReleaseCross reports the epoch's decision durable.
+func (ms *managedShard) AppendCross(writes map[string][]byte, value float64, epoch uint64, shards []int) {
+	ms.appendRecord(writes, value, epoch, shards)
+}
+
+func (ms *managedShard) appendRecord(writes map[string][]byte, value float64, epoch uint64, shards []int) {
+	cross := len(shards) > 1
 	ms.mu.Lock()
 	idx := ms.next
 	ms.next++
+	if epoch == 0 {
+		// Standalone commits stamp their epoch here, under the shard
+		// latch, so per-shard epoch order matches log order; cross-shard
+		// epochs were allocated by the combiner under every participant's
+		// latch, which preserves the same invariant.
+		epoch = ms.m.epochs.Next()
+	}
+	if epoch > ms.maxEpoch {
+		ms.maxEpoch = epoch
+	}
 	ms.appendsSince++
 	if value > 0 {
 		ms.pendingValue += value
 	}
 	due := ms.m.opts.CkptEvery > 0 && ms.appendsSince >= ms.m.opts.CkptEvery
-	walOK := ms.wal.Append(repl.Record{Index: idx, Writes: writes}) == nil
-	if !walOK {
+	rec := repl.Record{Index: idx, Epoch: epoch, Shards: shards, Writes: writes}
+	err := ms.wal.Append(rec)
+	if err != nil {
 		ms.m.errs.Add(1)
-	}
-	if ms.replLog != nil && walOK {
-		if ms.m.opts.Fsync == FsyncAlways {
-			ms.replLog.Append(writes)
-		} else {
-			ms.unshipped = append(ms.unshipped, writes)
+	} else {
+		if cross {
+			ms.gated[epoch] = struct{}{}
+		}
+		if ms.replLog != nil {
+			if ms.m.opts.Fsync == FsyncAlways && idx > ms.synced {
+				ms.synced = idx // Append synced inline
+			}
+			ms.unshipped = append(ms.unshipped, shipEntry{rec: rec, gated: cross})
+			ms.shipLocked()
 		}
 	}
 	ms.mu.Unlock()
+	ms.m.fail(err)
 
 	if due {
 		select {
@@ -317,33 +479,100 @@ func (ms *managedShard) AppendValued(writes map[string][]byte, value float64) {
 	}
 }
 
-// Sync implements engine.CommitSyncer: one WAL sync per commit batch,
-// then publication of the batch's records to the replication log. The
-// engine (and the cross-shard/replica apply paths) call it before any
-// commit of the batch is acknowledged, so subscribers only ever stream
-// records that are already durable here. The ship batch is captured
-// BEFORE the fsync: a record appended concurrently (by the next batch,
-// under the shard latch) after this fsync returned would otherwise be
-// published without being durable yet — the exact disown-and-reissue
-// hazard sync-before-ship exists to prevent.
-func (ms *managedShard) Sync() error {
-	ms.shipMu.Lock()
-	defer ms.shipMu.Unlock()
+// AppendIntent implements engine.IntentLogger: the INTENT record a
+// cross-shard commit writes to every participant ahead of the epoch's
+// data records, under this shard's commit latch.
+func (ms *managedShard) AppendIntent(epoch uint64, shards []int) error {
+	err := ms.wal.AppendIntent(epoch, shards)
+	if err != nil {
+		ms.m.errs.Add(1)
+		ms.m.fail(err)
+	}
+	return err
+}
+
+// AppendDecision writes the epoch's decision record — the cross-shard
+// commit point. Called without the shard latch, strictly after round 1
+// made every participant's intents and data durable; the caller syncs
+// this WAL afterwards (round 2).
+func (ms *managedShard) AppendDecision(epoch uint64) error {
+	err := ms.wal.AppendDecision(epoch)
+	if err != nil {
+		ms.m.errs.Add(1)
+		ms.m.fail(err)
+	}
+	return err
+}
+
+// ReleaseCross un-gates the epoch's record for replication shipping: its
+// decision is durable, so a crash can no longer discard it. Ships the
+// newly eligible prefix.
+func (ms *managedShard) ReleaseCross(epoch uint64) {
 	ms.mu.Lock()
-	ship := ms.unshipped
-	ms.unshipped = nil
+	delete(ms.gated, epoch)
+	for i := range ms.unshipped {
+		if ms.unshipped[i].rec.Epoch == epoch {
+			ms.unshipped[i].gated = false
+			break
+		}
+	}
+	if ms.replLog != nil {
+		ms.shipLocked()
+	}
+	ms.mu.Unlock()
+}
+
+// shipLocked publishes the head run of unshipped records that are both
+// fsync-covered and un-gated. Order is the append order — a gated or
+// unsynced record holds everything behind it, keeping replLog in index
+// lockstep with the WAL. Caller holds ms.mu.
+func (ms *managedShard) shipLocked() {
+	n := 0
+	for _, e := range ms.unshipped {
+		if e.gated || e.rec.Index > ms.synced {
+			break
+		}
+		ms.replLog.AppendStamped(e.rec.Writes, e.rec.Epoch, e.rec.Shards)
+		n++
+	}
+	if n > 0 {
+		ms.unshipped = ms.unshipped[n:]
+		if len(ms.unshipped) == 0 {
+			ms.unshipped = nil // release the backing array
+		}
+	}
+}
+
+// Sync implements engine.CommitSyncer: one WAL sync per commit batch,
+// then publication of the newly covered records to the replication log.
+// The engine (and the cross-shard/replica apply paths) call it before
+// any commit of the batch is acknowledged, so subscribers only ever
+// stream records that are already durable here. The sync watermark is
+// captured BEFORE the fsync: a record appended concurrently (by the next
+// batch, under the shard latch) after this fsync returned would
+// otherwise be published without being durable yet — the exact
+// disown-and-reissue hazard sync-before-ship exists to prevent.
+func (ms *managedShard) Sync() error {
+	ms.mu.Lock()
+	last := ms.next - 1
 	ms.mu.Unlock()
 	if err := ms.wal.Sync(); err != nil {
 		ms.m.errs.Add(1)
 		// A broken WAL also stops shipping: replicas must not apply
-		// records this primary can no longer recover. The captured
-		// batch is dropped, not re-queued — the WAL is sticky-broken,
-		// the operator policy is fail-stop.
+		// records this primary can no longer recover. The queue is
+		// simply never drained further — the WAL is sticky-broken, the
+		// operator policy is fail-stop.
+		ms.m.fail(err)
 		return err
 	}
-	for _, writes := range ship {
-		ms.replLog.Append(writes)
+	ms.mu.Lock()
+	if last > ms.synced {
+		ms.synced = last
 	}
+	if ms.replLog != nil {
+		ms.shipLocked()
+	}
+	ms.mu.Unlock()
 	return nil
 }
 
@@ -454,8 +683,13 @@ func (m *Manager) checkpointShard(ms *managedShard) error {
 	eng.LockCommit()
 	ms.mu.Lock()
 	head := ms.next - 1
+	epoch := ms.maxEpoch
 	coveredAppends := ms.appendsSince
 	coveredValue := ms.pendingValue
+	gated := make([]uint64, 0, len(ms.gated))
+	for e := range ms.gated {
+		gated = append(gated, e)
+	}
 	ms.mu.Unlock()
 	kvs := make(map[string][]byte)
 	eng.RangeLocked(func(k string, v []byte) bool {
@@ -464,7 +698,18 @@ func (m *Manager) checkpointShard(ms *managedShard) error {
 	})
 	eng.UnlockCommit()
 
-	if err := writeCheckpoint(ms.dir, ms.idx, head, kvs); err != nil {
+	// The snapshot may include cross-shard installs whose decision is not
+	// yet durable. Publishing a checkpoint (with epoch watermark >= their
+	// epochs) before they decide would promote them to "decided" under
+	// recovery's coordinator-checkpoint rule — tearing a commit the other
+	// participants discard. Wait the captured undecided epochs out (they
+	// are mid-protocol, at most two fsyncs away); if the WAL breaks they
+	// never decide, and the checkpoint is abandoned with the failure.
+	if err := ms.waitReleased(gated); err != nil {
+		m.errs.Add(1)
+		return err
+	}
+	if err := writeCheckpoint(ms.dir, ms.idx, head, epoch, kvs); err != nil {
 		m.errs.Add(1)
 		return err
 	}
@@ -498,6 +743,37 @@ func (m *Manager) checkpointShard(ms *managedShard) error {
 	return nil
 }
 
+// waitReleased blocks until none of the given cross-shard epochs is
+// still gated on this shard (their decisions are durable), any WAL is
+// sticky-broken (they never will be), or a timeout expires.
+func (ms *managedShard) waitReleased(epochs []uint64) error {
+	if len(epochs) == 0 {
+		return nil
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		ms.mu.Lock()
+		live := false
+		for _, e := range epochs {
+			if _, ok := ms.gated[e]; ok {
+				live = true
+				break
+			}
+		}
+		ms.mu.Unlock()
+		if !live {
+			return nil
+		}
+		if err := ms.m.Err(); err != nil {
+			return fmt.Errorf("durable: shard %d checkpoint abandoned, cross-shard commit cannot decide: %w", ms.idx, err)
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("durable: shard %d checkpoint stalled on undecided cross-shard epochs %v", ms.idx, epochs)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // CheckpointIndex returns shard's newest checkpoint log index (0 before
 // the first checkpoint).
 func (m *Manager) CheckpointIndex(shard int) uint64 {
@@ -518,10 +794,12 @@ func (m *Manager) Stats() Stats {
 		RecoveredIndex: m.recovered,
 		Checkpoints:    m.ckpts.Load(),
 		Errors:         m.errs.Load(),
+		Reconciled:     m.reconciled,
 	}
 	for _, ms := range m.shards {
 		s.WALAppends += ms.wal.appends.Load()
 		s.WALFsyncs += ms.wal.fsyncs.Load()
+		s.Intents += ms.wal.intents.Load()
 	}
 	return s
 }

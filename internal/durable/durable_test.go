@@ -20,7 +20,7 @@ func openStore(t *testing.T, dir string, shards int, opts Options, withFeed bool
 	st := shard.Open(shard.Config{Shards: shards})
 	var feed *repl.Feed
 	if withFeed {
-		feed = repl.NewFeed(shards)
+		feed = repl.NewFeed(shards, nil)
 	}
 	opts.Dir = dir
 	m, err := Open(opts, st, feed)
@@ -429,7 +429,7 @@ func TestShardCountPinned(t *testing.T) {
 func TestOpenRejectsMismatchedFeed(t *testing.T) {
 	st := shard.Open(shard.Config{Shards: 2})
 	defer st.Close()
-	if _, err := Open(Options{Dir: t.TempDir()}, st, repl.NewFeed(3)); err == nil {
+	if _, err := Open(Options{Dir: t.TempDir()}, st, repl.NewFeed(3, nil)); err == nil {
 		t.Fatal("mismatched feed accepted")
 	}
 	if _, err := Open(Options{}, st, nil); err == nil {

@@ -1,0 +1,55 @@
+// Chaos fault injection. The e2e chaos harness (scripts/e2e_chaos.sh)
+// needs to land crashes and I/O failures inside windows that are
+// otherwise timing luck — mid-cross-shard-commit, between the two fsync
+// rounds, during a replica's apply. These env-gated hooks widen and
+// force those windows deterministically from outside the process:
+//
+//	SCC_FAULT_FSYNC_DELAY_MS   stretch every WAL fsync by this many
+//	                           milliseconds (widens the intent-durable/
+//	                           decision-durable window for kill -9)
+//	SCC_FAULT_FSYNC_ERR_AFTER  after N successful fsyncs (counted across
+//	                           every WAL in the process), every further
+//	                           fsync fails with an injected error —
+//	                           exercising the sync-gated verdict and
+//	                           fail-stop paths without real disk faults
+//
+// The replica apply stall (SCC_FAULT_APPLY_DELAY_MS) lives in
+// internal/repl next to the apply loop it delays. Unset variables are
+// parsed once at init and cost one atomic add per fsync; production
+// processes simply never set them.
+
+package durable
+
+import (
+	"errors"
+	"os"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+var errInjectedFsync = errors.New("durable: injected fsync fault (SCC_FAULT_FSYNC_ERR_AFTER)")
+
+var (
+	faultFsyncDelay time.Duration
+	faultFsyncArmed bool
+	faultFsyncLeft  atomic.Int64
+)
+
+func init() {
+	if ms, err := strconv.Atoi(os.Getenv("SCC_FAULT_FSYNC_DELAY_MS")); err == nil && ms > 0 {
+		faultFsyncDelay = time.Duration(ms) * time.Millisecond
+	}
+	if n, err := strconv.Atoi(os.Getenv("SCC_FAULT_FSYNC_ERR_AFTER")); err == nil && n >= 0 {
+		faultFsyncArmed = true
+		faultFsyncLeft.Store(int64(n))
+	}
+}
+
+// faultFsyncErr reports whether this fsync must fail: true once the
+// process-wide countdown is spent. Called with the WAL lock held, right
+// before the real fsync, so an injected failure is indistinguishable
+// from a device error to everything above.
+func faultFsyncErr() bool {
+	return faultFsyncArmed && faultFsyncLeft.Add(-1) < 0
+}

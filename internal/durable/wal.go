@@ -73,20 +73,69 @@ func (p FsyncPolicy) String() string {
 }
 
 // Record framing: a 4-byte little-endian payload length, a 4-byte CRC32
-// (IEEE) of the payload, then the payload. The payload is the record
-// index (8 bytes), the write count (4), then length-prefixed key and
-// value bytes per write.
+// (IEEE) of the payload, then the payload. The payload begins with a
+// kind byte:
+//
+//	data (1):     index (8), epoch (8), participant count (2) and shard
+//	              ids (4 each; 0 for a standalone commit), the write
+//	              count (4), then length-prefixed key and value bytes
+//	              per write
+//	intent (2):   epoch (8), participant count (2), shard ids (4 each) —
+//	              a cross-shard commit announcing itself before its data
+//	              records
+//	decision (3): epoch (8) — the cross-shard commit point, written to
+//	              the coordinator's log only after every participant's
+//	              intent and data records are durable
+//
+// Data records carry the shard's contiguous commit indices; intent and
+// decision records are control metadata and consume no index. Recovery
+// reconciles: a cross-shard epoch whose decision never became durable
+// (and is not covered by the coordinator's checkpoint) is discarded on
+// every shard — all-or-nothing, never half a commit.
 const (
 	recHeaderLen = 8
 	maxRecordLen = 64 << 20 // sanity bound; a "length" past this is framing debris
+
+	walData     = byte(1)
+	walIntent   = byte(2)
+	walDecision = byte(3)
 )
 
+// walEntry is one decoded WAL record: a data record (rec populated) or a
+// control record (epoch, and for intents the participant set).
+type walEntry struct {
+	kind   byte
+	rec    repl.Record // walData only
+	epoch  uint64      // walIntent, walDecision
+	shards []int       // walIntent
+}
+
 var crcTable = crc32.IEEETable
+
+// frame backfills the length/CRC header over the payload appended after
+// start.
+func frame(buf []byte, start int) []byte {
+	payload := buf[start+recHeaderLen:]
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
+	return buf
+}
+
+func appendShards(buf []byte, shards []int) []byte {
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(shards)))
+	for _, s := range shards {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(s))
+	}
+	return buf
+}
 
 func encodeRecord(buf []byte, r repl.Record) []byte {
 	start := len(buf)
 	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0) // header backfilled below
+	buf = append(buf, walData)
 	buf = binary.LittleEndian.AppendUint64(buf, r.Index)
+	buf = binary.LittleEndian.AppendUint64(buf, r.Epoch)
+	buf = appendShards(buf, r.Shards)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.Writes)))
 	for k, v := range r.Writes {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(k)))
@@ -94,37 +143,103 @@ func encodeRecord(buf []byte, r repl.Record) []byte {
 		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
 		buf = append(buf, v...)
 	}
-	payload := buf[start+recHeaderLen:]
-	binary.LittleEndian.PutUint32(buf[start:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(payload, crcTable))
-	return buf
+	return frame(buf, start)
 }
 
-func decodeRecord(payload []byte) (repl.Record, error) {
-	var r repl.Record
-	if len(payload) < 12 {
-		return r, fmt.Errorf("durable: short record payload (%d bytes)", len(payload))
+func encodeIntent(buf []byte, epoch uint64, shards []int) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = append(buf, walIntent)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	buf = appendShards(buf, shards)
+	return frame(buf, start)
+}
+
+func encodeDecision(buf []byte, epoch uint64) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0, 0, 0, 0, 0)
+	buf = append(buf, walDecision)
+	buf = binary.LittleEndian.AppendUint64(buf, epoch)
+	return frame(buf, start)
+}
+
+func cutShards(payload []byte) ([]int, []byte, error) {
+	if len(payload) < 2 {
+		return nil, nil, fmt.Errorf("durable: truncated shard set")
 	}
-	r.Index = binary.LittleEndian.Uint64(payload)
-	n := binary.LittleEndian.Uint32(payload[8:])
-	payload = payload[12:]
-	r.Writes = make(map[string][]byte, n)
-	for i := uint32(0); i < n; i++ {
-		var k string
+	n := binary.LittleEndian.Uint16(payload)
+	payload = payload[2:]
+	if len(payload) < 4*int(n) {
+		return nil, nil, fmt.Errorf("durable: shard set count %d exceeds payload", n)
+	}
+	var shards []int
+	for i := 0; i < int(n); i++ {
+		shards = append(shards, int(binary.LittleEndian.Uint32(payload)))
+		payload = payload[4:]
+	}
+	return shards, payload, nil
+}
+
+func decodeEntry(payload []byte) (walEntry, error) {
+	var e walEntry
+	if len(payload) < 1 {
+		return e, fmt.Errorf("durable: empty record payload")
+	}
+	e.kind = payload[0]
+	payload = payload[1:]
+	switch e.kind {
+	case walData:
+		if len(payload) < 16 {
+			return e, fmt.Errorf("durable: short data record payload (%d bytes)", len(payload))
+		}
+		e.rec.Index = binary.LittleEndian.Uint64(payload)
+		e.rec.Epoch = binary.LittleEndian.Uint64(payload[8:])
+		payload = payload[16:]
 		var err error
-		if k, payload, err = cutBytes(payload); err != nil {
-			return r, err
+		if e.rec.Shards, payload, err = cutShards(payload); err != nil {
+			return e, err
 		}
-		var v string
-		if v, payload, err = cutBytes(payload); err != nil {
-			return r, err
+		if len(payload) < 4 {
+			return e, fmt.Errorf("durable: truncated write count")
 		}
-		r.Writes[k] = []byte(v)
+		n := binary.LittleEndian.Uint32(payload)
+		payload = payload[4:]
+		e.rec.Writes = make(map[string][]byte, n)
+		for i := uint32(0); i < n; i++ {
+			var k string
+			var err error
+			if k, payload, err = cutBytes(payload); err != nil {
+				return e, err
+			}
+			var v string
+			if v, payload, err = cutBytes(payload); err != nil {
+				return e, err
+			}
+			e.rec.Writes[k] = []byte(v)
+		}
+	case walIntent:
+		if len(payload) < 8 {
+			return e, fmt.Errorf("durable: short intent record payload")
+		}
+		e.epoch = binary.LittleEndian.Uint64(payload)
+		payload = payload[8:]
+		var err error
+		if e.shards, payload, err = cutShards(payload); err != nil {
+			return e, err
+		}
+	case walDecision:
+		if len(payload) < 8 {
+			return e, fmt.Errorf("durable: short decision record payload")
+		}
+		e.epoch = binary.LittleEndian.Uint64(payload)
+		payload = payload[8:]
+	default:
+		return e, fmt.Errorf("durable: unknown record kind %d", e.kind)
 	}
 	if len(payload) != 0 {
-		return r, fmt.Errorf("durable: %d trailing bytes in record payload", len(payload))
+		return e, fmt.Errorf("durable: %d trailing bytes in record payload", len(payload))
 	}
-	return r, nil
+	return e, nil
 }
 
 func cutBytes(b []byte) (string, []byte, error) {
@@ -170,6 +285,7 @@ type WAL struct {
 
 	appends atomic.Int64
 	fsyncs  atomic.Int64
+	intents atomic.Int64
 
 	// fsyncObs, when non-nil, observes each fsync's duration (set by the
 	// durability manager before the WAL sees traffic).
@@ -188,7 +304,7 @@ type WAL struct {
 // it and everything after it are removed. afterIdx seeds the numbering
 // for an empty WAL (records resume at afterIdx+1, the newest
 // checkpoint's index).
-func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Record, error) {
+func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []walEntry, error) {
 	w := &WAL{dir: dir, policy: policy}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -201,7 +317,7 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 	}
 	sort.Slice(w.segments, func(i, j int) bool { return w.segments[i].first < w.segments[j].first })
 
-	var recs []repl.Record
+	var out []walEntry
 	// The stitch needs records above the checkpoint only; without a
 	// checkpoint, the first record seen sets the sequence start.
 	next := uint64(0)
@@ -212,7 +328,7 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 	broken := false // a needed record was missing: later segments are unreachable
 	// The last kept segment's scan is retained for the reuse decision
 	// below, so the (potentially large) active segment is read once.
-	var lastRecs []repl.Record
+	var lastEntries []walEntry
 	var lastValidLen int
 	for _, seg := range w.segments {
 		if broken {
@@ -221,7 +337,7 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 			os.Remove(seg.path)
 			continue
 		}
-		segRecs, validLen, clean, err := scanSegment(seg.path)
+		segEntries, validLen, clean, err := scanSegment(seg.path)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -233,8 +349,17 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 				return nil, nil, err
 			}
 		}
+		mark := len(out)
 		took := false
-		for _, rec := range segRecs {
+		for _, e := range segEntries {
+			if e.kind != walData {
+				// Control records ride along in stream order; duplicates
+				// below the checkpoint are harmless (recovery treats
+				// decisions as a set).
+				out = append(out, e)
+				continue
+			}
+			rec := e.rec
 			if next == 0 {
 				next = rec.Index
 			}
@@ -248,18 +373,19 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 				broken = true
 				break
 			}
-			recs = append(recs, rec)
+			out = append(out, e)
 			next++
 			took = true
 		}
 		if broken && !took {
+			out = out[:mark] // a removed segment's control records go with it
 			slog.Warn("durable: WAL segment unreachable past a missing record; discarding",
 				"segment", seg.path, "want", next)
 			os.Remove(seg.path)
 			continue
 		}
 		kept = append(kept, seg)
-		lastRecs, lastValidLen = segRecs, validLen
+		lastEntries, lastValidLen = segEntries, validLen
 	}
 	w.segments = kept
 
@@ -268,21 +394,26 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 		w.next = next
 	}
 	// Reuse the newest kept segment for appends only if the sequence
-	// continues exactly where its contents end — an empty segment named
-	// for w.next, or one whose last record is w.next-1. Anything else
+	// continues exactly where its contents end — a data-free segment named
+	// for w.next, or one whose last data record is w.next-1. Anything else
 	// (e.g. a fallback segment wholly below the checkpoint) must not be
 	// appended to: the next scan would read a hole. Start a fresh,
 	// correctly named segment instead; zero-byte rejects are deleted.
 	if n := len(w.segments); n > 0 {
 		last := w.segments[n-1]
-		reusable := (len(lastRecs) == 0 && last.first == w.next) ||
-			(len(lastRecs) > 0 && lastRecs[len(lastRecs)-1].Index == w.next-1)
+		lastIdx := uint64(0) // newest data index in the last kept segment
+		for _, e := range lastEntries {
+			if e.kind == walData {
+				lastIdx = e.rec.Index
+			}
+		}
+		reusable := (lastIdx == 0 && last.first == w.next) || (lastIdx > 0 && lastIdx == w.next-1)
 		if reusable {
 			w.f, err = os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 			if err != nil {
 				return nil, nil, err
 			}
-			return w, recs, nil
+			return w, out, nil
 		}
 		if lastValidLen == 0 {
 			os.Remove(last.path)
@@ -292,56 +423,59 @@ func openWAL(dir string, policy FsyncPolicy, afterIdx uint64) (*WAL, []repl.Reco
 	if err := w.startSegmentLocked(); err != nil {
 		return nil, nil, err
 	}
-	return w, recs, nil
+	return w, out, nil
 }
 
-// scanSegment reads one segment's records: the contiguous run starting
-// at whatever index its first record carries. It returns the records,
-// the byte length of the valid prefix, and whether the file ended
-// cleanly (false = torn, corrupt, or discontinuous tail that must be
-// truncated to validLen). Contiguity is judged by the record indices
+// scanSegment reads one segment's records: the contiguous run of data
+// records starting at whatever index its first data record carries, with
+// intent/decision control records interleaved in stream order. It returns
+// the entries, the byte length of the valid prefix, and whether the file
+// ended cleanly (false = torn, corrupt, or discontinuous tail that must
+// be truncated to validLen). Contiguity is judged by the record indices
 // themselves, never the segment's filename: a file can legitimately
 // carry records below its name after an interrupted recovery, and
 // trusting the name would re-truncate acknowledged records on the next
 // boot.
-func scanSegment(path string) ([]repl.Record, int, bool, error) {
+func scanSegment(path string) ([]walEntry, int, bool, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, 0, false, err
 	}
-	var want uint64 // 0 = first record sets it
-	var recs []repl.Record
+	var want uint64 // 0 = first data record sets it
+	var out []walEntry
 	off := 0
 	for {
 		if off == len(data) {
-			return recs, off, true, nil // clean end
+			return out, off, true, nil // clean end
 		}
 		if len(data)-off < recHeaderLen {
-			return recs, off, false, nil // torn header
+			return out, off, false, nil // torn header
 		}
 		length := binary.LittleEndian.Uint32(data[off:])
 		crc := binary.LittleEndian.Uint32(data[off+4:])
 		if uint64(length) > maxRecordLen || len(data)-off-recHeaderLen < int(length) {
-			return recs, off, false, nil // torn payload (or garbage length)
+			return out, off, false, nil // torn payload (or garbage length)
 		}
 		payload := data[off+recHeaderLen : off+recHeaderLen+int(length)]
 		if crc32.Checksum(payload, crcTable) != crc {
-			return recs, off, false, nil // corrupt payload
+			return out, off, false, nil // corrupt payload
 		}
-		rec, err := decodeRecord(payload)
+		e, err := decodeEntry(payload)
 		if err != nil {
-			return recs, off, false, nil // framing valid but payload malformed: same treatment
+			return out, off, false, nil // framing valid but payload malformed: same treatment
 		}
-		if want == 0 {
-			want = rec.Index
+		if e.kind == walData {
+			if want == 0 {
+				want = e.rec.Index
+			}
+			if e.rec.Index != want {
+				// A hole or a backwards index within one file: ascending
+				// appends produce neither, so this is damage.
+				return out, off, false, nil
+			}
+			want++
 		}
-		if rec.Index != want {
-			// A hole or a backwards index within one file: ascending
-			// appends produce neither, so this is damage.
-			return recs, off, false, nil
-		}
-		recs = append(recs, rec)
-		want++
+		out = append(out, e)
 		off += recHeaderLen + int(length)
 	}
 }
@@ -377,6 +511,41 @@ func (w *WAL) Append(r repl.Record) error {
 	return nil
 }
 
+// AppendIntent writes a cross-shard intent control record (no commit
+// index consumed). It is never synced eagerly, even under FsyncAlways:
+// nothing depends on an intent being durable before the epoch's data
+// records, which are synced (covering the intent, appended before them)
+// ahead of the decision.
+func (w *WAL) AppendIntent(epoch uint64, shards []int) error {
+	return w.appendControl(encodeIntent(nil, epoch, shards), &w.intents)
+}
+
+// AppendDecision writes a cross-shard decision control record — the
+// commit point of epoch, appended to the coordinator's WAL only after
+// round 1 made every participant's intent and data records durable. The
+// caller syncs afterwards (round 2); the decision is not durable until
+// then.
+func (w *WAL) AppendDecision(epoch uint64) error {
+	return w.appendControl(encodeDecision(nil, epoch), nil)
+}
+
+func (w *WAL) appendControl(framed []byte, counter *atomic.Int64) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	if _, err := w.f.Write(framed); err != nil {
+		w.broken = err
+		return err
+	}
+	w.dirty = true
+	if counter != nil {
+		counter.Add(1)
+	}
+	return nil
+}
+
 // Sync forces appended records to stable storage under the group policy
 // (no-op when clean, always-synced, or off). The engine calls it once
 // per commit batch before acknowledging the batch.
@@ -393,6 +562,13 @@ func (w *WAL) syncLocked() error {
 	var start time.Time
 	if w.fsyncObs != nil {
 		start = time.Now()
+	}
+	if faultFsyncDelay > 0 {
+		time.Sleep(faultFsyncDelay)
+	}
+	if faultFsyncErr() {
+		w.broken = errInjectedFsync
+		return w.broken
 	}
 	if err := w.f.Sync(); err != nil {
 		w.broken = err

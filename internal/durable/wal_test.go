@@ -18,6 +18,19 @@ func rec(idx uint64, kvs ...string) repl.Record {
 	return r
 }
 
+// dataRecs projects recovered WAL entries down to their data records —
+// the view these tests assert on; control records (intents, decisions)
+// have their own coverage in recovery_test.go.
+func dataRecs(entries []walEntry) []repl.Record {
+	var out []repl.Record
+	for _, e := range entries {
+		if e.kind == walData {
+			out = append(out, e.rec)
+		}
+	}
+	return out
+}
+
 func appendAll(t *testing.T, w *WAL, recs ...repl.Record) {
 	t.Helper()
 	for _, r := range recs {
@@ -50,12 +63,12 @@ func TestWALRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w2, got, err := openWAL(dir, FsyncGroup, 0)
+	w2, entries, err := openWAL(dir, FsyncGroup, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w2.Close()
-	if !reflect.DeepEqual(got, want) {
+	if got := dataRecs(entries); !reflect.DeepEqual(got, want) {
 		t.Fatalf("recovered %+v, want %+v", got, want)
 	}
 	if w2.NextIndex() != 5 {
@@ -106,10 +119,11 @@ func TestWALTornTail(t *testing.T) {
 			if err := os.WriteFile(filepath.Join(dir, segmentName(1)), full[:cut], 0o644); err != nil {
 				t.Fatal(err)
 			}
-			w, got, err := openWAL(dir, FsyncGroup, 0)
+			w, entries, err := openWAL(dir, FsyncGroup, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
+			got := dataRecs(entries)
 			// The longest prefix of whole frames fitting in cut bytes.
 			wantN := 0
 			for i, b := range bounds {
@@ -133,11 +147,11 @@ func TestWALTornTail(t *testing.T) {
 			next := uint64(wantN) + 1
 			appendAll(t, w, rec(next, "x", "8"))
 			w.Close()
-			_, again, err := openWAL(dir, FsyncGroup, 0)
+			_, reEntries, err := openWAL(dir, FsyncGroup, 0)
 			if err != nil {
 				t.Fatal(err)
 			}
-			if len(again) != wantN+1 || again[wantN].Index != next {
+			if again := dataRecs(reEntries); len(again) != wantN+1 || again[wantN].Index != next {
 				t.Fatalf("cut at %d: post-recovery append lost (%d records)", cut, len(again))
 			}
 		})
@@ -174,11 +188,12 @@ func TestWALCorruptTail(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, segmentName(1)), mut, 0o644); err != nil {
 			t.Fatal(err)
 		}
-		w, got, err := openWAL(dir, FsyncGroup, 0)
+		w, entries, err := openWAL(dir, FsyncGroup, 0)
 		if err != nil {
 			t.Fatalf("byte %d: %v", i, err)
 		}
 		w.Close()
+		got := dataRecs(entries)
 		// Either the corruption is detected (2 records survive) or the
 		// flip hit the length field such that the frame reads as torn —
 		// never may a wrong record surface.
@@ -219,11 +234,11 @@ func TestWALRotateTrim(t *testing.T) {
 	w.Close()
 
 	// Recovery over the remaining segments, seeded past the trim point.
-	_, got, err := openWAL(dir, FsyncGroup, 3)
+	_, entries, err := openWAL(dir, FsyncGroup, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 1 || got[0].Index != 4 {
+	if got := dataRecs(entries); len(got) != 1 || got[0].Index != 4 {
 		t.Fatalf("recovered %+v, want record 4 only", got)
 	}
 }
@@ -247,21 +262,21 @@ func TestWALSegmentGapRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	w2, got, err := openWAL(dir, FsyncGroup, 0)
+	w2, entries, err := openWAL(dir, FsyncGroup, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 {
+	if got := dataRecs(entries); len(got) != 3 {
 		t.Fatalf("recovered %d records past a segment gap, want 3", len(got))
 	}
 	// The gapped file must not survive as an empty misnamed append target.
 	appendAll(t, w2, rec(4, "a", "4"))
 	w2.Close()
-	_, again, err := openWAL(dir, FsyncGroup, 0)
+	_, reEntries, err := openWAL(dir, FsyncGroup, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(again) != 4 || again[3].Index != 4 {
+	if again := dataRecs(reEntries); len(again) != 4 || again[3].Index != 4 {
 		t.Fatalf("second recovery lost post-gap appends: %+v", again)
 	}
 }
@@ -285,11 +300,11 @@ func TestWALMisnamedSegmentContents(t *testing.T) {
 	if err := os.Rename(filepath.Join(dir, segmentName(3)), filepath.Join(dir, segmentName(10))); err != nil {
 		t.Fatal(err)
 	}
-	_, got, err := openWAL(dir, FsyncGroup, 0)
+	_, entries, err := openWAL(dir, FsyncGroup, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 3 || got[2].Index != 3 {
+	if got := dataRecs(entries); len(got) != 3 || got[2].Index != 3 {
 		t.Fatalf("recovered %+v, want records 1..3 despite the misnamed segment", got)
 	}
 }

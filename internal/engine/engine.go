@@ -131,15 +131,51 @@ type ValuedCommitLog interface {
 // ride the batch boundary: one fsync per group-commit flush covers every
 // commit acknowledged by it.
 //
-// The engine cannot un-commit installed writes, so a Sync error does not
-// fail the batch's verdicts: the implementation must make failures
-// sticky (refuse further appends, surface the error — see
-// durable.Manager.Err) and the operator policy decides what a broken log
-// means; sccserve fail-stops, bounding the window in which commits are
-// acknowledged without being durable.
+// A Sync error FAILS the batch's verdicts: the engine cannot un-commit
+// installed writes, but it can — and does — refuse to acknowledge them,
+// surfacing a *SyncError to every committer of the batch instead of
+// success. No caller ever sees an OK verdict for an unsynced batch.
+// Implementations must additionally make failures sticky (refuse further
+// appends — see durable.Manager), and the operator policy decides what a
+// broken log means; sccserve fail-stops inline.
 type CommitSyncer interface {
 	Sync() error
 }
+
+// CrossCommitLog is an optional CommitLog extension for multi-store
+// installs: AppendCross records the write set stamped with the
+// coordinator-assigned commit epoch and the full participant shard set,
+// instead of a sink-assigned standalone epoch. Sinks without it fall back
+// to AppendValued/Append (losing the atomicity metadata — acceptable only
+// for in-memory test sinks).
+type CrossCommitLog interface {
+	CommitLog
+	AppendCross(writes map[string][]byte, value float64, epoch uint64, shards []int)
+}
+
+// IntentLogger is an optional CommitLog extension implemented by
+// write-ahead sinks. A cross-shard commit writes one intent record per
+// participant WAL before the data records, and one decision record to the
+// coordinator's WAL only after every participant's data is durable; boot
+// recovery treats the decision as the commit point and reconciles
+// intent-without-decision epochs to all-or-nothing (internal/durable).
+// ReleaseCross un-gates the epoch's records for replication shipping once
+// the decision is durable.
+type IntentLogger interface {
+	AppendIntent(epoch uint64, shards []int) error
+	AppendDecision(epoch uint64) error
+	ReleaseCross(epoch uint64)
+}
+
+// SyncError wraps a commit-log Sync failure delivered as a commit
+// verdict: the transaction's writes are installed in memory but were
+// never acknowledged as durable. Callers must report failure (the serving
+// layer answers ERR and books the value as lost to wal_error) and must
+// not retry — the writes are in place and the log is sticky-broken.
+type SyncError struct{ Err error }
+
+func (e *SyncError) Error() string { return "engine: commit not durable: " + e.Err.Error() }
+func (e *SyncError) Unwrap() error { return e.Err }
 
 // Stats are cumulative engine counters.
 type Stats struct {
@@ -497,11 +533,18 @@ func (s *Store) UpdateTracedResult(value float64, tr *obs.Trace, fn func(*Tx) er
 		}
 		s.mu.Unlock()
 
-		err, committed := h.runSync(a)
-		if committed {
+		v := h.runSync(a)
+		if v.committed {
+			if v.err != nil {
+				// Installed but never made durable (Sync failed): the
+				// verdict is an error, not success — no ack may race a
+				// failed sync. The transaction must not be retried.
+				s.retire(h)
+				return nil, v.err
+			}
 			return h.result, nil
 		}
-		if err != nil && !errors.Is(err, ErrAborted) {
+		if v.err != nil && !errors.Is(v.err, ErrAborted) {
 			// A shadow may have already committed the transaction while
 			// the optimistic run surfaced an error; the commit wins.
 			// Retire first — it aborts the shadow under s.mu, after which
@@ -518,13 +561,17 @@ func (s *Store) UpdateTracedResult(value float64, tr *obs.Trace, fn func(*Tx) er
 				// The committing shadow's verdict is delivered only after
 				// the commit log's Sync (tryCommit/flush order); returning
 				// off the resolved flag alone would acknowledge a commit
-				// the WAL has not yet synced. Wait out the report.
+				// the WAL has not yet synced. Wait out the report — and
+				// honor its sync error: a shadow that installed writes the
+				// log could not sync must surface failure, not success.
 				if sh != nil {
-					<-h.shadowDone(sh)
+					if sv := <-h.shadowDone(sh); sv.committed && sv.err != nil {
+						return nil, sv.err
+					}
 				}
 				return h.result, nil
 			}
-			return nil, err
+			return nil, v.err
 		}
 		// Aborted: if a speculative shadow is running it may finish the
 		// transaction; wait for its verdict before restarting.
@@ -532,14 +579,17 @@ func (s *Store) UpdateTracedResult(value float64, tr *obs.Trace, fn func(*Tx) er
 		sh := h.shadow
 		s.mu.Unlock()
 		if sh != nil {
-			verdict := <-h.shadowDone(sh)
-			if verdict.committed {
+			sv := <-h.shadowDone(sh)
+			if sv.committed {
 				s.retire(h)
+				if sv.err != nil {
+					return nil, sv.err
+				}
 				return h.result, nil
 			}
-			if verdict.err != nil && !errors.Is(verdict.err, ErrAborted) {
+			if sv.err != nil && !errors.Is(sv.err, ErrAborted) {
 				s.retire(h)
-				return nil, verdict.err
+				return nil, sv.err
 			}
 		}
 		s.retire(h)
@@ -566,13 +616,14 @@ type verdict struct {
 }
 
 // runSync runs an attempt in the calling goroutine.
-func (h *txnHandle) runSync(a *attempt) (error, bool) {
+func (h *txnHandle) runSync(a *attempt) verdict {
 	err := h.fn(&Tx{a: a})
 	if err != nil {
-		return err, false
+		return verdict{err: err}
 	}
 	h.store.deferForValue(a)
-	return nil, h.store.tryCommit(a)
+	committed, err := h.store.tryCommit(a)
+	return verdict{err: err, committed: committed}
 }
 
 // deferForValue implements the VW-style Termination Rule: while a strictly
@@ -638,7 +689,7 @@ func (h *txnHandle) runAttempt(sh *attempt) {
 	err := h.fn(&Tx{a: sh})
 	committed := false
 	if err == nil {
-		committed = h.store.tryCommit(sh)
+		committed, err = h.store.tryCommit(sh)
 	}
 	h.store.mu.Lock()
 	if sh.report == nil {
@@ -648,14 +699,15 @@ func (h *txnHandle) runAttempt(sh *attempt) {
 	sh.report <- verdict{err: err, committed: committed}
 }
 
-// tryCommit validates and installs an attempt's writes. It returns false
-// if the attempt read stale data (a conflicting transaction committed
-// first); the caller falls back to its shadow or restarts. With group
-// commit enabled the attempt joins the current flush batch instead of
-// acquiring the latch itself. A successful commit is reported only after
-// the commit log's Sync hook (if any) returns: the caller's ack implies
-// durability under the configured fsync policy.
-func (s *Store) tryCommit(a *attempt) bool {
+// tryCommit validates and installs an attempt's writes. It returns
+// (false, nil) if the attempt read stale data (a conflicting transaction
+// committed first); the caller falls back to its shadow or restarts. With
+// group commit enabled the attempt joins the current flush batch instead
+// of acquiring the latch itself. A successful commit is reported only
+// after the commit log's Sync hook (if any) returns: the caller's ack
+// implies durability under the configured fsync policy. A Sync failure
+// returns (true, *SyncError) — installed, but never to be acknowledged.
+func (s *Store) tryCommit(a *attempt) (bool, error) {
 	if s.gc != nil {
 		return s.gc.commit(a)
 	}
@@ -670,9 +722,11 @@ func (s *Store) tryCommit(a *attempt) bool {
 		met.BatchSize.Observe(1)
 	}
 	if ok && syncer != nil {
-		syncer.Sync()
+		if err := syncer.Sync(); err != nil {
+			return true, &SyncError{Err: err}
+		}
 	}
-	return ok
+	return ok, nil
 }
 
 // commitLocked is the commit critical section: validate the attempt's
@@ -700,7 +754,7 @@ func (s *Store) commitLocked(a *attempt) bool {
 		s.stats.Promotions++
 		h.tr.Event(obs.StagePromotion)
 	}
-	s.installLocked(a.writes, h.value)
+	s.installLocked(a.writes, h.value, 0, nil)
 	s.stats.Commits++
 	h.tr.Event(obs.StageInstall)
 	return true
@@ -710,10 +764,14 @@ func (s *Store) commitLocked(a *attempt) bool {
 // commit: in-flight optimistic shadows that read what was written are
 // aborted. Their speculative shadows (often gated on the committer) take
 // over — the gate opens when the committing handle's done channel closes.
-// Callers hold s.mu.
-func (s *Store) installLocked(writes map[string][]byte, value float64) {
+// epoch 0 is a standalone install (the sink stamps its own epoch);
+// non-zero carries a cross-shard commit's pre-allocated epoch and
+// participant set to a CrossCommitLog sink. Callers hold s.mu.
+func (s *Store) installLocked(writes map[string][]byte, value float64, epoch uint64, shards []int) {
 	if s.cfg.CommitLog != nil && len(writes) > 0 {
-		if vl, ok := s.cfg.CommitLog.(ValuedCommitLog); ok {
+		if cl, ok := s.cfg.CommitLog.(CrossCommitLog); ok && epoch != 0 {
+			cl.AppendCross(writes, value, epoch, shards)
+		} else if vl, ok := s.cfg.CommitLog.(ValuedCommitLog); ok {
 			vl.AppendValued(writes, value)
 		} else {
 			s.cfg.CommitLog.Append(writes)

@@ -54,7 +54,7 @@ func (g *GroupCommit) defaults() {
 // commitReq is one finished attempt awaiting its commit verdict.
 type commitReq struct {
 	a    *attempt
-	done chan bool
+	done chan verdict
 }
 
 // groupCommitter is the flat-combining commit queue of one Store.
@@ -87,8 +87,8 @@ func newGroupCommitter(s *Store, cfg GroupCommit) *groupCommitter {
 // the flush window (cut short by a kick) and then processes the whole
 // batch under one latch acquisition. Followers just wait; a follower that
 // fills the batch wakes the leader early.
-func (g *groupCommitter) commit(a *attempt) bool {
-	req := commitReq{a: a, done: make(chan bool, 1)}
+func (g *groupCommitter) commit(a *attempt) (bool, error) {
+	req := commitReq{a: a, done: make(chan verdict, 1)}
 	g.mu.Lock()
 	g.pending = append(g.pending, req)
 	n := len(g.pending)
@@ -114,7 +114,8 @@ func (g *groupCommitter) commit(a *attempt) bool {
 		default:
 		}
 	}
-	return <-req.done
+	v := <-req.done
+	return v.committed, v.err
 }
 
 // flush takes the gathered batch and commits it under one store-latch
@@ -165,16 +166,25 @@ func (g *groupCommitter) flush() {
 	// Durability rides the batch boundary: one Sync covers every commit of
 	// the flush, and no committer learns its verdict before the log is
 	// synced (the done channels are buffered, so delivery order is the only
-	// thing deferred).
+	// thing deferred). A Sync failure converts every committed verdict of
+	// the batch to an error: the writes are installed but must never be
+	// acknowledged as durable.
+	var syncErr error
 	if installed && syncer != nil {
-		syncer.Sync()
+		if err := syncer.Sync(); err != nil {
+			syncErr = &SyncError{Err: err}
+		}
 	}
 	if met := s.cfg.Metrics; met != nil {
 		met.BatchSize.Observe(int64(len(batch)))
 		met.FlushSeconds.Observe(int64(time.Since(flushStart)))
 	}
 	for i, req := range batch {
-		req.done <- verdicts[i]
+		v := verdict{committed: verdicts[i]}
+		if verdicts[i] {
+			v.err = syncErr
+		}
+		req.done <- v
 	}
 }
 

@@ -72,7 +72,7 @@ func (s *Store) ValidateLocked(reads map[string]uint64) bool {
 // store's Commits counter: cross-store transactions are counted once by
 // the coordinator, not once per shard. The caller holds the commit latch.
 func (s *Store) ApplyLocked(writes map[string][]byte) {
-	s.installLocked(writes, 0)
+	s.installLocked(writes, 0, 0, nil)
 }
 
 // ApplyValuedLocked is ApplyLocked carrying the installing transaction's
@@ -80,7 +80,55 @@ func (s *Store) ApplyLocked(writes map[string][]byte) {
 // so multi-shard commits count toward each shard's pending-value like
 // native ones. The caller holds the commit latch.
 func (s *Store) ApplyValuedLocked(writes map[string][]byte, value float64) {
-	s.installLocked(writes, value)
+	s.installLocked(writes, value, 0, nil)
+}
+
+// ApplyCrossLocked is ApplyValuedLocked for one shard's part of a
+// cross-shard commit: the install is stamped with the coordinator's
+// pre-allocated epoch and the full participant set, so the commit-log
+// record (WAL and replication) carries the atomicity metadata recovery
+// and the replica apply barrier need. The caller holds the commit latch
+// of every participant.
+func (s *Store) ApplyCrossLocked(writes map[string][]byte, value float64, epoch uint64, shards []int) {
+	s.installLocked(writes, value, epoch, shards)
+}
+
+// AppendIntentLocked writes a cross-shard intent record (epoch +
+// participant set) to the store's commit log, if the sink is an
+// IntentLogger — a WAL. Called before the epoch's data records, under
+// this store's commit latch. A nil or non-durable sink is a no-op.
+func (s *Store) AppendIntentLocked(epoch uint64, shards []int) error {
+	if il, ok := s.cfg.CommitLog.(IntentLogger); ok {
+		return il.AppendIntent(epoch, shards)
+	}
+	return nil
+}
+
+// AppendCrossDecision writes the epoch's single decision record to this
+// store's (the coordinator's) commit log. It is called WITHOUT the commit
+// latch, after every participant's intent and data records are durable —
+// the decision is the commit point, so it must never become durable
+// before the data it decides. No-op on non-durable sinks.
+func (s *Store) AppendCrossDecision(epoch uint64) error {
+	s.mu.Lock()
+	il, _ := s.cfg.CommitLog.(IntentLogger)
+	s.mu.Unlock()
+	if il != nil {
+		return il.AppendDecision(epoch)
+	}
+	return nil
+}
+
+// ReleaseCross un-gates the epoch's record for replication shipping on
+// this store's sink, once the decision record is durable. No-op on
+// non-durable sinks. Called without the commit latch.
+func (s *Store) ReleaseCross(epoch uint64) {
+	s.mu.Lock()
+	il, _ := s.cfg.CommitLog.(IntentLogger)
+	s.mu.Unlock()
+	if il != nil {
+		il.ReleaseCross(epoch)
+	}
 }
 
 // RangeLocked calls fn for every committed key until fn returns false.
@@ -116,16 +164,21 @@ func (s *Store) NeedsCommitSync() bool {
 	return ok
 }
 
-// SyncCommitLog invokes the commit log's Sync hook, if it has one.
-// Multi-store commit paths (cross-shard combiner, replica batch apply)
-// call it after releasing the latches and before acknowledging, giving
-// their installs the same durability boundary tryCommit gives native
-// commits. Callers must NOT hold the commit latch.
-func (s *Store) SyncCommitLog() {
+// SyncCommitLog invokes the commit log's Sync hook, if it has one, and
+// returns its error. Multi-store commit paths (cross-shard combiner,
+// replica batch apply) call it after releasing the latches and before
+// acknowledging, giving their installs the same durability boundary
+// tryCommit gives native commits — and like tryCommit, a failure must
+// convert the caller's verdicts to errors. Callers must NOT hold the
+// commit latch.
+func (s *Store) SyncCommitLog() error {
 	s.mu.Lock()
 	syncer, _ := s.cfg.CommitLog.(CommitSyncer)
 	s.mu.Unlock()
 	if syncer != nil {
-		syncer.Sync()
+		if err := syncer.Sync(); err != nil {
+			return &SyncError{Err: err}
+		}
 	}
+	return nil
 }

@@ -40,6 +40,7 @@ const (
 	LossReap          = "reap"           // session reaped server-side
 	LossError         = "error"          // transaction failed with an error
 	LossReplicaLag    = "replica_lag"    // replica read shed by the lag gate
+	LossWALError      = "wal_error"      // verdict converted to ERR by a failed WAL sync
 )
 
 // TraceEvent is one timestamped lifecycle stage.

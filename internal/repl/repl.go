@@ -23,6 +23,8 @@ package repl
 import (
 	"errors"
 	"sync"
+
+	"repro/internal/engine"
 )
 
 // ErrCompacted is returned by Log.From when the requested index has been
@@ -38,19 +40,36 @@ const unbounded = ^uint64(0)
 // (1-based) in that shard's total commit order. Records applied in Index
 // order reproduce the primary shard's committed state and per-key
 // versions exactly.
+//
+// Epoch is the global commit epoch stamped on the record (0 only from
+// legacy sinks with no epoch source); within one shard's log, epochs are
+// strictly increasing. Shards is nil for a standalone commit; for a
+// cross-shard commit it lists every participant shard (ascending), and
+// each participant's log carries a record with the SAME epoch — the
+// replica apply barrier uses this to make the commit visible on all
+// shards at once.
 type Record struct {
 	Index  uint64
+	Epoch  uint64
+	Shards []int
 	Writes map[string][]byte
 }
+
+// Cross reports whether the record is one shard's part of a multi-shard
+// commit (and therefore subject to the replica apply barrier).
+func (r Record) Cross() bool { return len(r.Shards) > 1 }
 
 // Log is the ordered commit log of one shard. Append implements
 // engine.CommitLog: the engine calls it under the shard's commit latch,
 // so append order is the shard's version order.
 type Log struct {
-	mu   sync.Mutex
-	base uint64 // highest trimmed-away index; recs[0].Index == base+1
-	recs []Record
-	wake chan struct{} // closed and replaced on every append
+	epochs *engine.Epochs // stamps standalone appends; nil = epoch 0 (legacy sinks)
+
+	mu        sync.Mutex
+	base      uint64 // highest trimmed-away index; recs[0].Index == base+1
+	lastEpoch uint64 // epoch of the newest record ever appended (survives trims)
+	recs      []Record
+	wake      chan struct{} // closed and replaced on every append
 
 	retain   uint64 // auto-trim keeps at least this many newest records (0 = keep all)
 	ackFloor uint64 // min acked index over tracking subscribers (unbounded if none)
@@ -60,19 +79,61 @@ type Log struct {
 	resliced int    // trimmed records whose backing memory is still pinned
 }
 
-// NewLog returns an empty log.
-func NewLog() *Log { return &Log{wake: make(chan struct{}), ackFloor: unbounded, durFloor: unbounded} }
+// NewLog returns an empty log stamping epochs from epochs (nil leaves
+// every record at epoch 0 — acceptable only for tests and legacy sinks).
+func NewLog(epochs *engine.Epochs) *Log {
+	return &Log{epochs: epochs, wake: make(chan struct{}), ackFloor: unbounded, durFloor: unbounded}
+}
 
 // Append records one installed write set and wakes blocked readers. The
 // map is retained, not copied; the engine guarantees committed write sets
-// are never mutated afterwards.
+// are never mutated afterwards. The record's epoch is allocated here —
+// Append runs under the shard's commit latch, so per-shard epoch order
+// matches log order.
 func (l *Log) Append(writes map[string][]byte) {
+	var epoch uint64
+	if l.epochs != nil {
+		epoch = l.epochs.Next()
+	}
+	l.AppendStamped(writes, epoch, nil)
+}
+
+// AppendCross implements engine.CrossCommitLog for in-memory sinks: with
+// no WAL there is no decision record to gate on, so the record ships
+// immediately with its pre-allocated epoch and participant set. (The
+// value is accepted for interface compatibility; an in-memory log has no
+// pending-value accounting.)
+func (l *Log) AppendCross(writes map[string][]byte, value float64, epoch uint64, shards []int) {
+	l.AppendStamped(writes, epoch, shards)
+}
+
+// AppendStamped records one write set with a pre-assigned epoch and (for
+// cross-shard commits) participant set — the publication path durable
+// sinks use after the fsync that makes the record safe to ship.
+func (l *Log) AppendStamped(writes map[string][]byte, epoch uint64, shards []int) {
 	l.mu.Lock()
-	l.recs = append(l.recs, Record{Index: l.base + uint64(len(l.recs)) + 1, Writes: writes})
+	l.recs = append(l.recs, Record{
+		Index:  l.base + uint64(len(l.recs)) + 1,
+		Epoch:  epoch,
+		Shards: shards,
+		Writes: writes,
+	})
+	if epoch > l.lastEpoch {
+		l.lastEpoch = epoch
+	}
 	close(l.wake)
 	l.wake = make(chan struct{})
 	l.maybeTrimLocked()
 	l.mu.Unlock()
+}
+
+// LastEpoch returns the epoch of the newest record ever appended (or the
+// epoch restored by ResetBase). SNAP reply headers carry it so a
+// bootstrapping replica can seed its apply-barrier bookkeeping.
+func (l *Log) LastEpoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lastEpoch
 }
 
 // Head returns the index of the newest record (the trim base when empty,
@@ -91,17 +152,19 @@ func (l *Log) Base() uint64 {
 	return l.base
 }
 
-// ResetBase starts an empty log at base: the next Append gets index
-// base+1. Recovery uses it so a restarted primary's log resumes at its
-// recovered commit index instead of restarting from 1. It is a
-// boot-time operation: calling it on a log that holds records panics.
-func (l *Log) ResetBase(base uint64) {
+// ResetBase starts an empty log at base with lastEpoch restored to
+// epoch: the next Append gets index base+1. Recovery uses it so a
+// restarted primary's log resumes at its recovered commit index (and
+// epoch) instead of restarting from 1. It is a boot-time operation:
+// calling it on a log that holds records panics.
+func (l *Log) ResetBase(base, epoch uint64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if len(l.recs) > 0 {
 		panic("repl: ResetBase on a non-empty log")
 	}
 	l.base = base
+	l.lastEpoch = epoch
 }
 
 // From returns up to max records with Index >= from, plus a channel that
@@ -243,14 +306,16 @@ type Feed struct {
 	subs map[*Sub]struct{}
 }
 
-// NewFeed returns a feed with one empty log per shard.
-func NewFeed(shards int) *Feed {
+// NewFeed returns a feed with one empty log per shard, all stamping
+// commit epochs from the shared epochs counter (nil leaves records at
+// epoch 0; pass the store's counter on any real primary).
+func NewFeed(shards int, epochs *engine.Epochs) *Feed {
 	f := &Feed{
 		logs: make([]*Log, shards),
 		subs: make(map[*Sub]struct{}),
 	}
 	for i := range f.logs {
-		f.logs[i] = NewLog()
+		f.logs[i] = NewLog(epochs)
 	}
 	return f
 }

@@ -10,7 +10,7 @@ import (
 func wr(k, v string) map[string][]byte { return map[string][]byte{k: []byte(v)} }
 
 func TestLogAppendFromHead(t *testing.T) {
-	l := NewLog()
+	l := NewLog(nil)
 	if l.Head() != 0 {
 		t.Fatalf("fresh log head = %d, want 0", l.Head())
 	}
@@ -45,7 +45,7 @@ func TestLogAppendFromHead(t *testing.T) {
 // gone (readers get ErrCompacted), indices above it are untouched, and
 // Head/Base/Trimmed account for the drop.
 func TestLogTrim(t *testing.T) {
-	l := NewLog()
+	l := NewLog(nil)
 	for i := 1; i <= 5; i++ {
 		l.Append(wr("k", "v"))
 	}
@@ -82,8 +82,8 @@ func TestLogTrim(t *testing.T) {
 // TestLogResetBase pins the recovery boot path: an empty log reset to a
 // base resumes numbering above it.
 func TestLogResetBase(t *testing.T) {
-	l := NewLog()
-	l.ResetBase(42)
+	l := NewLog(nil)
+	l.ResetBase(42, 0)
 	if l.Head() != 42 || l.Base() != 42 {
 		t.Fatalf("reset log head=%d base=%d, want 42/42", l.Head(), l.Base())
 	}
@@ -102,7 +102,7 @@ func TestLogResetBase(t *testing.T) {
 // even with no durability layer, and never past what a tracking
 // subscriber still owes.
 func TestLogRetentionAutoTrim(t *testing.T) {
-	f := NewFeed(1)
+	f := NewFeed(1, nil)
 	l := f.Log(0)
 	l.SetRetention(2)
 
@@ -147,7 +147,7 @@ func TestLogRetentionAutoTrim(t *testing.T) {
 // log trims below min(checkpoint index, min acked) with no retention
 // flag needed.
 func TestLogDurableFloorTrim(t *testing.T) {
-	f := NewFeed(1)
+	f := NewFeed(1, nil)
 	l := f.Log(0)
 	for i := 0; i < 10; i++ {
 		l.Append(wr("k", "v"))
@@ -176,7 +176,7 @@ func TestLogDurableFloorTrim(t *testing.T) {
 }
 
 func TestFeedAckLag(t *testing.T) {
-	f := NewFeed(2)
+	f := NewFeed(2, nil)
 	f.Log(0).Append(wr("a", "1"))
 	f.Log(0).Append(wr("a", "2"))
 	f.Log(1).Append(wr("b", "1"))
@@ -221,21 +221,21 @@ func TestFeedAckLag(t *testing.T) {
 }
 
 func TestWireRoundTrip(t *testing.T) {
-	rec := Record{Index: 7, Writes: map[string][]byte{
+	rec := Record{Index: 7, Epoch: 19, Writes: map[string][]byte{
 		"k1":      []byte("42"),
 		"a.b":     []byte("-3"),
 		"cnt9.01": []byte("100"),
 	}}
 	// Deterministic encoding: sorted key order.
-	if line := EncodeLog(3, rec); line != "LOG 3 7 a.b:-3 cnt9.01:100 k1:42" {
+	if line := EncodeLog(3, rec); line != "LOG 3 7 19 a.b:-3 cnt9.01:100 k1:42" {
 		t.Fatalf("EncodeLog = %q", line)
 	}
-	fields := []string{"3", "7", "a.b:-3", "cnt9.01:100", "k1:42"}
+	fields := []string{"3", "7", "19", "a.b:-3", "cnt9.01:100", "k1:42"}
 	shard, got, err := ParseLog(fields)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if shard != 3 || got.Index != 7 || len(got.Writes) != 3 ||
+	if shard != 3 || got.Index != 7 || got.Epoch != 19 || got.Cross() || len(got.Writes) != 3 ||
 		string(got.Writes["a.b"]) != "-3" || string(got.Writes["k1"]) != "42" {
 		t.Fatalf("ParseLog = shard %d, %+v", shard, got)
 	}
@@ -243,15 +243,56 @@ func TestWireRoundTrip(t *testing.T) {
 		{},
 		{"3"},
 		{"3", "7"},
-		{"x", "7", "a:1"},
-		{"-1", "7", "a:1"},
-		{"3", "0", "a:1"},
-		{"3", "x", "a:1"},
-		{"3", "7", "nocolon"},
-		{"3", "7", ":empty"},
+		{"3", "7", "0"},
+		{"x", "7", "0", "a:1"},
+		{"-1", "7", "0", "a:1"},
+		{"3", "0", "0", "a:1"},
+		{"3", "x", "0", "a:1"},
+		{"3", "7", "x", "a:1"},
+		{"3", "7", "0", "nocolon"},
+		{"3", "7", "0", ":empty"},
 	} {
 		if _, _, err := ParseLog(bad); err == nil {
 			t.Errorf("ParseLog(%v) accepted malformed input", bad)
+		}
+	}
+}
+
+// TestWireCrossEpochSpec pins the cross-shard epoch spec: the epoch field
+// carries the full ascending participant set after '@', and malformed
+// specs (short sets, unordered sets, epoch zero) are rejected rather than
+// silently read as standalone records — a replica that missed the
+// participant set would skip the apply barrier and tear the commit.
+func TestWireCrossEpochSpec(t *testing.T) {
+	rec := Record{Index: 4, Epoch: 9, Shards: []int{1, 3}, Writes: map[string][]byte{
+		"a": []byte("1"),
+		"b": []byte("-1"),
+	}}
+	line := EncodeLog(1, rec)
+	if line != "LOG 1 4 9@1,3 a:1 b:-1" {
+		t.Fatalf("EncodeLog cross = %q", line)
+	}
+	shard, got, err := ParseLog([]string{"1", "4", "9@1,3", "a:1", "b:-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 1 || got.Epoch != 9 || !got.Cross() ||
+		len(got.Shards) != 2 || got.Shards[0] != 1 || got.Shards[1] != 3 {
+		t.Fatalf("ParseLog cross = shard %d, %+v", shard, got)
+	}
+	for _, bad := range []string{
+		"9@",      // empty participant set
+		"9@1",     // a one-shard "cross" commit is not cross
+		"9@3,1",   // participants must ascend
+		"9@1,1",   // duplicates are not a set
+		"9@1,x",   // non-numeric participant
+		"9@-1,3",  // negative shard
+		"0@1,3",   // epoch zero cannot be cross
+		"x@1,3",   // non-numeric epoch
+		"9@1,3,3", // trailing duplicate
+	} {
+		if _, _, err := ParseLog([]string{"1", "4", bad, "a:1"}); err == nil {
+			t.Errorf("ParseLog accepted malformed epoch spec %q", bad)
 		}
 	}
 }

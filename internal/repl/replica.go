@@ -5,6 +5,15 @@
 // connection are grouped per shard and installed under one commit-latch
 // hold — so a catching-up replica pays one latch acquisition per batch,
 // the same coalescing shape as the primary's group commit.
+//
+// Cross-shard commits are gated by an apply barrier: a record stamped
+// with a multi-shard epoch is held in its shard's pending queue until
+// every participant shard's part of the same epoch is next in line (or
+// already applied, per the resumed epoch watermark), then all parts are
+// installed under one hold of all the participants' latches via
+// ApplyReplicatedCross. A reader of the replica therefore never observes
+// a cross-shard commit half-applied — it becomes visible on the replica
+// all-shards-at-once, exactly as it committed on the primary.
 
 package repl
 
@@ -93,13 +102,33 @@ type Replica struct {
 	resumePath string
 	met        *ReplicaMetrics
 
-	mu      sync.Mutex
-	applied []uint64
-	acked   []uint64
-	err     error
-	closed  bool
-	done    chan struct{}
+	mu        sync.Mutex
+	applied   []uint64
+	acked     []uint64
+	lastEpoch []uint64 // per-shard commit-epoch watermark (wire epochs)
+	err       error
+	closed    bool
+	done      chan struct{}
+
+	// Apply-barrier state, touched only by the run goroutine (and the
+	// handshake before it starts): per-shard queues of received-but-
+	// unapplied records, and the next wire index each shard expects.
+	pending [][]Record
+	nextIdx []uint64
 }
+
+// faultApplyDelay stalls the replica's apply loop before each install —
+// a chaos hook (SCC_FAULT_APPLY_DELAY_MS) that widens the window in
+// which a half-shipped cross-shard commit would be visible on a replica
+// without the apply barrier.
+var faultApplyDelay = func() time.Duration {
+	if v := os.Getenv("SCC_FAULT_APPLY_DELAY_MS"); v != "" {
+		if ms, err := strconv.Atoi(v); err == nil && ms > 0 {
+			return time.Duration(ms) * time.Millisecond
+		}
+	}
+	return 0
+}()
 
 // StartReplica connects to the primary, verifies the shard counts match,
 // subscribes every shard — from persisted primary offsets when
@@ -124,12 +153,16 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		met:        cfg.Metrics,
 		applied:    make([]uint64, cfg.Store.NumShards()),
 		acked:      make([]uint64, cfg.Store.NumShards()),
+		lastEpoch:  make([]uint64, cfg.Store.NumShards()),
+		pending:    make([][]Record, cfg.Store.NumShards()),
+		nextIdx:    make([]uint64, cfg.Store.NumShards()),
 		done:       make(chan struct{}),
 	}
 	resumed := false
 	if cfg.ResumePath != "" {
-		if offs := loadOffsets(cfg.ResumePath, cfg.Store.NumShards()); offs != nil {
+		if offs, epochs := loadOffsets(cfg.ResumePath, cfg.Store.NumShards()); offs != nil {
 			copy(r.applied, offs)
+			copy(r.lastEpoch, epochs)
 			resumed = true
 		}
 	}
@@ -144,11 +177,15 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		for i := range r.applied {
 			r.applied[i] = 0
 			r.acked[i] = 0
+			r.lastEpoch[i] = 0
 		}
 		br, pre, err = r.connect(cfg.Primary, true)
 	}
 	if err != nil {
 		return nil, err
+	}
+	for i := range r.nextIdx {
+		r.nextIdx[i] = r.applied[i] + 1
 	}
 	if resumed && r.met != nil {
 		r.met.Resumes.Add(int64(cfg.Store.NumShards()))
@@ -187,27 +224,38 @@ type refusedError struct{ line string }
 
 func (e *refusedError) Error() string { return "repl: primary refused subscription: " + e.line }
 
-// loadOffsets reads persisted per-shard primary indices; nil means no
-// usable file (absent, malformed, or written for another shard count —
-// all treated as "no resume", never as an error).
-func loadOffsets(path string, shards int) []uint64 {
+// loadOffsets reads persisted per-shard primary indices and commit-epoch
+// watermarks ("v2 <idx>@<epoch> ..."); nil means no usable file (absent,
+// malformed, v1, or written for another shard count — all treated as "no
+// resume", never as an error). The epochs let a resumed replica release
+// the apply barrier for a cross-shard commit whose part on some shard
+// was already applied before the restart: that shard resubscribes past
+// the record, so its part never arrives again, and only the watermark
+// proves it was installed.
+func loadOffsets(path string, shards int) ([]uint64, []uint64) {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	fields := strings.Fields(string(b))
-	if len(fields) != shards+1 || fields[0] != "v1" {
-		return nil
+	if len(fields) != shards+1 || fields[0] != "v2" {
+		return nil, nil
 	}
-	out := make([]uint64, shards)
+	idxs := make([]uint64, shards)
+	epochs := make([]uint64, shards)
 	for i, f := range fields[1:] {
-		n, err := strconv.ParseUint(f, 10, 64)
-		if err != nil {
-			return nil
+		is, es, ok := strings.Cut(f, "@")
+		if !ok {
+			return nil, nil
 		}
-		out[i] = n
+		if idxs[i], err = strconv.ParseUint(is, 10, 64); err != nil {
+			return nil, nil
+		}
+		if epochs[i], err = strconv.ParseUint(es, 10, 64); err != nil {
+			return nil, nil
+		}
 	}
-	return out
+	return idxs, epochs
 }
 
 // saveOffsets persists the primary's applied indices with an atomic
@@ -219,10 +267,10 @@ func (r *Replica) saveOffsets() {
 		return
 	}
 	var b strings.Builder
-	b.WriteString("v1")
+	b.WriteString("v2")
 	r.mu.Lock()
-	for _, idx := range r.applied {
-		fmt.Fprintf(&b, " %d", idx)
+	for i, idx := range r.applied {
+		fmt.Fprintf(&b, " %d@%d", idx, r.lastEpoch[i])
 	}
 	r.mu.Unlock()
 	b.WriteByte('\n')
@@ -324,11 +372,14 @@ func (r *Replica) handshake(br *bufio.Reader, snapshot bool) (map[int][]Record, 
 
 // bootstrap fetches and installs every shard's SNAP snapshot. Replies
 // are strictly ordered (nothing is subscribed yet, so no pushes
-// interleave): per shard, an "OK <shard> <index> <n>" header, then the
-// n pairs across SNAPKV lines. The snapshot is installed through the
-// same ApplyReplicated path as streamed records — one batch, native
-// commit visibility, and (on a durable or chaining replica) one record
-// in the local commit log.
+// interleave): per shard, an "OK <shard> <index> <epoch> <n>" header,
+// then the n pairs across SNAPKV lines. The header's epoch is the
+// shard's commit-epoch watermark at the snapshot cut: every commit with
+// epoch <= it (cross-shard ones included) is folded into the snapshot,
+// which seeds the apply barrier's resumed-epoch escape. The snapshot is
+// installed through the same ApplyReplicated path as streamed records —
+// one batch, native commit visibility, and (on a durable or chaining
+// replica) one record in the local commit log.
 func (r *Replica) bootstrap(br *bufio.Reader, shards int) error {
 	for i := 0; i < shards; i++ {
 		if _, err := fmt.Fprintf(r.w, "SNAP %d\n", i); err != nil {
@@ -344,12 +395,13 @@ func (r *Replica) bootstrap(br *bufio.Reader, shards int) error {
 			return fmt.Errorf("repl: snapshot: %w", err)
 		}
 		fields := strings.Fields(strings.TrimSpace(raw))
-		if len(fields) != 4 || fields[0] != "OK" {
+		if len(fields) != 5 || fields[0] != "OK" {
 			return fmt.Errorf("repl: primary refused snapshot: %s", strings.TrimSpace(raw))
 		}
 		head, err1 := strconv.ParseUint(fields[2], 10, 64)
-		n, err2 := strconv.Atoi(fields[3])
-		if fields[1] != strconv.Itoa(i) || err1 != nil || err2 != nil || n < 0 {
+		epoch, err3 := strconv.ParseUint(fields[3], 10, 64)
+		n, err2 := strconv.Atoi(fields[4])
+		if fields[1] != strconv.Itoa(i) || err1 != nil || err2 != nil || err3 != nil || n < 0 {
 			return fmt.Errorf("repl: malformed snapshot header %q", strings.TrimSpace(raw))
 		}
 		writes := make(map[string][]byte, n)
@@ -378,6 +430,7 @@ func (r *Replica) bootstrap(br *bufio.Reader, shards int) error {
 		}
 		r.mu.Lock()
 		r.applied[i] = head
+		r.lastEpoch[i] = epoch
 		r.mu.Unlock()
 		if r.met != nil {
 			r.met.Snapshots.Inc()
@@ -518,47 +571,55 @@ func (r *Replica) consume(line string, batch map[int][]Record) error {
 	}
 }
 
-// apply installs the gathered records in index order per shard under one
-// latch hold each, then acknowledges the new positions to the primary.
+// apply moves the gathered records into the per-shard pending queues
+// (verifying index contiguity), then drains every queue as far as the
+// apply barrier allows: standalone prefixes install in one latch hold
+// per shard, and a cross-shard record at a queue head installs — all
+// parts under one multi-latch hold — only once every participant's part
+// is also at its head or already applied (resumed epoch watermark).
+// Parts of a cross commit whose partners haven't streamed in yet stay
+// queued, un-acked and invisible, until they have. New positions are
+// acknowledged after the drain.
 func (r *Replica) apply(batch map[int][]Record) error {
-	appliedAny := false
 	for shardIdx, recs := range batch {
-		if len(recs) == 0 {
+		for _, rec := range recs {
+			if rec.Index != r.nextIdx[shardIdx] {
+				return fmt.Errorf("repl: shard %d log gap: got index %d, want %d",
+					shardIdx, rec.Index, r.nextIdx[shardIdx])
+			}
+			r.pending[shardIdx] = append(r.pending[shardIdx], rec)
+			r.nextIdx[shardIdx]++
+		}
+		delete(batch, shardIdx)
+	}
+	appliedAny := false
+	before := r.Applied()
+	for {
+		progressed := false
+		for shardIdx := range r.pending {
+			n, err := r.drainShard(shardIdx)
+			if err != nil {
+				return err
+			}
+			if n {
+				progressed, appliedAny = true, true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	after := r.Applied()
+	for shardIdx := range after {
+		if after[shardIdx] == before[shardIdx] {
 			continue
 		}
-		appliedAny = true
-		writes := make([]map[string][]byte, len(recs))
-		next := r.appliedIdx(shardIdx) + 1
-		for i, rec := range recs {
-			if rec.Index != next {
-				return fmt.Errorf("repl: shard %d log gap: got index %d, want %d", shardIdx, rec.Index, next)
-			}
-			writes[i] = rec.Writes
-			next++
-		}
-		t0 := time.Now()
-		if err := r.store.ApplyReplicated(shardIdx, writes); err != nil {
-			return err
-		}
-		took := time.Since(t0)
-		if r.met != nil {
-			r.met.ApplySeconds.Observe(int64(took))
-			r.met.ApplyBatch.Observe(int64(len(recs)))
-		}
-		last := recs[len(recs)-1].Index
-		r.mu.Lock()
-		r.applied[shardIdx] = last
-		r.mu.Unlock()
-		if r.gate != nil {
-			r.gate.ObserveApplied(shardIdx, last, took, len(recs))
-		}
-		if _, err := fmt.Fprintf(r.w, "ACK %d %d\n", shardIdx, last); err != nil {
+		if _, err := fmt.Fprintf(r.w, "ACK %d %d\n", shardIdx, after[shardIdx]); err != nil {
 			return fmt.Errorf("repl: ack: %w", err)
 		}
 		r.mu.Lock()
-		r.acked[shardIdx] = last
+		r.acked[shardIdx] = after[shardIdx]
 		r.mu.Unlock()
-		delete(batch, shardIdx)
 	}
 	// One offsets write per apply round, after the batch's local commit-
 	// log sync inside ApplyReplicated: the file can trail durable state
@@ -567,6 +628,130 @@ func (r *Replica) apply(batch map[int][]Record) error {
 		r.saveOffsets()
 	}
 	return r.w.Flush()
+}
+
+// drainShard makes one pass over shardIdx's pending queue: install the
+// standalone prefix, then at most one barrier-released cross commit.
+// Reports whether anything was applied.
+func (r *Replica) drainShard(shardIdx int) (bool, error) {
+	q := r.pending[shardIdx]
+	n := 0
+	for n < len(q) && !q[n].Cross() {
+		n++
+	}
+	applied := false
+	if n > 0 {
+		writes := make([]map[string][]byte, n)
+		for i, rec := range q[:n] {
+			writes[i] = rec.Writes
+		}
+		if err := r.install(func() error {
+			return r.store.ApplyReplicated(shardIdx, writes)
+		}, n, []int{shardIdx}, []Record{q[n-1]}); err != nil {
+			return false, err
+		}
+		q = q[n:]
+		r.pending[shardIdx] = q
+		applied = true
+	}
+	if len(q) == 0 || !r.barrierOpen(q[0]) {
+		return applied, nil
+	}
+	// Every participant's part is in position: gather them (skipping
+	// shards whose resumed watermark proves the part is already in) and
+	// install the commit all-shards-at-once.
+	head := q[0]
+	parts := make(map[int]map[string][]byte, len(head.Shards))
+	members := make([]int, 0, len(head.Shards))
+	heads := make([]Record, 0, len(head.Shards))
+	for _, p := range head.Shards {
+		if r.epochOf(p) >= head.Epoch {
+			continue
+		}
+		parts[p] = r.pending[p][0].Writes
+		members = append(members, p)
+		heads = append(heads, r.pending[p][0])
+	}
+	install := func() error { return r.store.ApplyReplicatedCross(parts) }
+	if len(parts) == 1 {
+		// Every other participant already holds its part (resumed past
+		// it); what's left is an ordinary single-shard install.
+		install = func() error {
+			return r.store.ApplyReplicated(members[0], []map[string][]byte{parts[members[0]]})
+		}
+	}
+	if err := r.install(install, len(members), members, heads); err != nil {
+		return false, err
+	}
+	for _, p := range members {
+		r.pending[p] = r.pending[p][1:]
+	}
+	return true, nil
+}
+
+// barrierOpen reports whether a cross-shard record at a queue head may
+// install: every participant's part of the same epoch must be at its own
+// queue head, or that shard's watermark must already cover the epoch
+// (its part was applied before a resume). No deadlock hides here:
+// per-shard log order matches per-shard epoch order, so a participant
+// whose head is a different, older cross epoch can always make progress
+// first — this shard's part of that older epoch is necessarily already
+// applied.
+func (r *Replica) barrierOpen(head Record) bool {
+	for _, p := range head.Shards {
+		if p < 0 || p >= len(r.pending) {
+			return false
+		}
+		if r.epochOf(p) >= head.Epoch {
+			continue
+		}
+		if len(r.pending[p]) > 0 && r.pending[p][0].Epoch == head.Epoch {
+			continue
+		}
+		return false
+	}
+	return true
+}
+
+// install runs one store install (with the chaos apply-delay stall),
+// observes its metrics, and advances applied/epoch bookkeeping for every
+// shard whose record it covered.
+func (r *Replica) install(fn func() error, nrecs int, shards []int, last []Record) error {
+	if faultApplyDelay > 0 {
+		time.Sleep(faultApplyDelay)
+	}
+	t0 := time.Now()
+	if err := fn(); err != nil {
+		return err
+	}
+	took := time.Since(t0)
+	if r.met != nil {
+		r.met.ApplySeconds.Observe(int64(took))
+		r.met.ApplyBatch.Observe(int64(nrecs))
+	}
+	perShard := nrecs
+	if len(shards) > 1 {
+		perShard = 1 // a cross install lands one record on each shard
+	}
+	for i, shardIdx := range shards {
+		rec := last[i]
+		r.mu.Lock()
+		r.applied[shardIdx] = rec.Index
+		if rec.Epoch > r.lastEpoch[shardIdx] {
+			r.lastEpoch[shardIdx] = rec.Epoch
+		}
+		r.mu.Unlock()
+		if r.gate != nil {
+			r.gate.ObserveApplied(shardIdx, rec.Index, took, perShard)
+		}
+	}
+	return nil
+}
+
+func (r *Replica) epochOf(shard int) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastEpoch[shard]
 }
 
 func (r *Replica) appliedIdx(shard int) uint64 {

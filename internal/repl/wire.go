@@ -1,13 +1,16 @@
 // Wire encoding of replication records. A commit record travels as one
 // pushed line on a subscribed connection:
 //
-//	LOG <shard> <index> <key>:<value> ...
+//	LOG <shard> <index> <epoch>[@<s0>,<s1>,...] <key>:<value> ...
 //
-// Keys never contain ':' (a protocol invariant of the serving layer), so
-// the first ':' of each pair is the separator. Values must be space- and
-// newline-free tokens; every value the serving layer writes is an ASCII
-// decimal integer, which qualifies. See docs/PROTOCOL.md for the
-// normative rules.
+// The third field is the record's commit epoch; a cross-shard commit
+// additionally carries its participant shard set after '@' (ascending,
+// comma-separated), which the replica's apply barrier matches by epoch
+// across shards. Keys never contain ':' (a protocol invariant of the
+// serving layer), so the first ':' of each pair is the separator. Values
+// must be space- and newline-free tokens; every value the serving layer
+// writes is an ASCII decimal integer, which qualifies. See
+// docs/PROTOCOL.md for the normative rules.
 
 package repl
 
@@ -27,7 +30,15 @@ func EncodeLog(shard int, r Record) string {
 	}
 	sort.Strings(keys)
 	var b strings.Builder
-	fmt.Fprintf(&b, "LOG %d %d", shard, r.Index)
+	fmt.Fprintf(&b, "LOG %d %d %d", shard, r.Index, r.Epoch)
+	for i, s := range r.Shards {
+		if i == 0 {
+			b.WriteByte('@')
+		} else {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(s))
+	}
 	for _, k := range keys {
 		b.WriteByte(' ')
 		b.WriteString(k)
@@ -40,7 +51,7 @@ func EncodeLog(shard int, r Record) string {
 // ParseLog decodes the fields of a LOG line after the verb. It is the
 // inverse of EncodeLog.
 func ParseLog(fields []string) (shard int, r Record, err error) {
-	if len(fields) < 3 {
+	if len(fields) < 4 {
 		return 0, Record{}, fmt.Errorf("repl: short LOG line (%d fields)", len(fields))
 	}
 	shard, err = strconv.Atoi(fields[0])
@@ -51,8 +62,12 @@ func ParseLog(fields []string) (shard int, r Record, err error) {
 	if err != nil || r.Index == 0 {
 		return 0, Record{}, fmt.Errorf("repl: bad LOG index %q", fields[1])
 	}
-	r.Writes = make(map[string][]byte, len(fields)-2)
-	for _, pair := range fields[2:] {
+	r.Epoch, r.Shards, err = parseEpochSpec(fields[2])
+	if err != nil {
+		return 0, Record{}, err
+	}
+	r.Writes = make(map[string][]byte, len(fields)-3)
+	for _, pair := range fields[3:] {
 		k, v, err := ParsePair(pair)
 		if err != nil {
 			return 0, Record{}, fmt.Errorf("repl: bad LOG pair %q", pair)
@@ -60,6 +75,35 @@ func ParseLog(fields []string) (shard int, r Record, err error) {
 		r.Writes[k] = v
 	}
 	return shard, r, nil
+}
+
+// parseEpochSpec decodes the LOG line's epoch token:
+// "<epoch>" (standalone) or "<epoch>@<s0>,<s1>,..." (cross-shard, with
+// the full ascending participant set).
+func parseEpochSpec(tok string) (uint64, []int, error) {
+	spec, rest, cross := strings.Cut(tok, "@")
+	epoch, err := strconv.ParseUint(spec, 10, 64)
+	if err != nil {
+		return 0, nil, fmt.Errorf("repl: bad LOG epoch %q", tok)
+	}
+	if !cross {
+		return epoch, nil, nil
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) < 2 || epoch == 0 {
+		return 0, nil, fmt.Errorf("repl: bad LOG epoch spec %q", tok)
+	}
+	shards := make([]int, len(parts))
+	prev := -1
+	for i, p := range parts {
+		s, err := strconv.Atoi(p)
+		if err != nil || s < 0 || s <= prev {
+			return 0, nil, fmt.Errorf("repl: bad LOG epoch spec %q", tok)
+		}
+		shards[i] = s
+		prev = s
+	}
+	return epoch, shards, nil
 }
 
 // ParsePair decodes one <key>:<value> token — the encoding LOG records

@@ -313,11 +313,12 @@ func TestSnapVerbErrors(t *testing.T) {
 			t.Errorf("%q -> %q, want prefix %q", in, got, wantPrefix)
 		}
 	}
-	// SNAP of an empty shard: a bare header, zero pairs, no SNAPKV lines
-	// (the next reply arrives immediately after).
+	// SNAP of an empty shard: a bare header (shard, head index, commit
+	// epoch, pair count), zero pairs, no SNAPKV lines (the next reply
+	// arrives immediately after).
 	rc.send("SNAP 0")
-	if got := rc.recv(); got != "OK 0 0 0" {
-		t.Errorf("SNAP of empty shard = %q, want OK 0 0 0", got)
+	if got := rc.recv(); got != "OK 0 0 0 0" {
+		t.Errorf("SNAP of empty shard = %q, want OK 0 0 0 0", got)
 	}
 	rc.send("PING")
 	if got := rc.recv(); got != "OK pong" {

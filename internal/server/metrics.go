@@ -92,7 +92,7 @@ func newServerMetrics() *serverMetrics {
 	for _, r := range []string{
 		obs.LossExecution, obs.LossSession, obs.LossAdmissionShed,
 		obs.LossCrossShed, obs.LossConflictAbort, obs.LossClientAbort,
-		obs.LossReap, obs.LossError, obs.LossReplicaLag,
+		obs.LossReap, obs.LossError, obs.LossReplicaLag, obs.LossWALError,
 	} {
 		m.lostByReason[r] = m.lost.With(r)
 	}
@@ -219,6 +219,10 @@ func (s *Server) registerDerived() {
 			func() float64 { return float64(s.durable.Stats().RecoveredIndex) })
 		reg.CounterFunc("scc_durable_errors_total", "Durability-layer errors (WAL or checkpoint failures).",
 			func() float64 { return float64(s.durable.Stats().Errors) })
+		reg.CounterFunc("scc_wal_intents_total", "Cross-shard intent records appended to the per-shard WALs.",
+			func() float64 { return float64(s.durable.Stats().Intents) })
+		reg.CounterFunc("scc_recovery_reconciled_total", "Undecided cross-shard epochs discarded by recovery reconciliation at the last boot.",
+			func() float64 { return float64(s.durable.Stats().Reconciled) })
 	}
 }
 

@@ -152,13 +152,20 @@ func Open(cfg Config) (*Server, error) {
 		cfg.Shards = shard.DefaultShards
 	}
 	met := newServerMetrics()
+	// One global commit-epoch counter spans the store, the replication
+	// feed, and durable recovery: every commit-log record everywhere is
+	// stamped from it, so a cross-shard commit's records carry one epoch
+	// on every shard they touch — the identity replicas and recovery use
+	// to treat them as an atomic set.
+	epochs := &engine.Epochs{}
 	store := shard.Open(shard.Config{
 		Shards: cfg.Shards,
+		Epochs: epochs,
 		Engine: engine.Config{Mode: cfg.Mode, GroupCommit: cfg.GroupCommit, Metrics: met.engineMetrics()},
 	})
 	var feed *repl.Feed
 	if cfg.Repl.Primary {
-		feed = repl.NewFeed(cfg.Shards)
+		feed = repl.NewFeed(cfg.Shards, epochs)
 		if cfg.Repl.Retain > 0 {
 			feed.SetRetention(cfg.Repl.Retain)
 		}
@@ -567,6 +574,12 @@ func (s *Server) handleSnap(args []string, sub **repl.Sub, out chan<- string) {
 	var pairs []string
 	eng.LockCommit()
 	head := log.Head()
+	// The epoch watermark is read under the same latch as the head, so
+	// the pair is one consistent cut: every commit with epoch <= it —
+	// cross-shard commits included — is folded into the snapshot, and the
+	// joiner's apply barrier can treat the watermark as proof when the
+	// stream later delivers only the other participants' parts.
+	epoch := log.LastEpoch()
 	// Pin the shard's trim floor at the snapshot index before the latch
 	// drops: the joiner is about to REPL from head+1, and without a
 	// tracked subscription a background checkpoint could trim past head
@@ -588,7 +601,7 @@ func (s *Server) handleSnap(args []string, sub **repl.Sub, out chan<- string) {
 	// cannot pass through SNAP either. (A broken WAL makes this a no-op;
 	// the server is about to fail-stop anyway.)
 	eng.SyncCommitLog()
-	out <- fmt.Sprintf("OK %d %d %d", shardIdx, head, len(pairs))
+	out <- fmt.Sprintf("OK %d %d %d %d", shardIdx, head, epoch, len(pairs))
 	for len(pairs) > 0 {
 		n := min(snapBatch, len(pairs))
 		out <- fmt.Sprintf("SNAPKV %d %s", shardIdx, strings.Join(pairs[:n], " "))
@@ -848,7 +861,13 @@ func (s *Server) handleTXN(args []string) string {
 	if len(rest) == 0 {
 		return "ERR usage: TXN " + sub + " <id> ..."
 	}
-	id, err := strconv.ParseUint(rest[0], 10, 64)
+	// The wire id is "<id>-<token>": the numeric table key plus the
+	// capability token BEGIN minted. The split tolerates a missing token
+	// so the reaped-tombstone check still answers SHED by numeric prefix,
+	// but a live session only resolves when the token matches — and a
+	// mismatch is indistinguishable from a session that never existed.
+	numStr, token, _ := strings.Cut(rest[0], "-")
+	id, err := strconv.ParseUint(numStr, 10, 64)
 	if err != nil {
 		return "ERR bad txn id " + rest[0]
 	}
@@ -859,7 +878,7 @@ func (s *Server) handleTXN(args []string) string {
 		// admission queue's verdict for worthless work.
 		return "SHED"
 	}
-	if ss == nil {
+	if ss == nil || ss.token != token {
 		return "ERR no such txn " + rest[0]
 	}
 	switch sub {
@@ -985,13 +1004,19 @@ func clampValue(v float64) float64 {
 }
 
 // lossReason maps a failed execution's error to the lost-value reason:
-// exhausted conflict-retry budgets are conflict losses, anything else
-// (bad keys, closed store) is an error loss.
+// exhausted conflict-retry budgets are conflict losses, a failed WAL
+// sync (the verdict converted to ERR because the batch never became
+// durable) is a wal_error loss, anything else (bad keys, closed store)
+// is an error loss.
 func lossReason(err error) string {
 	var ea *engine.AttemptsError
 	var sa *shard.AttemptsError
 	if errors.As(err, &ea) || errors.As(err, &sa) {
 		return obs.LossConflictAbort
+	}
+	var se *engine.SyncError
+	if errors.As(err, &se) {
+		return obs.LossWALError
 	}
 	return obs.LossError
 }
@@ -1135,8 +1160,9 @@ func (s *Server) statsLine() string {
 	}
 	if s.durable != nil {
 		d := s.durable.Stats()
-		line += fmt.Sprintf(" wal_appends=%d wal_fsyncs=%d ckpt_count=%d recovered_index=%d dur_errors=%d",
-			d.WALAppends, d.WALFsyncs, d.Checkpoints, d.RecoveredIndex, d.Errors)
+		line += fmt.Sprintf(" wal_appends=%d wal_fsyncs=%d ckpt_count=%d recovered_index=%d dur_errors=%d dur_intents=%d dur_reconciled=%d",
+			d.WALAppends, d.WALFsyncs, d.Checkpoints, d.RecoveredIndex, d.Errors,
+			d.Intents, d.Reconciled)
 	}
 	return line
 }

@@ -35,6 +35,8 @@
 package server
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"strconv"
 	"strings"
@@ -93,11 +95,17 @@ const (
 
 // session is one interactive transaction.
 type session struct {
-	id  uint64
-	srv *Server
-	f   value.Fn   // Def. 2 value function fixed at BEGIN
-	val float64    // f at BEGIN: the engine-facing transaction value
-	tr  *obs.Trace // lifecycle trace (nil unless BEGIN carried trace=1)
+	id uint64
+	// token is the session's capability: a random value minted at BEGIN
+	// and returned as part of the wire id ("<id>-<token>"). Every later
+	// verb must present it — a numeric id alone (guessed, or left over
+	// from another client's session) does not resolve, so one connection
+	// cannot drive another's transaction by enumerating ids.
+	token string
+	srv   *Server
+	f     value.Fn   // Def. 2 value function fixed at BEGIN
+	val   float64    // f at BEGIN: the engine-facing transaction value
+	tr    *obs.Trace // lifecycle trace (nil unless BEGIN carried trace=1)
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -166,6 +174,7 @@ func (st *sessionTable) add(f value.Fn, val float64, tr *obs.Trace) *session {
 		lastOp:  time.Now(),
 	}
 	ss.cond = sync.NewCond(&ss.mu)
+	ss.token = newSessionToken()
 	st.mu.Lock()
 	st.nextID++
 	ss.id = st.nextID
@@ -461,7 +470,24 @@ func (s *Server) txnBegin(o opts.T) string {
 	tr.Event(obs.StageAdmit)
 	ss := s.sessions.add(f, f.At(s.adm.now()), tr)
 	s.txnBegun.Add(1)
-	return "OK " + strconv.FormatUint(ss.id, 10)
+	return "OK " + ss.wireID()
+}
+
+// wireID renders the session's composite wire id: the numeric table key
+// joined to the capability token. Space-free, so it rides the BEGIN
+// reply's single-token body; '-' never appears in the numeric part, so
+// the split-off is unambiguous.
+func (ss *session) wireID() string {
+	return strconv.FormatUint(ss.id, 10) + "-" + ss.token
+}
+
+// newSessionToken mints a session capability: 8 bytes from crypto/rand,
+// hex-encoded. Unguessable is the point; 64 bits is plenty for ids that
+// live seconds and die with the session table.
+func newSessionToken() string {
+	b := make([]byte, 8)
+	rand.Read(b)
+	return hex.EncodeToString(b)
 }
 
 // txnOp appends one R/W operation to the session and answers with its

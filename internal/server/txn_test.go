@@ -23,6 +23,22 @@ import (
 	"repro/internal/server/client"
 )
 
+// validWireTxnID reports whether id is a well-formed TXN wire id with
+// the expected numeric sequence: "<seq>-" followed by 16 lowercase hex
+// digits of capability token.
+func validWireTxnID(id string, wantSeq int) bool {
+	num, token, ok := strings.Cut(id, "-")
+	if !ok || num != fmt.Sprint(wantSeq) || len(token) != 16 {
+		return false
+	}
+	for _, c := range token {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
 // TestTxnProtocolConformance drives the TXN state machine over a raw
 // connection: happy paths (including two interleaved sessions on one
 // connection), the whole error surface, and the post-finish rules (ops
@@ -38,75 +54,97 @@ func TestTxnProtocolConformance(t *testing.T) {
 			t.Errorf("%-40q -> %q, want %q", in, got, want)
 		}
 	}
+	// begin starts a session and returns its wire id, checking that the
+	// id is "<seq>-<token>": the numeric table key (sequential from 1 on
+	// a fresh server) plus a 16-hex-digit capability token.
+	begin := func(args string, wantSeq int) string {
+		t.Helper()
+		line := "TXN BEGIN"
+		if args != "" {
+			line += " " + args
+		}
+		rc.send(line)
+		got := rc.recv()
+		id, ok := strings.CutPrefix(got, "OK ")
+		if !ok || !validWireTxnID(id, wantSeq) {
+			t.Fatalf("%q -> %q, want OK %d-<16 hex>", line, got, wantSeq)
+		}
+		return id
+	}
 
-	// Two sessions interleaved on one connection. Session ids are
-	// allocated sequentially from 1 on a fresh server.
-	exact("TXN BEGIN", "OK 1")
-	exact("TXN BEGIN v=2 dl=50", "OK 2")
-	exact("TXN R 1 a", "OK 0") // missing key reads 0
-	exact("TXN W 1 a 5", "OK 5")
-	exact("TXN W 2 b =7", "OK 7") // blind write
-	exact("TXN R 2 b", "OK 7")    // read-your-writes
-	exact("GET a", "NIL")         // uncommitted writes are invisible
+	// Two sessions interleaved on one connection.
+	id1 := begin("", 1)
+	id2 := begin("v=2 dl=50", 2)
+	exact("TXN R "+id1+" a", "OK 0") // missing key reads 0
+	exact("TXN W "+id1+" a 5", "OK 5")
+	exact("TXN W "+id2+" b =7", "OK 7") // blind write
+	exact("TXN R "+id2+" b", "OK 7")    // read-your-writes
+	exact("GET a", "NIL")               // uncommitted writes are invisible
 	exact("GET b", "NIL")
-	exact("TXN R 2 a", "OK 0") // isolation: 1's uncommitted write invisible to 2
-	exact("TXN COMMIT 1", "OK 5")
+	exact("TXN R "+id2+" a", "OK 0") // isolation: 1's uncommitted write invisible to 2
+	exact("TXN COMMIT "+id1, "OK 5")
 	exact("GET a", "OK 5")
-	exact("TXN COMMIT 2", "OK 7")
+	exact("TXN COMMIT "+id2, "OK 7")
 	exact("GET b", "OK 7")
 
 	// Finished sessions are gone; their ids draw no-such-txn.
-	exact("TXN COMMIT 1", "ERR no such txn 1")
-	exact("TXN R 2 a", "ERR no such txn 2")
+	exact("TXN COMMIT "+id1, "ERR no such txn "+id1)
+	exact("TXN R "+id2+" a", "ERR no such txn "+id2)
 
 	// ABORT discards everything.
-	exact("TXN BEGIN", "OK 3")
-	exact("TXN W 3 gone 9", "OK 9")
-	exact("TXN ABORT 3", "OK")
+	id3 := begin("", 3)
+	exact("TXN W "+id3+" gone 9", "OK 9")
+	exact("TXN ABORT "+id3, "OK")
 	exact("GET gone", "NIL")
-	exact("TXN W 3 gone 9", "ERR no such txn 3")
+	exact("TXN W "+id3+" gone 9", "ERR no such txn "+id3)
 
 	// An empty transaction commits trivially.
-	exact("TXN BEGIN", "OK 4")
-	exact("TXN COMMIT 4", "OK")
+	id4 := begin("", 4)
+	exact("TXN COMMIT "+id4, "OK")
 
 	// TXN works identically under REQ framing (single-line replies).
 	rc.send("REQ q1 TXN BEGIN")
-	if got := rc.recv(); got != "RES q1 OK 5" {
-		t.Errorf("REQ-framed BEGIN -> %q", got)
+	got := rc.recv()
+	id5, ok := strings.CutPrefix(got, "RES q1 OK ")
+	if !ok || !validWireTxnID(id5, 5) {
+		t.Fatalf("REQ-framed BEGIN -> %q", got)
 	}
-	rc.send("REQ q2 TXN COMMIT 5")
+	rc.send("REQ q2 TXN COMMIT " + id5)
 	if got := rc.recv(); got != "RES q2 OK" {
 		t.Errorf("REQ-framed COMMIT -> %q", got)
 	}
 
-	// Error surface. Session 6 exists for the argument checks.
-	exact("TXN BEGIN", "OK 6")
+	// Error surface. Session 6 exists for the argument checks; probes
+	// that reach past the session lookup must present its full wire id
+	// (the bare numeric prefix is no longer a credential).
+	id6 := begin("", 6)
 	for in, want := range map[string]string{
-		"TXN":                 "ERR usage: TXN BEGIN|R|W|COMMIT|ABORT ...",
-		"TXN R":               "ERR usage: TXN R <id> ...",
-		"TXN R abc k":         "ERR bad txn id abc",
-		"TXN R 99 k":          "ERR no such txn 99",
-		"TXN R 6":             "ERR usage: TXN R <id> <key>",
-		"TXN R 6 a:b":         "ERR bad key a:b",
-		"TXN W 6 k":           "ERR usage: TXN W <id> <key> <delta|=val>",
-		"TXN W 6 k 1.5":       "ERR bad delta 1.5",
-		"TXN W 6 k =":         "ERR bad delta =",
-		"TXN W 6 a:b 1":       "ERR bad key a:b",
-		"TXN COMMIT 6 extra":  "ERR usage: TXN COMMIT <id>",
-		"TXN ABORT 6 extra":   "ERR usage: TXN ABORT <id>",
-		"TXN NOSUCH 6":        "ERR unknown TXN subverb NOSUCH",
-		"TXN BEGIN v=NaN":     "ERR bad v=",
-		"TXN BEGIN dl=1e309":  "ERR bad dl=",
-		"TXN BEGIN grad=-Inf": "ERR bad grad=",
-		"TXN BEGIN hello":     "ERR bad token hello",
+		"TXN":                          "ERR usage: TXN BEGIN|R|W|COMMIT|ABORT ...",
+		"TXN R":                        "ERR usage: TXN R <id> ...",
+		"TXN R abc k":                  "ERR bad txn id abc",
+		"TXN R 99 k":                   "ERR no such txn 99",
+		"TXN R 6 k":                    "ERR no such txn 6", // live id without its token
+		"TXN R 6-deadbeefdeadbeef k":   "ERR no such txn 6-deadbeefdeadbeef",
+		"TXN R " + id6:                 "ERR usage: TXN R <id> <key>",
+		"TXN R " + id6 + " a:b":        "ERR bad key a:b",
+		"TXN W " + id6 + " k":          "ERR usage: TXN W <id> <key> <delta|=val>",
+		"TXN W " + id6 + " k 1.5":      "ERR bad delta 1.5",
+		"TXN W " + id6 + " k =":        "ERR bad delta =",
+		"TXN W " + id6 + " a:b 1":      "ERR bad key a:b",
+		"TXN COMMIT " + id6 + " extra": "ERR usage: TXN COMMIT <id>",
+		"TXN ABORT " + id6 + " extra":  "ERR usage: TXN ABORT <id>",
+		"TXN NOSUCH " + id6:            "ERR unknown TXN subverb NOSUCH",
+		"TXN BEGIN v=NaN":              "ERR bad v=",
+		"TXN BEGIN dl=1e309":           "ERR bad dl=",
+		"TXN BEGIN grad=-Inf":          "ERR bad grad=",
+		"TXN BEGIN hello":              "ERR bad token hello",
 	} {
 		rc.send(in)
 		if got := rc.recv(); got != want {
 			t.Errorf("%-24q -> %q, want %q", in, got, want)
 		}
 	}
-	exact("TXN ABORT 6", "OK")
+	exact("TXN ABORT "+id6, "OK")
 
 	// The connection survived the whole barrage.
 	exact("PING", "OK pong")
@@ -240,10 +278,12 @@ func TestTxnReap(t *testing.T) {
 
 	// Zero-crossing ~1ms after BEGIN.
 	rc.send("TXN BEGIN v=1e-6 dl=1 grad=1e9")
-	if got := rc.recv(); got != "OK 1" {
+	got := rc.recv()
+	id, ok := strings.CutPrefix(got, "OK ")
+	if !ok || !validWireTxnID(id, 1) {
 		t.Fatalf("BEGIN -> %q", got)
 	}
-	rc.send("TXN W 1 r-x 5")
+	rc.send("TXN W " + id + " r-x 5")
 	if got := rc.recv(); got != "OK 5" {
 		t.Fatalf("W -> %q", got)
 	}
@@ -255,7 +295,9 @@ func TestTxnReap(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	for _, verb := range []string{"TXN R 1 r-x", "TXN W 1 r-x 1", "TXN COMMIT 1", "TXN ABORT 1"} {
+	// SHED is answered by numeric tombstone — even without the token, so
+	// a client that lost the reply still learns its session's fate.
+	for _, verb := range []string{"TXN R " + id + " r-x", "TXN W " + id + " r-x 1", "TXN COMMIT " + id, "TXN ABORT " + id, "TXN COMMIT 1"} {
 		rc.send(verb)
 		if got := rc.recv(); got != "SHED" {
 			t.Errorf("%q on reaped session -> %q, want SHED", verb, got)
@@ -272,10 +314,12 @@ func TestTxnReap(t *testing.T) {
 	}
 	// The reaped session's admission slot was returned: new work admits.
 	rc.send("TXN BEGIN")
-	if got := rc.recv(); got != "OK 2" {
+	got = rc.recv()
+	id2, ok := strings.CutPrefix(got, "OK ")
+	if !ok || !validWireTxnID(id2, 2) {
 		t.Errorf("BEGIN after reap -> %q", got)
 	}
-	rc.send("TXN ABORT 2")
+	rc.send("TXN ABORT " + id2)
 	rc.recv()
 }
 
@@ -288,7 +332,9 @@ func TestTxnIdleReap(t *testing.T) {
 	})
 	rc := dialRaw(t, addr)
 	rc.send("TXN BEGIN") // no deadline: only the idle cap can reap it
-	if got := rc.recv(); got != "OK 1" {
+	got := rc.recv()
+	id, ok := strings.CutPrefix(got, "OK ")
+	if !ok || !validWireTxnID(id, 1) {
 		t.Fatalf("BEGIN -> %q", got)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -298,9 +344,61 @@ func TestTxnIdleReap(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	rc.send("TXN COMMIT 1")
+	rc.send("TXN COMMIT " + id)
 	if got := rc.recv(); got != "SHED" {
 		t.Errorf("COMMIT on idle-reaped session -> %q, want SHED", got)
+	}
+}
+
+// TestTxnSessionTokenAuth: the wire id BEGIN returns carries a random
+// capability token, and it — not the guessable numeric prefix — is the
+// credential. A second connection can operate on the session only by
+// presenting the full id; a forged or missing token is indistinguishable
+// from a session that never existed.
+func TestTxnSessionTokenAuth(t *testing.T) {
+	_, addr := startServer(t, Config{Shards: 2})
+	a := dialRaw(t, addr)
+	b := dialRaw(t, addr)
+
+	a.send("TXN BEGIN")
+	got := a.recv()
+	id, ok := strings.CutPrefix(got, "OK ")
+	if !ok || !validWireTxnID(id, 1) {
+		t.Fatalf("BEGIN -> %q", got)
+	}
+	a.send("TXN W " + id + " ta-k 5")
+	if got := a.recv(); got != "OK 5" {
+		t.Fatalf("W -> %q", got)
+	}
+
+	// Another connection guessing the numeric id — with no token, a
+	// forged token, or a truncated one — is turned away.
+	num, token, _ := strings.Cut(id, "-")
+	for _, forged := range []string{num, num + "-0000000000000000", num + "-" + token[:15]} {
+		b.send("TXN R " + forged + " ta-k")
+		if got := b.recv(); got != "ERR no such txn "+forged {
+			t.Errorf("forged id %q -> %q, want ERR no such txn", forged, got)
+		}
+	}
+	// The uncommitted write stayed invisible and uncommitted.
+	b.send("GET ta-k")
+	if got := b.recv(); got != "NIL" {
+		t.Errorf("GET during forgery attempts -> %q", got)
+	}
+
+	// The full wire id is a capability: a different connection holding it
+	// operates the session (sessions are not connection-bound).
+	b.send("TXN R " + id + " ta-k")
+	if got := b.recv(); got != "OK 5" {
+		t.Errorf("token-bearing cross-connection read -> %q, want OK 5", got)
+	}
+	b.send("TXN COMMIT " + id)
+	if got := b.recv(); got != "OK 5" {
+		t.Errorf("token-bearing cross-connection commit -> %q, want OK 5", got)
+	}
+	a.send("GET ta-k")
+	if got := a.recv(); got != "OK 5" {
+		t.Errorf("GET after commit -> %q", got)
 	}
 }
 

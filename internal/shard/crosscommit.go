@@ -14,21 +14,61 @@
 // effect that replication relies on: all installs into a shard, native or
 // cross-shard, happen under that shard's commit latch, so the shard's
 // commit log (engine.Config.CommitLog) is a single total order.
+//
+// Crash atomicity. A commit whose writes span several shards spans
+// several WALs, so durability is a two-round presumed-abort protocol
+// keyed by a global commit epoch:
+//
+//	under the latches: allocate an epoch, append INTENT(epoch, shards)
+//	    to every participant's log, then the epoch-stamped data records
+//	round 1: fsync every participant — intents and data are durable,
+//	    but the commit is not yet decided
+//	append DECISION(epoch) to the coordinator (lowest participant
+//	    shard) — strictly after round 1, so the decision can never be
+//	    durable before the data it decides
+//	round 2: fsync the coordinator — this is the commit point
+//	release the epoch's records for replication shipping
+//
+// Recovery reconciles: an epoch with intents but no durable decision is
+// discarded on every shard; one with a decision is kept on every shard.
+// Either way the commit is all-or-nothing — a crash between the fsyncs
+// can lose an unacknowledged commit but can never tear one. Verdicts are
+// delivered only after round 2; any failure along the way converts every
+// installed verdict of the batch to an error (the writes are in memory
+// but were never decided durable, so they must not be acknowledged).
 
 package shard
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
 )
+
+// crossVerdict is one request's outcome: ok reports validation, err (only
+// ever set alongside ok for an installing request) reports a durability
+// failure — installed but not durable, which the caller must surface as
+// an error and must not retry.
+type crossVerdict struct {
+	ok  bool
+	err error
+}
 
 // crossReq is one cross-shard validate(+apply) awaiting its verdict.
 type crossReq struct {
 	reads  map[int]map[string]uint64 // read versions, grouped by shard
 	writes map[int]map[string][]byte // writes, grouped by shard (nil = validate only)
 	value  float64                   // transaction value, forwarded to the shards' commit logs
-	done   chan bool
+	done   chan crossVerdict
+}
+
+// crossInstall records one installed multi-shard commit of a batch: the
+// epoch allocated under the latches and its ascending participant set
+// (the shards that received writes — the intent/decision scope).
+type crossInstall struct {
+	epoch uint64
+	parts []int
 }
 
 // crossQueue is the pending work for one involved-shard signature.
@@ -56,13 +96,15 @@ func signature(involved []int) string {
 	return b.String()
 }
 
-// commitCross atomically validates (and, when c carries writes grouped
-// for apply, installs) a cross-shard transaction through the combining
-// queue of its shard set. With apply false it is a pure validation pass —
-// used to decide whether a closure error came from a serializable read
-// cut. Blocks until a combiner (possibly the caller) delivers the verdict.
-func (s *Store) commitCross(involved []int, c *crossTx, apply bool) bool {
-	req := crossReq{reads: s.groupReads(c.reads), value: c.value, done: make(chan bool, 1)}
+// commitCross atomically validates (and, when apply is set, installs) a
+// cross-shard transaction through the combining queue of its shard set.
+// With apply false it is a pure validation pass — used to decide whether
+// a closure error came from a serializable read cut. Blocks until a
+// combiner (possibly the caller) delivers the verdict. A non-nil error
+// means the transaction was installed but could not be made durable; the
+// caller must fail it and must not retry.
+func (s *Store) commitCross(involved []int, c *crossTx, apply bool) (bool, error) {
+	req := crossReq{reads: s.groupReads(c.reads), value: c.value, done: make(chan crossVerdict, 1)}
 	if apply {
 		req.writes = make(map[int]map[string][]byte)
 		for key, val := range c.writes {
@@ -94,7 +136,8 @@ func (s *Store) commitCross(involved []int, c *crossTx, apply bool) bool {
 	if lead {
 		s.combineCross(q)
 	}
-	return <-req.done
+	v := <-req.done
+	return v.ok, v.err
 }
 
 // combineCross serves q's pending batch: latch the shard set once, serve
@@ -122,7 +165,8 @@ func (s *Store) combineCross(q *crossQueue) {
 	}
 	s.crossBatches.Add(1)
 	verdicts := make([]bool, len(batch))
-	installed := false
+	applied := make([]bool, len(batch)) // installed writes (needs the durability boundary)
+	var installs []crossInstall
 	for i, req := range batch {
 		ok := true
 		for idx, reads := range req.reads {
@@ -131,46 +175,59 @@ func (s *Store) combineCross(q *crossQueue) {
 				break
 			}
 		}
-		if ok {
-			for idx, writes := range req.writes {
-				s.shards[idx].ApplyValuedLocked(writes, req.value)
+		if ok && len(req.writes) > 0 {
+			applied[i] = true
+			parts := make([]int, 0, len(req.writes))
+			for idx := range req.writes {
+				parts = append(parts, idx)
 			}
-			installed = installed || len(req.writes) > 0
+			sort.Ints(parts)
+			if len(parts) == 1 {
+				// All writes landed on one shard: an ordinary valued
+				// install — single-WAL, needs no intent/decision dance.
+				s.shards[parts[0]].ApplyValuedLocked(req.writes[parts[0]], req.value)
+			} else {
+				// Intents first, then the epoch-stamped data records, on
+				// every participant, all under the held latches — so each
+				// WAL sees INTENT before its data and no other commit
+				// interleaves.
+				epoch := s.epochs.Next()
+				for _, idx := range parts {
+					s.shards[idx].AppendIntentLocked(epoch, parts)
+				}
+				for _, idx := range parts {
+					s.shards[idx].ApplyCrossLocked(req.writes[idx], req.value, epoch, parts)
+				}
+				installs = append(installs, crossInstall{epoch: epoch, parts: parts})
+			}
 		}
 		verdicts[i] = ok
+	}
+	installed := false
+	for _, a := range applied {
+		installed = installed || a
 	}
 	for _, idx := range q.involved {
 		s.shards[idx].UnlockCommit()
 	}
-	// Durability boundary: every shard the batch wrote is synced before
-	// any verdict is delivered, so a cross-shard ack implies the record
-	// is durable on each involved shard. Shards without a sync hook are
-	// skipped up front — the in-memory path pays nothing — and multiple
-	// syncs target independent WAL files, so they run concurrently: the
-	// batch waits one fsync, not len(involved) of them.
+	// Durability boundary (outside the latches; the logs have their own
+	// ordering): round 1 syncs every involved shard — after it, all the
+	// batch's intents and data are durable; then each multi-shard install's
+	// decision record lands on its coordinator and round 2 syncs it — the
+	// commit point. Only then do verdicts go out and the epochs' records
+	// un-gate for replication shipping. Any failure fails every installed
+	// verdict of the batch: without a durable decision, recovery discards
+	// the writes.
+	var syncErr error
 	if installed {
-		var toSync []int
-		for _, idx := range q.involved {
-			if s.shards[idx].NeedsCommitSync() {
-				toSync = append(toSync, idx)
-			}
-		}
-		if len(toSync) == 1 {
-			s.shards[toSync[0]].SyncCommitLog()
-		} else if len(toSync) > 1 {
-			var syncs sync.WaitGroup
-			for _, idx := range toSync {
-				syncs.Add(1)
-				go func(idx int) {
-					defer syncs.Done()
-					s.shards[idx].SyncCommitLog()
-				}(idx)
-			}
-			syncs.Wait()
-		}
+		syncErr = s.finishCross(q.involved, installs)
 	}
 	for i, req := range batch {
-		req.done <- verdicts[i]
+		v := crossVerdict{ok: verdicts[i]}
+		if applied[i] {
+			v.err = syncErr
+		}
+		req.done <- v
 	}
 
 	s.cross.mu.Lock()
@@ -182,4 +239,77 @@ func (s *Store) combineCross(q *crossQueue) {
 	if more {
 		go s.combineCross(q)
 	}
+}
+
+// finishCross drives the post-latch durability boundary for one batch:
+// round-1 sync of every involved shard, decision records, round-2 sync of
+// the coordinators, then replication release. installs may be empty (the
+// batch only had single-shard valued installs), in which case round 1 is
+// the whole boundary. Returns the first error; on error the un-decided
+// epochs stay gated — the WAL is sticky-broken at that point and the
+// server fail-stops, so the gate never starves a healthy pipeline.
+func (s *Store) finishCross(involved []int, installs []crossInstall) error {
+	if err := s.syncShards(involved); err != nil {
+		return err
+	}
+	if len(installs) == 0 {
+		return nil
+	}
+	coordSet := make(map[int]struct{}, 1)
+	for _, in := range installs {
+		coord := in.parts[0]
+		if err := s.shards[coord].AppendCrossDecision(in.epoch); err != nil {
+			return err
+		}
+		coordSet[coord] = struct{}{}
+	}
+	coords := make([]int, 0, len(coordSet))
+	for idx := range coordSet {
+		coords = append(coords, idx)
+	}
+	sort.Ints(coords)
+	if err := s.syncShards(coords); err != nil {
+		return err
+	}
+	for _, in := range installs {
+		for _, idx := range in.parts {
+			s.shards[idx].ReleaseCross(in.epoch)
+		}
+	}
+	return nil
+}
+
+// syncShards syncs the commit logs of idxs and returns the first error.
+// Shards without a sync hook are skipped up front — the in-memory path
+// pays nothing — and multiple syncs target independent WAL files, so they
+// run concurrently: the caller waits one fsync, not len(idxs) of them.
+func (s *Store) syncShards(idxs []int) error {
+	var toSync []int
+	for _, idx := range idxs {
+		if s.shards[idx].NeedsCommitSync() {
+			toSync = append(toSync, idx)
+		}
+	}
+	switch len(toSync) {
+	case 0:
+		return nil
+	case 1:
+		return s.shards[toSync[0]].SyncCommitLog()
+	}
+	errs := make([]error, len(toSync))
+	var syncs sync.WaitGroup
+	for i, idx := range toSync {
+		syncs.Add(1)
+		go func(i, idx int) {
+			defer syncs.Done()
+			errs[i] = s.shards[idx].SyncCommitLog()
+		}(i, idx)
+	}
+	syncs.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

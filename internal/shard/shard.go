@@ -85,6 +85,11 @@ type Config struct {
 	// cross-shard, is appended under its commit latch, yielding the
 	// per-shard total order replication ships (see internal/repl).
 	CommitLogFor func(shard int) engine.CommitLog
+	// Epochs is the global commit-epoch counter cross-shard commits
+	// allocate from; it must be the same instance the commit-log sinks
+	// stamp standalone records with. Nil gets a private counter (fine
+	// for stores without replication or durability).
+	Epochs *engine.Epochs
 }
 
 // Stats aggregates per-shard engine counters and adds the router's own.
@@ -107,6 +112,7 @@ func (s Stats) TotalCommits() int64 { return s.Engine.Commits + s.CrossCommits }
 // Store is a sharded engine.
 type Store struct {
 	shards      []*engine.Store
+	epochs      *engine.Epochs
 	maxAttempts int
 	closed      atomic.Bool
 	cross       crossFC
@@ -126,8 +132,12 @@ func Open(cfg Config) *Store {
 	if cfg.MaxAttempts == 0 {
 		cfg.MaxAttempts = 100
 	}
+	if cfg.Epochs == nil {
+		cfg.Epochs = &engine.Epochs{}
+	}
 	s := &Store{
 		shards:      make([]*engine.Store, cfg.Shards),
+		epochs:      cfg.Epochs,
 		maxAttempts: cfg.MaxAttempts,
 		cross:       crossFC{queues: make(map[string]*crossQueue)},
 	}
@@ -143,6 +153,11 @@ func Open(cfg Config) *Store {
 
 // NumShards returns the partition count.
 func (s *Store) NumShards() int { return len(s.shards) }
+
+// Epochs returns the store's global commit-epoch counter — the one
+// instance every commit-log sink must stamp from (the durability layer
+// reads it here so recovery can advance it past recovered epochs).
+func (s *Store) Epochs() *engine.Epochs { return s.epochs }
 
 // Shard returns one partition's engine. It exists for the layers that
 // operate per shard — recovery wiring (SetCommitLog after replay),
@@ -372,13 +387,22 @@ func (s *Store) updateCross(value float64, involved []int, gate RetryGate, tr *o
 			// a concurrent commit). Surface the error only if the reads
 			// still validate — i.e. a serializable execution really
 			// produced it; otherwise retry like any validation failure.
-			if len(c.reads) > 0 && !s.commitCross(involved, c, false) {
+			// (A validate-only pass installs nothing, so it cannot fail
+			// durability.)
+			if ok, _ := s.commitCross(involved, c, false); len(c.reads) > 0 && !ok {
 				s.crossRestarts.Add(1)
 				continue
 			}
 			return nil, err
 		}
-		if s.commitCross(involved, c, true) {
+		ok, cerr := s.commitCross(involved, c, true)
+		if cerr != nil {
+			// Installed but never decided durable: the verdict is an
+			// error, and the transaction must not be retried — its writes
+			// are already in memory.
+			return nil, cerr
+		}
+		if ok {
 			s.crossCommits.Add(1)
 			tr.Event(obs.StageInstall)
 			return c.result, nil
@@ -421,11 +445,47 @@ func (s *Store) ApplyReplicated(shard int, records []map[string][]byte) error {
 	sh.UnlockCommit()
 	// One durability sync per applied batch (a no-op without a syncing
 	// commit log): the replica's ACK covering these records follows this
-	// call, so an acked record is a durable one on a durable replica.
+	// call, so an acked record is a durable one on a durable replica — and
+	// a failed sync must therefore fail the apply before any ACK is cut.
 	if len(records) > 0 {
-		sh.SyncCommitLog()
+		return sh.SyncCommitLog()
 	}
 	return nil
+}
+
+// ApplyReplicatedCross installs one replicated cross-shard commit: parts
+// maps each participant shard to its writes, and every part is applied
+// under a single hold of all the participants' latches — the replica-side
+// apply barrier, making the commit visible all-shards-at-once exactly as
+// it committed on the primary. On a durable replica the install runs the
+// same intent/decision protocol as a native cross-shard commit (with a
+// locally allocated epoch), so a replica crash mid-apply also recovers
+// all-or-nothing. Records must arrive in per-shard log order; the caller
+// (internal/repl's replica loop) holds them until every participant's
+// part is next in line.
+func (s *Store) ApplyReplicatedCross(parts map[int]map[string][]byte) error {
+	involved := make([]int, 0, len(parts))
+	for idx := range parts {
+		if idx < 0 || idx >= len(s.shards) {
+			return fmt.Errorf("shard: ApplyReplicatedCross to unknown shard %d of %d", idx, len(s.shards))
+		}
+		involved = append(involved, idx)
+	}
+	sort.Ints(involved)
+	for _, idx := range involved {
+		s.shards[idx].LockCommit()
+	}
+	epoch := s.epochs.Next()
+	for _, idx := range involved {
+		s.shards[idx].AppendIntentLocked(epoch, involved)
+	}
+	for _, idx := range involved {
+		s.shards[idx].ApplyCrossLocked(parts[idx], 0, epoch, involved)
+	}
+	for _, idx := range involved {
+		s.shards[idx].UnlockCommit()
+	}
+	return s.finishCross(involved, []crossInstall{{epoch: epoch, parts: involved}})
 }
 
 // View runs fn as a serializable read-only transaction over the declared

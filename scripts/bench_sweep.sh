@@ -67,6 +67,12 @@ run interactive-two-class \
 run single-shard-group-commit \
     "-shards 16 -gc-window 200us" \
     "-clients 32 -ops 200 -mix single -pipeline 16"
+# Same load as pipelined-low but durable: the delta against it prices
+# the WAL write path, and since PR 7 that includes the cross-shard
+# intent + decision records (2PC round per multi-shard commit).
+run durable-cross-intents \
+    "-shards 16 -gc-window 200us -fsync group -data-dir $SCRATCH/dur-data" \
+    "-clients 32 -ops 200 -mix low -pipeline 16"
 
 {
     printf '{\n  "schema": "scc-bench-sweep/v1",\n  "runs": [\n'
