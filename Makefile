@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-sweep bench-race fuzz e2e e2e-recover e2e-interactive e2e-chaos lint docs clean-data
+.PHONY: check build vet test race bench bench-sweep bench-race fuzz e2e e2e-recover e2e-interactive e2e-chaos scenario-matrix lint docs clean-data
 
 check: build vet race
 
@@ -44,6 +44,17 @@ bench-race:
 
 fuzz:
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime 30s
+	$(GO) test ./internal/server/opts -run '^$$' -fuzz '^FuzzParseToken$$' -fuzztime 30s
+
+# scenario-matrix runs the full workload × value-function grid against
+# live in-process servers (internal/scenario via sccload -matrix): every
+# cell boots its own topology, is audited for conservation + the
+# acked-commit ledger, and the merged scc-scenario/v1 artifact lands in
+# SCENARIO_OUT. Tier-1 tests keep a 2-cell smoke grid; this is the
+# nightly-sized run.
+SCENARIO_OUT ?= SCENARIO.json
+scenario-matrix:
+	$(GO) run ./cmd/sccload -matrix full -matrix-out $(SCENARIO_OUT)
 
 e2e:
 	$(GO) test ./internal/server -race -count=2

@@ -64,6 +64,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 	"repro/internal/server/client"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -257,7 +258,17 @@ func main() {
 	ackedIn := flag.String("acked-in", "", "with -verify-only: audit the counter keys against the acked counts this file recorded — counters below the acked count are lost acked commits (fail); counters above it are commits whose ack the crash swallowed (tolerated)")
 	traceSample := flag.Int("trace-sample", 0, "request a server-side lifecycle trace (trace=1) on every nth transaction and report per-stage p50/p99 offsets (0 = off)")
 	benchOut := flag.String("bench-out", "", "write the run summary as JSON to this file (the BENCH_<n>.json artifact schema)")
+	matrix := flag.String("matrix", "", "run a scenario-matrix preset (smoke | full) instead of a single load: boots one in-process server per cell (ignoring -addr), drives the grid, audits every cell, and emits one scc-scenario/v1 JSON artifact")
+	matrixOut := flag.String("matrix-out", "", "with -matrix: write the scc-scenario/v1 artifact to this file instead of stdout")
+	cellDuration := flag.Duration("cell-duration", 0, "with -matrix: override each cell's load duration (0 = the preset's own)")
 	flag.Parse()
+
+	if *matrix != "" {
+		if err := runMatrix(*matrix, *cellDuration, *matrixOut); err != nil {
+			log.Fatalf("sccload: matrix: %v", err)
+		}
+		return
+	}
 
 	// Every key carries a per-run nonce: counters so each run audits its
 	// own commits, and value keys so each run's conservation sum is
@@ -941,4 +952,45 @@ func verify(addr string, keys int, runID int64, slots int, acked []int64) bool {
 		}
 	}
 	return failed
+}
+
+// runMatrix drives a scenario-matrix preset: internal/scenario boots a
+// fresh in-process server topology per cell, runs the cell's workload ×
+// value-function point against it, audits conservation and the
+// acked-commit ledger, and the merged scc-scenario/v1 artifact lands on
+// stdout or -matrix-out. Cell progress goes to stderr so the artifact
+// stream stays clean.
+func runMatrix(preset string, cellDuration time.Duration, out string) error {
+	art, err := scenario.RunGrid(preset, cellDuration, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	})
+	if err != nil {
+		return err
+	}
+	failed := 0
+	for _, row := range art.Cells {
+		ok := row.ConservationOK && row.LedgerOK && (row.OracleOK == nil || *row.OracleOK)
+		if !ok {
+			failed++
+			fmt.Fprintf(os.Stderr, "sccload: matrix cell %s FAILED audits (conservation=%v ledger=%v)\n",
+				row.Cell, row.ConservationOK, row.LedgerOK)
+		}
+	}
+	enc, err := json.MarshalIndent(art, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if out != "" {
+		if err := os.WriteFile(out, enc, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "sccload: matrix artifact (%d cells) written to %s\n", len(art.Cells), out)
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d cells failed audits", failed, len(art.Cells))
+	}
+	return nil
 }

@@ -61,6 +61,7 @@ func main() {
 	mode := flag.String("mode", "scc-2s", "concurrency control per shard: scc-2s | occ-bc")
 	concurrency := flag.Int("concurrency", 64, "admission slots (transactions in the engine at once)")
 	queue := flag.Int("queue", 1024, "admission queue bound; overflow sheds the lowest-value waiter")
+	tenantBudget := flag.Float64("tenant-budget", 0, "per-tenant admitted-value budget in value/sec over a rolling 1s window; requests carrying tenant= from a tenant over budget are shed (0 = off)")
 	gcWindow := flag.Duration("gc-window", 0, "group-commit flush window per shard (0 = group commit off); commits wait at most this long to share one latch acquisition")
 	gcBatch := flag.Int("gc-batch", 64, "group-commit batch cap: flush early once this many commits are pending")
 	pipelineDepth := flag.Int("pipeline-depth", 128, "max concurrently dispatched REQ-framed requests per connection")
@@ -128,6 +129,7 @@ func main() {
 		Admission: server.AdmissionConfig{
 			MaxConcurrent: *concurrency,
 			MaxQueue:      *queue,
+			TenantBudget:  *tenantBudget,
 		},
 		GroupCommit: engine.GroupCommit{
 			Enabled:  *gcWindow > 0,

@@ -80,6 +80,65 @@ func (g *RNG) TruncNormal(mean, relSigma, lo, hi float64) float64 {
 	return math.Max(lo, math.Min(hi, mean))
 }
 
+// Zipf draws ranks from {0, ..., n-1} with P(rank r) proportional to
+// 1/(r+1)^theta — the Gray et al. / YCSB skewed-access generator. Rank 0
+// is the hottest key. theta must be in [0, 1); theta = 0 degenerates to
+// uniform, and theta -> 1 approaches the classic 1/r harmonic skew
+// (YCSB's default is 0.99). Draws come from the owning RNG, so the
+// sequence is deterministic under a fixed seed.
+type Zipf struct {
+	g     *RNG
+	n     int
+	theta float64
+	// Precomputed constants of the inverse-CDF approximation.
+	alpha, zetan, eta float64
+}
+
+// Zipf returns a generator over n ranks with skew theta. It panics on
+// n < 1 or theta outside [0, 1): callers (workload.Config.Validate)
+// are expected to range-check user input first.
+func (g *RNG) Zipf(n int, theta float64) *Zipf {
+	if n < 1 || theta < 0 || theta >= 1 {
+		panic("dist: Zipf needs n >= 1 and theta in [0, 1)")
+	}
+	z := &Zipf{g: g, n: n, theta: theta}
+	if theta > 0 {
+		z.zetan = zeta(n, theta)
+		z.alpha = 1 / (1 - theta)
+		z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	}
+	return z
+}
+
+// zeta returns the generalized harmonic number H_{n,theta}.
+func zeta(n int, theta float64) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// Next returns the next rank.
+func (z *Zipf) Next() int {
+	if z.theta == 0 {
+		return z.g.Intn(z.n)
+	}
+	u := z.g.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	r := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if r >= z.n {
+		r = z.n - 1
+	}
+	return r
+}
+
 // SampleWithoutReplacement returns k distinct integers drawn uniformly
 // from {0, ..., n-1}, in draw order. It runs a sparse partial
 // Fisher-Yates shuffle: O(k) time and space regardless of n.

@@ -110,6 +110,71 @@ func TestSampleWithoutReplacement(t *testing.T) {
 	}
 }
 
+func TestZipfFrequencyRankOrder(t *testing.T) {
+	// With theta = 0.99 over 100 ranks, empirical frequencies must be
+	// rank-ordered and the head must match P(r) ~ 1/(r+1)^theta: the
+	// rank-0/rank-1 ratio is 2^0.99 ~ 1.99.
+	g := NewRNG(9)
+	z := g.Zipf(100, 0.99)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for _, r := range []struct{ a, b int }{{0, 1}, {1, 4}, {4, 20}, {20, 80}} {
+		if counts[r.a] <= counts[r.b] {
+			t.Fatalf("rank %d drawn %d times, rank %d %d times: not rank-ordered",
+				r.a, counts[r.a], r.b, counts[r.b])
+		}
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("rank0/rank1 ratio = %v, want ~2^0.99 = 1.99", ratio)
+	}
+	// theta = 0 degenerates to uniform.
+	z0 := g.Zipf(50, 0)
+	c0 := make([]int, 50)
+	for i := 0; i < n; i++ {
+		c0[z0.Next()]++
+	}
+	for r, c := range c0 {
+		p := float64(c) / n
+		if math.Abs(p-0.02) > 0.005 {
+			t.Errorf("theta=0 rank %d drawn with p = %v, want 0.02", r, p)
+		}
+	}
+}
+
+func TestZipfDeterministicAndInRange(t *testing.T) {
+	a := NewRNG(21).Zipf(1000, 0.8)
+	b := NewRNG(21).Zipf(1000, 0.8)
+	for i := 0; i < 5000; i++ {
+		ra, rb := a.Next(), b.Next()
+		if ra != rb {
+			t.Fatalf("same seed diverged at draw %d: %d vs %d", i, ra, rb)
+		}
+		if ra < 0 || ra >= 1000 {
+			t.Fatalf("rank out of range: %d", ra)
+		}
+	}
+}
+
+func TestZipfRejectsBadParameters(t *testing.T) {
+	for _, c := range []struct {
+		n     int
+		theta float64
+	}{{0, 0.5}, {10, -0.1}, {10, 1}, {10, 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Zipf(%d, %v) did not panic", c.n, c.theta)
+				}
+			}()
+			NewRNG(1).Zipf(c.n, c.theta)
+		}()
+	}
+}
+
 func TestSampleUniformity(t *testing.T) {
 	// Each element of {0..9} should appear in a 3-sample with p = 0.3.
 	g := NewRNG(5)

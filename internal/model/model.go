@@ -67,6 +67,15 @@ type Class struct {
 
 	// Frequency is the fraction of the arrival stream from this class.
 	Frequency float64
+
+	// ValueFamily optionally selects a post-deadline value shape beyond
+	// the Def. 2 linear decline, in the wire codec's vf= syntax: "" or
+	// "linear" (default), "cliff", "step:<frac>", "renew:<n>". The
+	// simulator's protocols ignore it — Value/PenaltyGradient stay the
+	// linear model — but live-server drivers (internal/scenario,
+	// cmd/sccload) forward it on the wire, where internal/server/opts
+	// validates it.
+	ValueFamily string
 }
 
 // MeanExec returns the class's average total execution time E_Cu.

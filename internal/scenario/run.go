@@ -1,0 +1,763 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/durable"
+	"repro/internal/engine"
+	"repro/internal/history"
+	"repro/internal/model"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/server/client"
+	"repro/internal/server/opts"
+	"repro/internal/workload"
+)
+
+// cluster is one booted cell topology: the address load is driven at,
+// the address audits read from (the replica, when there is one), and
+// everything that must be torn down afterwards.
+type cluster struct {
+	pri     *server.Server
+	addr    string
+	rep     *server.Server
+	repAddr string
+	replica *repl.Replica
+	dir     string
+}
+
+// auditAddr is where post-run audits read: the replica when the cell has
+// one — auditing replicated state is the point of the role — else the
+// primary.
+func (cl *cluster) auditAddr() string {
+	if cl.repAddr != "" {
+		return cl.repAddr
+	}
+	return cl.addr
+}
+
+func (cl *cluster) close() {
+	if cl.replica != nil {
+		cl.replica.Close()
+	}
+	if cl.rep != nil {
+		cl.rep.Close()
+	}
+	if cl.pri != nil {
+		cl.pri.Close()
+	}
+	if cl.dir != "" {
+		os.RemoveAll(cl.dir)
+	}
+}
+
+// serve starts a server on a fresh loopback listener and returns its
+// address. Serve's error is dropped: it reports the listener closing at
+// teardown.
+func serve(s *server.Server) string {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic("scenario: loopback listen: " + err.Error())
+	}
+	go s.Serve(lis)
+	return lis.Addr().String()
+}
+
+// bootCluster builds the cell's server topology. All roles share one
+// engine configuration (8 shards, SCC-2S, group commit) so rows differ
+// by the axis under test, not by incidental tuning.
+func bootCluster(c Cell) (*cluster, error) {
+	cfg := server.Config{
+		Shards: 8,
+		Mode:   engine.SCC2S,
+		Admission: server.AdmissionConfig{
+			MaxConcurrent: 32,
+			MaxQueue:      4096,
+			TenantBudget:  c.TenantBudget,
+		},
+		GroupCommit: engine.GroupCommit{Enabled: true, Window: 100 * time.Microsecond, MaxBatch: 64},
+	}
+	cl := &cluster{}
+	switch c.Role {
+	case RolePrimary:
+		cl.pri = server.New(cfg)
+		cl.addr = serve(cl.pri)
+	case RoleDurable:
+		dir, err := os.MkdirTemp("", "scc-scenario-")
+		if err != nil {
+			return nil, err
+		}
+		cl.dir = dir
+		cfg.Durable = durable.Options{Dir: dir, Fsync: durable.FsyncGroup, CkptEvery: 1024}
+		srv, err := server.Open(cfg)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, fmt.Errorf("cell %q: durable open: %w", c.Name, err)
+		}
+		cl.pri = srv
+		cl.addr = serve(cl.pri)
+	case RolePrimaryReplica:
+		pcfg := cfg
+		pcfg.Repl = server.ReplOptions{Primary: true}
+		cl.pri = server.New(pcfg)
+		cl.addr = serve(cl.pri)
+		gate := repl.NewLagGate(cfg.Shards, 50*time.Millisecond, 0)
+		rcfg := server.Config{Shards: cfg.Shards, Mode: cfg.Mode, Repl: server.ReplOptions{Gate: gate}}
+		cl.rep = server.New(rcfg)
+		cl.repAddr = serve(cl.rep)
+		rep, err := repl.StartReplica(repl.ReplicaConfig{
+			Primary: cl.addr,
+			Store:   cl.rep.Store(),
+			Gate:    gate,
+		})
+		if err != nil {
+			cl.close()
+			return nil, fmt.Errorf("cell %q: replica: %w", c.Name, err)
+		}
+		cl.replica = rep
+	default:
+		return nil, fmt.Errorf("cell %q: unknown role %q", c.Name, c.Role)
+	}
+	return cl, nil
+}
+
+// waitCaughtUp polls until the replica has applied every record the
+// primary's feed holds, so audits read a complete copy.
+func (cl *cluster) waitCaughtUp(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		heads := cl.pri.Feed().Heads()
+		applied := cl.replica.Applied()
+		ok := len(applied) == len(heads)
+		for i := 0; ok && i < len(heads); i++ {
+			ok = applied[i] >= heads[i]
+		}
+		if ok {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("replica never caught up: heads %v applied %v", heads, applied)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Key layout. Page keys carry the balanced deltas the conservation audit
+// sums; one ledger counter per worker counts acked commits.
+func pageKey(p model.PageID) string { return "p" + strconv.Itoa(int(p)) }
+func counterKey(w, s int) string    { return fmt.Sprintf("cnt.%d.%d", w, s) }
+func hotKeyName(k int) string       { return "ohot" + strconv.Itoa(k) }
+
+const oracleSeqKey = "oseq"
+
+// pobs is one oracle commit observation: the post-increment sequencer
+// and hot-key values returned by the commit.
+type pobs struct {
+	gval int64
+	hkey int
+	hval int64
+}
+
+// pageOps renders one generated transaction as wire ops: reads stay
+// reads, writes carry alternating ±delta so each transaction's net
+// effect on the page keyspace is zero (an odd write count parks a zero
+// delta on the last write), and a trailing +1 on the worker's ledger
+// counter records the ack.
+func pageOps(tx *model.Txn, w, s int) []client.Op {
+	writes := 0
+	for _, o := range tx.Ops {
+		if o.Write {
+			writes++
+		}
+	}
+	ops := make([]client.Op, 0, len(tx.Ops)+1)
+	sign := int64(1)
+	wi := 0
+	for _, o := range tx.Ops {
+		op := client.Op{Key: pageKey(o.Page)}
+		if o.Write {
+			wi++
+			d := sign * 3
+			sign = -sign
+			if wi == writes && writes%2 == 1 {
+				d = 0
+			}
+			op.Write, op.Delta = true, d
+		}
+		ops = append(ops, op)
+	}
+	return append(ops, client.Op{Key: counterKey(w, s), Delta: 1, Write: true})
+}
+
+// realizedValue re-evaluates the request's value function at its
+// observed latency — the client-side Def. 7 account, family-aware
+// because it goes through the same opts.T → value.Fn mapping the server
+// admission uses.
+func realizedValue(o client.TxOpts, elapsed time.Duration) float64 {
+	w := opts.T{Value: o.Value, Deadline: o.Deadline, Gradient: o.Gradient, Family: o.Family}
+	v := w.Fn(0).At(elapsed.Seconds())
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// workerResult accumulates one driver goroutine's client-side account.
+type workerResult struct {
+	requests, committed, shed, errs int64
+	submitted, realized             float64
+	lats                            []float64 // committed latencies, ms
+	perTenant                       map[string]*TenantRow
+	ledger                          map[string]int64 // counter key -> acked commits
+}
+
+func newWorkerResult() *workerResult {
+	return &workerResult{perTenant: map[string]*TenantRow{}, ledger: map[string]int64{}}
+}
+
+func (r *workerResult) account(o client.TxOpts, cnt string, err error, elapsed time.Duration) {
+	r.requests++
+	r.submitted += o.Value
+	var tr *TenantRow
+	if o.Tenant != "" {
+		tr = r.perTenant[o.Tenant]
+		if tr == nil {
+			tr = &TenantRow{Name: o.Tenant}
+			r.perTenant[o.Tenant] = tr
+		}
+		tr.Requests++
+	}
+	switch {
+	case err == nil:
+		r.committed++
+		r.ledger[cnt]++
+		v := realizedValue(o, elapsed)
+		r.realized += v
+		r.lats = append(r.lats, float64(elapsed)/float64(time.Millisecond))
+		if tr != nil {
+			tr.Committed++
+			tr.ValueRealized += v
+		}
+	case errors.Is(err, client.ErrShed):
+		r.shed++
+		if tr != nil {
+			tr.Shed++
+		}
+	default:
+		r.errs++
+	}
+}
+
+func (r *workerResult) merge(o *workerResult) {
+	r.requests += o.requests
+	r.committed += o.committed
+	r.shed += o.shed
+	r.errs += o.errs
+	r.submitted += o.submitted
+	r.realized += o.realized
+	r.lats = append(r.lats, o.lats...)
+	for k, v := range o.ledger {
+		r.ledger[k] += v
+	}
+	for name, t := range o.perTenant {
+		agg := r.perTenant[name]
+		if agg == nil {
+			agg = &TenantRow{Name: name}
+			r.perTenant[name] = agg
+		}
+		agg.Requests += t.Requests
+		agg.Committed += t.Committed
+		agg.Shed += t.Shed
+		agg.ValueRealized += t.ValueRealized
+	}
+}
+
+// Run boots the cell's topology, drives it for the cell duration, audits
+// the store, and returns the cell's Row. Audit failures are reported in
+// the Row's flags, not as errors; an error means the harness itself
+// could not run the cell.
+func Run(c Cell) (Row, error) {
+	c = c.withDefaults()
+	if err := c.validate(); err != nil {
+		return Row{}, err
+	}
+	fam, err := c.family()
+	if err != nil {
+		return Row{}, err
+	}
+	cl, err := bootCluster(c)
+	if err != nil {
+		return Row{}, err
+	}
+	defer cl.close()
+
+	var agg *workerResult
+	var oracleErr error
+	hasOracle := false
+	start := time.Now()
+	if c.Oracle {
+		agg, oracleErr, err = driveOracle(c, cl)
+		hasOracle = true
+	} else {
+		agg, err = driveLoad(c, cl, fam)
+	}
+	if err != nil {
+		return Row{}, err
+	}
+	elapsed := time.Since(start)
+
+	row := Row{
+		Cell:        c.Name,
+		Skew:        skewLabel(c.Skew),
+		Family:      familyLabel(c.Family),
+		Session:     sessionLabel(c.Interactive),
+		Role:        c.Role,
+		DurationSec: elapsed.Seconds(),
+		Clients:     c.Clients,
+		Requests:    agg.requests,
+		Committed:   agg.committed,
+		Shed:        agg.shed,
+		Errors:      agg.errs,
+	}
+	if elapsed > 0 {
+		row.ThroughputTPS = float64(agg.committed) / elapsed.Seconds()
+	}
+	row.P50Ms, row.P99Ms = quantiles(agg.lats)
+	row.ValueSubmitted = agg.submitted
+	row.ValueRealized = agg.realized
+	if agg.submitted > 0 {
+		row.ValueRatio = agg.realized / agg.submitted
+	}
+	for _, name := range sortedTenants(agg.perTenant) {
+		row.Tenants = append(row.Tenants, *agg.perTenant[name])
+	}
+
+	if cl.replica != nil {
+		if err := cl.waitCaughtUp(10 * time.Second); err != nil {
+			return Row{}, fmt.Errorf("cell %q: %w", c.Name, err)
+		}
+	}
+	if hasOracle {
+		ok := oracleErr == nil
+		row.OracleOK = &ok
+		// The oracle driver's conservation/ledger analogues are encoded
+		// in its own invariants (no lost sequencer updates, a contiguous
+		// acked run); driveOracle folded them into oracleErr, so the
+		// flags track the same verdict.
+		row.ConservationOK = ok
+		row.LedgerOK = ok
+	} else {
+		aud, err := client.Dial(cl.auditAddr())
+		if err != nil {
+			return Row{}, fmt.Errorf("cell %q: audit dial: %w", c.Name, err)
+		}
+		defer aud.Close()
+		row.ConservationOK, err = auditConservation(aud, c.Keys)
+		if err != nil {
+			return Row{}, fmt.Errorf("cell %q: conservation audit: %w", c.Name, err)
+		}
+		row.LedgerOK, err = auditLedger(aud, agg.ledger)
+		if err != nil {
+			return Row{}, fmt.Errorf("cell %q: ledger audit: %w", c.Name, err)
+		}
+	}
+
+	stats, err := serverStats(cl.addr)
+	if err != nil {
+		return Row{}, fmt.Errorf("cell %q: stats: %w", c.Name, err)
+	}
+	row.Server = stats
+	if ts, ok := stats["tenant_shed"]; ok {
+		row.TenantShed, _ = strconv.ParseInt(ts, 10, 64)
+	}
+	return row, nil
+}
+
+func familyLabel(f string) string {
+	if f == "" {
+		return "linear"
+	}
+	return f
+}
+
+func sessionLabel(interactive bool) string {
+	if interactive {
+		return "interactive"
+	}
+	return "oneshot"
+}
+
+func sortedTenants(m map[string]*TenantRow) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// quantiles returns the p50 and p99 of the sample (ms).
+func quantiles(lats []float64) (p50, p99 float64) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	s := append([]float64(nil), lats...)
+	sort.Float64s(s)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(s)-1))
+		return s[i]
+	}
+	return at(0.50), at(0.99)
+}
+
+// driveLoad runs the cell's closed load: Clients connections, each
+// either streaming Sessions-sized pipelined Batch bursts (one-shot) or
+// running Sessions concurrent interactive TXN sessions with think time.
+func driveLoad(c Cell, cl *cluster, fam opts.Family) (*workerResult, error) {
+	deadline := time.Now().Add(c.Duration)
+	results := make([]*workerResult, c.Clients)
+	errs := make([]error, c.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m, err := client.DialMux(cl.addr)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer m.Close()
+			if c.Interactive {
+				results[w], errs[w] = driveInteractive(c, m, fam, w, deadline)
+			} else {
+				results[w], errs[w] = driveOneShot(c, m, fam, w, deadline)
+			}
+		}(w)
+	}
+	wg.Wait()
+	agg := newWorkerResult()
+	for w := 0; w < c.Clients; w++ {
+		if errs[w] != nil {
+			return nil, fmt.Errorf("cell %q: worker %d: %w", c.Name, w, errs[w])
+		}
+		agg.merge(results[w])
+	}
+	return agg, nil
+}
+
+func driveOneShot(c Cell, m *client.Mux, fam opts.Family, w int, deadline time.Time) (*workerResult, error) {
+	gen := workload.NewGenerator(c.workloadConfig(c.Seed + int64(w)*7919))
+	pick := dist.NewRNG(c.Seed*1_000_003 + int64(w))
+	r := newWorkerResult()
+	reqs := make([]client.UpdateReq, 0, c.Sessions)
+	for time.Now().Before(deadline) {
+		reqs = reqs[:0]
+		for i := 0; i < c.Sessions; i++ {
+			tx := gen.Next()
+			reqs = append(reqs, client.UpdateReq{
+				Ops: pageOps(tx, w, 0),
+				Opts: client.TxOpts{
+					Value:    tx.Class.Value,
+					Deadline: c.Deadline,
+					Family:   fam,
+					Tenant:   c.pickTenant(pick),
+				},
+			})
+		}
+		for i, out := range m.Batch(reqs) {
+			r.account(reqs[i].Opts, counterKey(w, 0), out.Err, out.Elapsed)
+		}
+	}
+	return r, nil
+}
+
+func driveInteractive(c Cell, m *client.Mux, fam opts.Family, w int, deadline time.Time) (*workerResult, error) {
+	results := make([]*workerResult, c.Sessions)
+	var wg sync.WaitGroup
+	for s := 0; s < c.Sessions; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			gen := workload.NewGenerator(c.workloadConfig(c.Seed + int64(w)*7919 + int64(s)*104_729))
+			pick := dist.NewRNG(c.Seed*1_000_003 + int64(w)*257 + int64(s))
+			r := newWorkerResult()
+			cnt := counterKey(w, s)
+			for time.Now().Before(deadline) {
+				tx := gen.Next()
+				ops := pageOps(tx, w, s)
+				o := client.TxOpts{
+					Value:    tx.Class.Value,
+					Deadline: c.Deadline,
+					Family:   fam,
+					Tenant:   c.pickTenant(pick),
+				}
+				t0 := time.Now()
+				err := m.Do(o, func(t *client.Txn) error {
+					for _, op := range ops {
+						if th := gen.NextThink(); th > 0 {
+							time.Sleep(time.Duration(th * float64(time.Second)))
+						}
+						var err error
+						if op.Write {
+							_, err = t.Add(op.Key, op.Delta)
+						} else {
+							_, err = t.Get(op.Key)
+						}
+						if err != nil {
+							return err
+						}
+					}
+					_, err := t.Commit()
+					return err
+				})
+				r.account(o, cnt, err, time.Since(t0))
+			}
+			results[s] = r
+		}(s)
+	}
+	wg.Wait()
+	agg := newWorkerResult()
+	for _, r := range results {
+		agg.merge(r)
+	}
+	return agg, nil
+}
+
+// driveOracle runs the high-contention serializability cell: every
+// session increments the shared sequencer and one Zipf-hot key inside an
+// interactive transaction, and the commit results are replayed through
+// the history oracle. The returned oracleErr carries the first violated
+// invariant (lost update, phantom ack, or a conflict-graph cycle).
+func driveOracle(c Cell, cl *cluster) (*workerResult, error, error) {
+	const hotKeys = 8
+	theta := c.Skew.Theta
+	if c.Skew.Kind != workload.KeyZipf {
+		theta = 0.99
+	}
+	var mu sync.Mutex
+	var all []pobs
+	deadline := time.Now().Add(c.Duration)
+	results := make([]*workerResult, c.Clients)
+	errs := make([]error, c.Clients)
+	var wg sync.WaitGroup
+	for w := 0; w < c.Clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m, err := client.DialMux(cl.addr)
+			if err != nil {
+				errs[w] = err
+				return
+			}
+			defer m.Close()
+			wr := make([]*workerResult, c.Sessions)
+			var swg sync.WaitGroup
+			for s := 0; s < c.Sessions; s++ {
+				swg.Add(1)
+				go func(s int) {
+					defer swg.Done()
+					z := dist.NewRNG(c.Seed+int64(w)*7919+int64(s)*104_729).Zipf(hotKeys, theta)
+					gen := workload.NewGenerator(c.workloadConfig(c.Seed + int64(w)*31 + int64(s)))
+					r := newWorkerResult()
+					o := client.TxOpts{Value: 1, Deadline: c.Deadline}
+					for time.Now().Before(deadline) {
+						hk := z.Next()
+						var res []int64
+						t0 := time.Now()
+						err := m.Do(o, func(t *client.Txn) error {
+							if _, err := t.Add(oracleSeqKey, 1); err != nil {
+								return err
+							}
+							if th := gen.NextThink(); th > 0 {
+								time.Sleep(time.Duration(th * float64(time.Second)))
+							}
+							if _, err := t.Add(hotKeyName(hk), 1); err != nil {
+								return err
+							}
+							var err error
+							res, err = t.Commit()
+							return err
+						})
+						r.account(o, counterKey(w, s), err, time.Since(t0))
+						if err == nil && len(res) == 2 {
+							mu.Lock()
+							all = append(all, pobs{gval: res[0], hkey: hk, hval: res[1]})
+							mu.Unlock()
+						}
+					}
+					wr[s] = r
+				}(s)
+			}
+			swg.Wait()
+			agg := newWorkerResult()
+			for _, r := range wr {
+				agg.merge(r)
+			}
+			results[w] = agg
+		}(w)
+	}
+	wg.Wait()
+	agg := newWorkerResult()
+	for w := 0; w < c.Clients; w++ {
+		if errs[w] != nil {
+			return nil, nil, fmt.Errorf("cell %q: worker %d: %w", c.Name, w, errs[w])
+		}
+		agg.merge(results[w])
+	}
+	return agg, checkOracle(all, agg.committed), nil
+}
+
+// checkOracle rebuilds read versions from the cumulative-sum results
+// (the pattern of internal/server's interactive history test) and runs
+// the conflict-graph check. The sequencer doubles as the acked-commit
+// ledger: the observed values must be exactly {1..committed}, each once.
+func checkOracle(all []pobs, committed int64) error {
+	if int64(len(all)) != committed {
+		return fmt.Errorf("oracle: %d commit observations for %d acks", len(all), committed)
+	}
+	if len(all) == 0 {
+		return errors.New("oracle: no commits observed")
+	}
+	gPage := model.PageID(0)
+	hPage := func(k int) model.PageID { return model.PageID(1 + k) }
+	gWriter := make(map[int64]model.TxnID, len(all))
+	hWriter := make(map[int]map[int64]model.TxnID)
+	for i, o := range all {
+		id := model.TxnID(i + 1)
+		if o.gval < 1 || o.gval > int64(len(all)) {
+			return fmt.Errorf("oracle: sequencer value %d outside acked run 1..%d", o.gval, len(all))
+		}
+		if _, dup := gWriter[o.gval]; dup {
+			return fmt.Errorf("oracle: duplicate sequencer value %d (lost update)", o.gval)
+		}
+		gWriter[o.gval] = id
+		if hWriter[o.hkey] == nil {
+			hWriter[o.hkey] = make(map[int64]model.TxnID)
+		}
+		if _, dup := hWriter[o.hkey][o.hval]; dup {
+			return fmt.Errorf("oracle: duplicate hot%d value %d (lost update)", o.hkey, o.hval)
+		}
+		hWriter[o.hkey][o.hval] = id
+	}
+	version := func(m map[int64]model.TxnID, preVal int64, what string) (model.TxnID, error) {
+		if preVal == 0 {
+			return 0, nil
+		}
+		id, ok := m[preVal]
+		if !ok {
+			return 0, fmt.Errorf("oracle: %s pre-value %d produced by no committed transaction", what, preVal)
+		}
+		return id, nil
+	}
+	var rec history.Recorder
+	for i, o := range all {
+		gv, err := version(gWriter, o.gval-1, oracleSeqKey)
+		if err != nil {
+			return err
+		}
+		hv, err := version(hWriter[o.hkey], o.hval-1, hotKeyName(o.hkey))
+		if err != nil {
+			return err
+		}
+		rec.Add(history.CommitRecord{
+			ID:  model.TxnID(i + 1),
+			Seq: int(o.gval),
+			Reads: []model.ReadObs{
+				{Page: gPage, Version: gv},
+				{Page: hPage(o.hkey), Version: hv},
+			},
+			Writes: []model.PageID{gPage, hPage(o.hkey)},
+		})
+	}
+	return rec.Check()
+}
+
+// auditConservation sums the page keyspace (in SUM-verb chunks): every
+// committed transaction's deltas were balanced, so any nonzero total is
+// a torn or double-applied write.
+func auditConservation(aud *client.Client, keys int) (bool, error) {
+	total := int64(0)
+	const chunk = 64
+	for lo := 0; lo < keys; lo += chunk {
+		hi := lo + chunk
+		if hi > keys {
+			hi = keys
+		}
+		ks := make([]string, 0, chunk)
+		for p := lo; p < hi; p++ {
+			ks = append(ks, pageKey(model.PageID(p)))
+		}
+		s, err := aud.Sum(ks...)
+		if err != nil {
+			return false, err
+		}
+		total += s
+	}
+	return total == 0, nil
+}
+
+// auditLedger re-reads every worker's commit counter: the stored count
+// must equal the client's acked commits — no lost acks, no phantom acks.
+func auditLedger(aud *client.Client, ledger map[string]int64) (bool, error) {
+	for key, want := range ledger {
+		got, _, err := aud.Get(key)
+		if err != nil {
+			return false, err
+		}
+		if got != want {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// serverStats fetches the primary's STATS map.
+func serverStats(addr string) (map[string]string, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	return c.Stats()
+}
+
+// RunGrid runs every cell of the named preset sequentially and assembles
+// the scc-scenario/v1 artifact. cellDuration, when positive, overrides
+// each cell's load duration (the smoke-vs-nightly knob). logf, when
+// non-nil, receives one progress line per cell.
+func RunGrid(preset string, cellDuration time.Duration, logf func(format string, args ...any)) (Artifact, error) {
+	cells, err := Grid(preset)
+	if err != nil {
+		return Artifact{}, err
+	}
+	art := Artifact{Schema: SchemaV1, Preset: preset, CPUs: runtime.GOMAXPROCS(0)}
+	if art.CPUs == 1 && logf != nil {
+		logf("scenario: GOMAXPROCS=1 — single-core run, latencies and throughput are not comparable to multi-core artifacts")
+	}
+	for _, c := range cells {
+		if cellDuration > 0 {
+			c.Duration = cellDuration
+		}
+		row, err := Run(c)
+		if err != nil {
+			return Artifact{}, err
+		}
+		if logf != nil {
+			logf("scenario: cell %-20s committed=%d shed=%d tps=%.0f p99=%.2fms value=%.2f conservation=%v ledger=%v",
+				row.Cell, row.Committed, row.Shed, row.ThroughputTPS, row.P99Ms, row.ValueRatio,
+				row.ConservationOK, row.LedgerOK)
+		}
+		art.Cells = append(art.Cells, row)
+	}
+	return art, nil
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// TestGridPresetsValidate keeps every preset cell well-formed without
+// paying to run the nightly grid: names unique, workload/family/tenant
+// parameters accepted by the same validation Run uses.
+func TestGridPresetsValidate(t *testing.T) {
+	for _, preset := range Presets() {
+		cells, err := Grid(preset)
+		if err != nil {
+			t.Fatalf("Grid(%q): %v", preset, err)
+		}
+		if len(cells) == 0 {
+			t.Fatalf("Grid(%q): empty", preset)
+		}
+		seen := map[string]bool{}
+		for _, c := range cells {
+			if c.Name == "" || seen[c.Name] {
+				t.Errorf("Grid(%q): missing or duplicate cell name %q", preset, c.Name)
+			}
+			seen[c.Name] = true
+			if err := c.withDefaults().validate(); err != nil {
+				t.Errorf("Grid(%q): cell %q: %v", preset, c.Name, err)
+			}
+		}
+	}
+	if _, err := Grid("no-such-preset"); err == nil {
+		t.Error("Grid accepted an unknown preset")
+	}
+}
+
+// TestSmokeGrid runs the tier-1 two-cell grid against live servers: one
+// one-shot uniform cell and one interactive Zipfian cliff cell, each
+// audited for conservation and the acked-commit ledger.
+func TestSmokeGrid(t *testing.T) {
+	art, err := RunGrid("smoke", 400*time.Millisecond, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if art.Schema != SchemaV1 {
+		t.Fatalf("schema %q, want %q", art.Schema, SchemaV1)
+	}
+	if art.CPUs < 1 {
+		t.Fatalf("cpus %d", art.CPUs)
+	}
+	if len(art.Cells) != 2 {
+		t.Fatalf("smoke grid emitted %d rows, want 2", len(art.Cells))
+	}
+	for _, row := range art.Cells {
+		if row.Committed == 0 {
+			t.Errorf("cell %q: no commits", row.Cell)
+		}
+		if row.Errors != 0 {
+			t.Errorf("cell %q: %d errors", row.Cell, row.Errors)
+		}
+		if !row.ConservationOK {
+			t.Errorf("cell %q: conservation audit failed", row.Cell)
+		}
+		if !row.LedgerOK {
+			t.Errorf("cell %q: acked-commit ledger audit failed", row.Cell)
+		}
+		if row.ValueRealized <= 0 || row.ValueRatio <= 0 || row.ValueRatio > 1 {
+			t.Errorf("cell %q: value realized %.2f ratio %.3f", row.Cell, row.ValueRealized, row.ValueRatio)
+		}
+	}
+}
+
+// TestTenantFairness is the end-to-end budget-fairness check: a hog
+// tenant carrying 90% of the traffic against a light tenant at 10%,
+// both over a tight per-tenant budget. The budget must shed the hog
+// (tenant_shed > 0) while the light tenant still realizes value — a hog
+// cannot starve a light tenant to zero.
+func TestTenantFairness(t *testing.T) {
+	row, err := Run(Cell{
+		Name:         "fairness",
+		Skew:         workload.KeyDist{Kind: workload.KeyZipf, Theta: 0.80},
+		Tenants:      []Tenant{{Name: "hog", Weight: 0.9}, {Name: "light", Weight: 0.1}},
+		TenantBudget: 500,
+		Duration:     1200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !row.ConservationOK || !row.LedgerOK {
+		t.Fatalf("audits failed: conservation=%v ledger=%v", row.ConservationOK, row.LedgerOK)
+	}
+	if row.TenantShed == 0 {
+		t.Fatal("server reported no tenant-budget sheds; budget never engaged")
+	}
+	byName := map[string]TenantRow{}
+	for _, tr := range row.Tenants {
+		byName[tr.Name] = tr
+	}
+	hog, light := byName["hog"], byName["light"]
+	if hog.Requests == 0 || light.Requests == 0 {
+		t.Fatalf("tenant traffic missing: hog=%+v light=%+v", hog, light)
+	}
+	if hog.Shed == 0 {
+		t.Errorf("hog tenant was never shed: %+v", hog)
+	}
+	if light.Committed == 0 || light.ValueRealized <= 0 {
+		t.Errorf("light tenant starved: %+v", light)
+	}
+}
+
+// TestOracleCell replays a high-contention interactive Zipfian cell
+// (θ=0.99 over a small hot set) through the serializability oracle
+// against the live server.
+func TestOracleCell(t *testing.T) {
+	row, err := Run(Cell{
+		Name:        "oracle",
+		Skew:        workload.KeyDist{Kind: workload.KeyZipf, Theta: 0.99},
+		Interactive: true,
+		Oracle:      true,
+		Deadline:    10 * time.Second,
+		Duration:    800 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.OracleOK == nil || !*row.OracleOK {
+		t.Fatal("oracle verdict missing or failed")
+	}
+	if row.Committed == 0 {
+		t.Fatal("oracle cell committed nothing")
+	}
+	if row.Errors != 0 {
+		t.Fatalf("oracle cell saw %d errors", row.Errors)
+	}
+}

@@ -192,3 +192,77 @@ func TestAdmissionOpTimeLearning(t *testing.T) {
 		t.Errorf("op-time estimate = %v, want ~2ms", got)
 	}
 }
+
+func TestTenantBudgetShedsHogAtDoor(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 64, TenantBudget: 10})
+	// Two admits of value 5 fill the hog's 10/sec budget exactly.
+	for i := 0; i < 2; i++ {
+		if err := a.AcquireTenant(a.FnFor(5, 10, 0), 1, "hog"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := a.AcquireTenant(a.FnFor(5, 10, 0), 1, "hog")
+	if !errors.Is(err, ErrTenantShed) {
+		t.Fatalf("over-budget acquire = %v, want ErrTenantShed", err)
+	}
+	if !errors.Is(err, ErrShed) {
+		t.Fatal("ErrTenantShed must wrap ErrShed")
+	}
+	// A light tenant and untagged requests are unaffected.
+	if err := a.AcquireTenant(a.FnFor(5, 10, 0), 1, "light"); err != nil {
+		t.Fatalf("light tenant shed alongside the hog: %v", err)
+	}
+	if err := a.Acquire(a.FnFor(5, 10, 0), 1); err != nil {
+		t.Fatalf("untagged request budget-shed: %v", err)
+	}
+	st := a.Stats()
+	if st.TenantShed != 1 || st.Shed != 1 {
+		t.Errorf("stats = %+v, want TenantShed 1", st)
+	}
+	if st.Tenants != 2 {
+		t.Errorf("tracked tenants = %d, want 2", st.Tenants)
+	}
+}
+
+func TestTenantBudgetRollsOver(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 4, TenantBudget: 5, TenantWindow: 50 * time.Millisecond})
+	if err := a.AcquireTenant(a.FnFor(5, 10, 0), 1, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AcquireTenant(a.FnFor(5, 10, 0), 1, "t"); !errors.Is(err, ErrTenantShed) {
+		t.Fatalf("budget not enforced: %v", err)
+	}
+	// The window rolls; the tenant earns fresh budget.
+	time.Sleep(120 * time.Millisecond)
+	if err := a.AcquireTenant(a.FnFor(5, 10, 0), 1, "t"); err != nil {
+		t.Fatalf("budget did not roll over: %v", err)
+	}
+}
+
+func TestTenantBudgetShedsParkedWaiters(t *testing.T) {
+	a := NewAdmission(AdmissionConfig{MaxConcurrent: 1, TenantBudget: 5})
+	if err := a.Acquire(a.FnFor(1, 0, 0), 1); err != nil {
+		t.Fatal(err)
+	}
+	// Two hog waiters park behind the held slot, both under budget at
+	// enqueue time. The high-value one is granted first (and its charge
+	// blows the budget); the next dispatch sweep must shed the other.
+	lowDone := make(chan error, 1)
+	go func() { lowDone <- a.AcquireTenant(a.FnFor(3, 10, 0), 1, "hog") }()
+	waitDepth(t, a, 1)
+	highDone := make(chan error, 1)
+	go func() { highDone <- a.AcquireTenant(a.FnFor(100, 10, 0), 1, "hog") }()
+	waitDepth(t, a, 2)
+
+	a.Release(time.Millisecond, 1)
+	if err := <-highDone; err != nil {
+		t.Fatalf("high-value hog waiter = %v, want grant", err)
+	}
+	a.Release(time.Millisecond, 1)
+	if err := <-lowDone; !errors.Is(err, ErrTenantShed) {
+		t.Fatalf("parked over-budget waiter = %v, want ErrTenantShed", err)
+	}
+	if st := a.Stats(); st.TenantShed != 1 {
+		t.Errorf("TenantShed = %d, want 1", st.TenantShed)
+	}
+}

@@ -271,6 +271,13 @@ type TxOpts struct {
 	Value    float64       // value added if committed by the deadline
 	Deadline time.Duration // relative soft deadline (0 = none)
 	Gradient float64       // value lost per second past it (0 = V/Deadline)
+	// Family selects the post-deadline value shape (the vf= token): the
+	// zero value is the linear decline; opts.FamilyCliff/Step/Renewal
+	// choose the scenario matrix's soft-deadline families.
+	Family opts.Family
+	// Tenant attributes the request to a server-side admission value
+	// budget (the tenant= token); empty means unattributed.
+	Tenant string
 	// Trace asks the server for a lifecycle trace: the verdict reply's
 	// trace= token ("stage:ns,..." offsets from submit) is surfaced by
 	// UpdateTraced and Txn.Trace.
@@ -280,7 +287,8 @@ type TxOpts struct {
 // wire renders the options through the shared codec (internal/server/opts)
 // — the same encoder the server's parser is tested against.
 func (o TxOpts) wire() opts.T {
-	return opts.T{Value: o.Value, Deadline: o.Deadline, Gradient: o.Gradient, Trace: o.Trace}
+	return opts.T{Value: o.Value, Deadline: o.Deadline, Gradient: o.Gradient,
+		Family: o.Family, Tenant: o.Tenant, Trace: o.Trace}
 }
 
 // cutTrace splits a verdict reply body's trailing trace= token (present

@@ -93,6 +93,7 @@ func newServerMetrics() *serverMetrics {
 		obs.LossExecution, obs.LossSession, obs.LossAdmissionShed,
 		obs.LossCrossShed, obs.LossConflictAbort, obs.LossClientAbort,
 		obs.LossReap, obs.LossError, obs.LossReplicaLag, obs.LossWALError,
+		obs.LossTenantBudget,
 	} {
 		m.lostByReason[r] = m.lost.With(r)
 	}
@@ -172,6 +173,8 @@ func (s *Server) registerDerived() {
 		func() float64 { return float64(s.adm.Stats().Admitted) })
 	reg.CounterFunc("scc_admission_shed_total", "Transactions refused admission (zero-crossed or evicted).",
 		func() float64 { return float64(s.adm.Stats().Shed) })
+	reg.CounterFunc("scc_admission_tenant_shed_total", "Admission sheds caused by per-tenant value budgets.",
+		func() float64 { return float64(s.adm.Stats().TenantShed) })
 	reg.CounterFunc("scc_admission_readmits_total", "Cross-shard retries re-entering the admission queue.",
 		func() float64 { return float64(s.adm.Stats().Readmits) })
 	reg.GaugeFunc("scc_admission_queue_depth", "Waiters queued for admission.",

@@ -1,7 +1,9 @@
 // Package opts is the canonical codec for the wire protocol's value-
 // function options. Every valued verb — UPD, TXN BEGIN — carries the
-// same three tokens (`v=<f>` worth, `dl=<ms>` relative soft deadline,
-// `grad=<g>` penalty gradient, paper Def. 2), and before this package
+// same tokens (`v=<f>` worth, `dl=<ms>` relative soft deadline,
+// `grad=<g>` penalty gradient, paper Def. 2, plus `vf=<family>`
+// post-deadline shape and `tenant=<name>` budget attribution), and
+// before this package
 // each of server.go, client.go, and the admission path grew its own
 // parser or encoder for them. Now there is exactly one: the server
 // parses tokens with ParseToken (the single place non-finite floats are
@@ -27,8 +29,91 @@ var (
 	ErrBadValue    = errors.New("bad v=")
 	ErrBadDeadline = errors.New("bad dl=")
 	ErrBadGradient = errors.New("bad grad=")
+	ErrBadFamily   = errors.New("bad vf=")
+	ErrBadTenant   = errors.New("bad tenant=")
 	ErrBadTrace    = errors.New("bad trace=")
 )
+
+// Value-family kinds for Family.Kind, the vf= token's first field.
+const (
+	FamilyLinear  = "linear"
+	FamilyCliff   = "cliff"
+	FamilyStep    = "step"
+	FamilyRenewal = "renew"
+)
+
+// Family selects the post-deadline shape of a request's value function
+// (the vf= token): "" or FamilyLinear is the Def. 2 linear decline,
+// FamilyCliff drops to zero at the deadline, FamilyStep keeps StepFrac
+// of the value for one relative deadline then drops to zero, and
+// FamilyRenewal halves the value each relative deadline for Renewals
+// windows. ParseFamily is the single place shapes are validated: every
+// accepted family is monotone non-increasing past the deadline.
+type Family struct {
+	Kind     string
+	StepFrac float64 // FamilyStep: fraction of the value retained, in [0, 1]
+	Renewals int     // FamilyRenewal: number of half-value windows, in 1..16
+}
+
+// maxRenewals bounds the renewal chain: 2^-17 of the value is noise, and
+// an unbounded n would let a client stretch its shed horizon (Renewals *
+// relative deadline) arbitrarily far.
+const maxRenewals = 16
+
+// ParseFamily parses a vf= token payload ("linear", "cliff",
+// "step:<frac>", "renew:<n>"). It is the one place value-function shapes
+// are validated — non-finite fields and shapes that would not be
+// monotone non-increasing after the deadline (step fractions above 1,
+// renewal counts outside 1..16) are rejected with ErrBadFamily.
+func ParseFamily(s string) (Family, error) {
+	kind, arg, hasArg := strings.Cut(s, ":")
+	switch kind {
+	case FamilyLinear:
+		if hasArg {
+			return Family{}, ErrBadFamily
+		}
+		return Family{}, nil
+	case FamilyCliff:
+		if hasArg {
+			return Family{}, ErrBadFamily
+		}
+		return Family{Kind: FamilyCliff}, nil
+	case FamilyStep:
+		frac, err := parseFinite(arg)
+		if !hasArg || err != nil || frac < 0 || frac > 1 {
+			return Family{}, ErrBadFamily
+		}
+		return Family{Kind: FamilyStep, StepFrac: frac}, nil
+	case FamilyRenewal:
+		n, err := strconv.Atoi(arg)
+		if !hasArg || err != nil || n < 1 || n > maxRenewals {
+			return Family{}, ErrBadFamily
+		}
+		return Family{Kind: FamilyRenewal, Renewals: n}, nil
+	}
+	return Family{}, ErrBadFamily
+}
+
+// maxTenantLen bounds the tenant= token; tenant names index server-side
+// budget meters, so an unbounded name would be an unbounded-cardinality
+// map key chosen by the client. (The meter map is still client-
+// influenced; the budget sweeper discards idle meters.)
+const maxTenantLen = 64
+
+// ValidTenant reports whether s is a well-formed tenant name: non-empty,
+// at most 64 bytes, printable ASCII with no space (token-splitting) and
+// no ':' (reserved, mirroring the key syntax).
+func ValidTenant(s string) bool {
+	if len(s) == 0 || len(s) > maxTenantLen {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c <= ' ' || c > '~' || c == ':' {
+			return false
+		}
+	}
+	return true
+}
 
 // T carries one request's value-function options in client-facing units:
 // worth if committed by the deadline, the relative soft deadline, and
@@ -38,6 +123,12 @@ type T struct {
 	Value    float64
 	Deadline time.Duration
 	Gradient float64
+	// Family is the vf= post-deadline shape; the zero value is the
+	// linear decline.
+	Family Family
+	// Tenant attributes the request to a named tenant for per-tenant
+	// admission value budgets; empty means unattributed.
+	Tenant string
 	// Trace requests a lifecycle trace: the final verdict reply carries a
 	// trace= token with the transaction's stage timeline (docs/PROTOCOL.md,
 	// "Lifecycle traces").
@@ -45,10 +136,11 @@ type T struct {
 }
 
 // ParseToken consumes one option token into o. It reports whether tok
-// was an option token at all (v=/dl=/grad= prefixed); a recognized token
-// that fails to parse — including any non-finite float — returns the
-// matching ErrBad* error. This is the only place the protocol validates
-// value-function floats.
+// was an option token at all (v=/dl=/grad=/vf=/tenant=/trace= prefixed);
+// a recognized token that fails to parse — including any non-finite
+// float and any non-monotone-after-deadline shape — returns the matching
+// ErrBad* error. This is the only place the protocol validates
+// value-function options.
 func (o *T) ParseToken(tok string) (bool, error) {
 	switch {
 	case strings.HasPrefix(tok, "v="):
@@ -71,6 +163,20 @@ func (o *T) ParseToken(tok string) (bool, error) {
 			return true, ErrBadGradient
 		}
 		o.Gradient = g
+		return true, nil
+	case strings.HasPrefix(tok, "vf="):
+		fam, err := ParseFamily(tok[3:])
+		if err != nil {
+			return true, ErrBadFamily
+		}
+		o.Family = fam
+		return true, nil
+	case strings.HasPrefix(tok, "tenant="):
+		name := tok[7:]
+		if !ValidTenant(name) {
+			return true, ErrBadTenant
+		}
+		o.Tenant = name
 		return true, nil
 	case strings.HasPrefix(tok, "trace="):
 		switch tok[6:] {
@@ -137,17 +243,37 @@ func (o T) Encode(b *strings.Builder) {
 		b.WriteString(" grad=")
 		b.WriteString(strconv.FormatFloat(o.Gradient, 'g', -1, 64))
 	}
+	switch o.Family.Kind {
+	case "", FamilyLinear:
+	case FamilyStep:
+		b.WriteString(" vf=step:")
+		b.WriteString(strconv.FormatFloat(o.Family.StepFrac, 'g', -1, 64))
+	case FamilyRenewal:
+		b.WriteString(" vf=renew:")
+		b.WriteString(strconv.Itoa(o.Family.Renewals))
+	default:
+		b.WriteString(" vf=")
+		b.WriteString(o.Family.Kind)
+	}
+	if o.Tenant != "" {
+		b.WriteString(" tenant=")
+		b.WriteString(o.Tenant)
+	}
 	if o.Trace {
 		b.WriteString(" trace=1")
 	}
 }
 
-// Fn builds the Def. 2 value function for a request arriving at absolute
-// time now (seconds in the caller's clock base): worth Value (default 1)
-// until now+Deadline, then declining at Gradient per second. No deadline
-// means effectively never declining (a one-year horizon); a deadline
+// Fn builds the value function for a request arriving at absolute time
+// now (seconds in the caller's clock base): worth Value (default 1)
+// until now+Deadline, then declining per the vf= family. The default
+// family is the Def. 2 linear decline at Gradient per second; a deadline
 // with no gradient defaults to losing the full value one relative
-// deadline past it — the workload model's "45 degrees" convention.
+// deadline past it — the workload model's "45 degrees" convention. The
+// step and renewal families use the same convention for their window
+// width: one relative deadline. No deadline means effectively never
+// declining (a one-year horizon) regardless of family — a shape needs a
+// deadline to hang off.
 func (o T) Fn(now float64) value.Fn {
 	v := o.Value
 	if v <= 0 {
@@ -157,9 +283,24 @@ func (o T) Fn(now float64) value.Fn {
 	if dl <= 0 {
 		return value.Fn{V: v, Deadline: now + 365*24*3600, Gradient: 0}
 	}
-	grad := o.Gradient
-	if grad <= 0 {
-		grad = v / dl
+	f := value.Fn{V: v, Deadline: now + dl}
+	switch o.Family.Kind {
+	case FamilyCliff:
+		f.Shape = value.ShapeCliff
+	case FamilyStep:
+		f.Shape = value.ShapeStep
+		f.Window = dl
+		f.StepFrac = o.Family.StepFrac
+	case FamilyRenewal:
+		f.Shape = value.ShapeRenewal
+		f.Window = dl
+		f.Renewals = o.Family.Renewals
+	default:
+		grad := o.Gradient
+		if grad <= 0 {
+			grad = v / dl
+		}
+		f.Gradient = grad
 	}
-	return value.Fn{V: v, Deadline: now + dl, Gradient: grad}
+	return f
 }

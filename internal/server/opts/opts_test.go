@@ -111,6 +111,83 @@ func TestEncodeOmitsZeroFields(t *testing.T) {
 	}
 }
 
+func TestParseFamilyAndTenant(t *testing.T) {
+	// Accepted families round-trip through Encode.
+	for _, tok := range []string{"vf=cliff", "vf=step:0.5", "vf=step:0", "vf=step:1", "vf=renew:1", "vf=renew:16"} {
+		var o T
+		if ok, err := o.ParseToken(tok); !ok || err != nil {
+			t.Fatalf("ParseToken(%q) = %v, %v", tok, ok, err)
+		}
+		var b strings.Builder
+		o.Encode(&b)
+		if got := strings.TrimPrefix(b.String(), " "); got != tok {
+			t.Errorf("Encode(%q) = %q", tok, got)
+		}
+	}
+	// vf=linear parses as the zero family and encodes to nothing.
+	var o T
+	if ok, err := o.ParseToken("vf=linear"); !ok || err != nil {
+		t.Fatalf("vf=linear: %v, %v", ok, err)
+	}
+	if o.Family != (Family{}) {
+		t.Fatalf("vf=linear parsed to %+v", o.Family)
+	}
+	// Rejections: unknown kinds, non-finite or non-monotone shapes,
+	// stray arguments.
+	for _, tok := range []string{
+		"vf=", "vf=ramp", "vf=cliff:1", "vf=linear:0", "vf=step", "vf=step:",
+		"vf=step:NaN", "vf=step:Inf", "vf=step:-0.1", "vf=step:1.1",
+		"vf=renew", "vf=renew:", "vf=renew:0", "vf=renew:17", "vf=renew:1.5", "vf=renew:x",
+	} {
+		var o T
+		if ok, err := o.ParseToken(tok); !ok || err != ErrBadFamily {
+			t.Errorf("ParseToken(%q) = %v, %v; want true, ErrBadFamily", tok, ok, err)
+		}
+	}
+	// Tenants: names are printable-ASCII tokens without ':' or spaces.
+	for _, tok := range []string{"tenant=acme", "tenant=a", "tenant=Team-7_x.y"} {
+		var o T
+		if ok, err := o.ParseToken(tok); !ok || err != nil {
+			t.Errorf("ParseToken(%q) = %v, %v", tok, ok, err)
+		}
+	}
+	for _, tok := range []string{
+		"tenant=", "tenant=a:b", "tenant=a b", "tenant=\x01", "tenant=" + strings.Repeat("x", 65),
+	} {
+		var o T
+		if ok, err := o.ParseToken(tok); !ok || err != ErrBadTenant {
+			t.Errorf("ParseToken(%q) = %v, %v; want true, ErrBadTenant", tok, ok, err)
+		}
+	}
+}
+
+func TestFnFamilies(t *testing.T) {
+	const now = 100.0
+	// Cliff: full value to the deadline, zero after.
+	f := T{Value: 8, Deadline: time.Second, Family: Family{Kind: FamilyCliff}}.Fn(now)
+	if f.At(now+1) != 8 || f.At(now+1.01) != 0 || f.ZeroCrossing() != now+1 {
+		t.Fatalf("cliff Fn: At(dl)=%v At(dl+)=%v zc=%v", f.At(now+1), f.At(now+1.01), f.ZeroCrossing())
+	}
+	// Step: one relative-deadline window at the fraction.
+	f = T{Value: 8, Deadline: time.Second, Family: Family{Kind: FamilyStep, StepFrac: 0.25}}.Fn(now)
+	if f.At(now+1.5) != 2 || f.At(now+2.5) != 0 {
+		t.Fatalf("step Fn: At(mid)=%v At(past)=%v", f.At(now+1.5), f.At(now+2.5))
+	}
+	if f.ZeroCrossing() != now+2 {
+		t.Fatalf("step zero-crossing = %v, want %v", f.ZeroCrossing(), now+2)
+	}
+	// Renewal: halving windows of one relative deadline each.
+	f = T{Value: 8, Deadline: time.Second, Family: Family{Kind: FamilyRenewal, Renewals: 2}}.Fn(now)
+	if f.At(now+1.5) != 4 || f.At(now+2.5) != 2 || f.At(now+3.5) != 0 {
+		t.Fatalf("renewal Fn: %v %v %v", f.At(now+1.5), f.At(now+2.5), f.At(now+3.5))
+	}
+	// A family without a deadline degrades to the no-deadline default.
+	f = T{Value: 8, Family: Family{Kind: FamilyCliff}}.Fn(now)
+	if f.At(now+3600) != 8 {
+		t.Fatal("family without deadline must not decline")
+	}
+}
+
 func TestFnDefaults(t *testing.T) {
 	const now = 10.0
 	// Zero options: worth 1, effectively no deadline.

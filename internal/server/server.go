@@ -957,8 +957,12 @@ func (s *Server) runUpdate(o opts.T, ops []op) string {
 	}
 	tr.Event(obs.StageEnqueue)
 	admitStart := time.Now()
-	if err := s.adm.Acquire(f, len(ops)); err != nil {
-		s.met.lostValue(obs.LossAdmissionShed, v0)
+	if err := s.adm.AcquireTenant(f, len(ops), o.Tenant); err != nil {
+		if errors.Is(err, ErrTenantShed) {
+			s.met.lostValue(obs.LossTenantBudget, v0)
+		} else {
+			s.met.lostValue(obs.LossAdmissionShed, v0)
+		}
 		return "SHED"
 	}
 	start := time.Now()
@@ -1138,11 +1142,11 @@ func (s *Server) statsLine() string {
 	line := fmt.Sprintf(
 		"OK shards=%d reqs=%d commits=%d fast=%d cross=%d cross_restarts=%d cross_shed=%d cross_batches=%d "+
 			"aborts=%d restarts=%d forks=%d promotions=%d deferrals=%d commit_batches=%d views=%d "+
-			"admitted=%d shed=%d readmits=%d depth=%d inflight=%d op_time_us=%.1f p50_us=%.0f p99_us=%.0f",
+			"admitted=%d shed=%d tenant_shed=%d readmits=%d depth=%d inflight=%d op_time_us=%.1f p50_us=%.0f p99_us=%.0f",
 		s.store.NumShards(), reqs, st.TotalCommits(), st.FastPath, st.CrossCommits,
 		st.CrossRestarts, s.crossShed.Load(), st.CrossBatches, st.Engine.Aborts, st.Engine.Restarts, st.Engine.Forks,
 		st.Engine.Promotions, st.Engine.Deferrals, st.Engine.CommitBatches, st.Views,
-		ad.Admitted, ad.Shed, ad.Readmits, ad.Depth, ad.InFlight, ad.OpTime*1e6,
+		ad.Admitted, ad.Shed, ad.TenantShed, ad.Readmits, ad.Depth, ad.InFlight, ad.OpTime*1e6,
 		p50*1e6, p99*1e6)
 	line += fmt.Sprintf(" txn_active=%d txn_begun=%d txn_committed=%d txn_aborted=%d txn_reaped=%d",
 		s.sessions.active(), s.txnBegun.Load(), s.txnCommitted.Load(),

@@ -462,8 +462,12 @@ func (s *Server) txnBegin(o opts.T) string {
 	// The slot estimate for an interactive transaction is a guess (the
 	// op list does not exist yet); 2 ops is the workload's short-txn
 	// shape. The estimate only orders the wait, it reserves nothing.
-	if err := s.adm.Acquire(f, 2); err != nil {
-		s.met.lostValue(obs.LossAdmissionShed, v0)
+	if err := s.adm.AcquireTenant(f, 2, o.Tenant); err != nil {
+		if errors.Is(err, ErrTenantShed) {
+			s.met.lostValue(obs.LossTenantBudget, v0)
+		} else {
+			s.met.lostValue(obs.LossAdmissionShed, v0)
+		}
 		return "SHED"
 	}
 	s.met.admitWait.Observe(int64(time.Since(admitStart)))

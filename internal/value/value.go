@@ -11,12 +11,41 @@ import (
 	"repro/internal/dist"
 )
 
-// Fn is a Def. 2 value function: constant value v until the deadline, then
-// a linear decline at the penalty gradient (tan alpha).
+// Shape selects a value function's post-deadline behavior. The zero
+// value is the paper's Def. 2 linear decline; the other shapes are the
+// soft-deadline families of the scenario matrix. Every shape is constant
+// V before the deadline and monotone non-increasing after it — the
+// invariant the wire codec (internal/server/opts) enforces, and what
+// keeps ZeroCrossing meaningful as a shed horizon.
+type Shape int
+
+const (
+	// ShapeLinear declines at Gradient per second past the deadline
+	// (Def. 2; may go negative, like model.Txn.Value).
+	ShapeLinear Shape = iota
+	// ShapeCliff drops to zero immediately past the deadline (a hard
+	// firm-deadline transaction: late work is worthless).
+	ShapeCliff
+	// ShapeStep retains V*StepFrac for one Window past the deadline,
+	// then drops to zero (a grace period at reduced worth).
+	ShapeStep
+	// ShapeRenewal halves the value each Window past the deadline —
+	// window k is worth V/2^(k+1) — for Renewals windows, then zero
+	// (a deadline-renewal chain of ever-cheaper extensions).
+	ShapeRenewal
+)
+
+// Fn is a Def. 2 value function: constant value v until the deadline,
+// then a shape-dependent decline (linear at the penalty gradient by
+// default).
 type Fn struct {
 	V        float64 // value when committed on time
 	Deadline float64 // absolute soft deadline
-	Gradient float64 // value lost per second past the deadline
+	Gradient float64 // ShapeLinear: value lost per second past the deadline
+	Shape    Shape
+	Window   float64 // ShapeStep/ShapeRenewal: post-deadline window width, seconds
+	StepFrac float64 // ShapeStep: fraction of V retained during the window
+	Renewals int     // ShapeRenewal: number of half-value windows
 }
 
 // At returns V(t).
@@ -24,12 +53,45 @@ func (f Fn) At(t float64) float64 {
 	if t <= f.Deadline {
 		return f.V
 	}
+	switch f.Shape {
+	case ShapeCliff:
+		return 0
+	case ShapeStep:
+		if f.Window > 0 && t <= f.Deadline+f.Window {
+			return f.V * f.StepFrac
+		}
+		return 0
+	case ShapeRenewal:
+		if f.Window <= 0 {
+			return 0
+		}
+		k := int((t - f.Deadline) / f.Window)
+		if k < f.Renewals {
+			return f.V * math.Pow(0.5, float64(k+1))
+		}
+		return 0
+	}
 	return f.V - (t-f.Deadline)*f.Gradient
 }
 
-// ZeroCrossing returns the time at which the function reaches zero, or
-// +Inf for a non-critical (zero gradient) transaction.
+// ZeroCrossing returns the earliest time from which the function stays
+// <= 0 (where late work stops being worth scheduling), or +Inf for a
+// non-critical function that never reaches zero.
 func (f Fn) ZeroCrossing() float64 {
+	switch f.Shape {
+	case ShapeCliff:
+		return f.Deadline
+	case ShapeStep:
+		if f.Window <= 0 || f.StepFrac <= 0 {
+			return f.Deadline
+		}
+		return f.Deadline + f.Window
+	case ShapeRenewal:
+		if f.Window <= 0 {
+			return f.Deadline
+		}
+		return f.Deadline + float64(f.Renewals)*f.Window
+	}
 	if f.Gradient <= 0 {
 		return math.Inf(1)
 	}

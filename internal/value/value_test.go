@@ -22,6 +22,71 @@ func TestFnShape(t *testing.T) {
 	}
 }
 
+func TestShapedFamilies(t *testing.T) {
+	cliff := Fn{V: 100, Deadline: 10, Shape: ShapeCliff}
+	if cliff.At(10) != 100 || cliff.At(10.001) != 0 {
+		t.Fatalf("cliff: At(10)=%v At(10.001)=%v", cliff.At(10), cliff.At(10.001))
+	}
+	if got := cliff.ZeroCrossing(); got != 10 {
+		t.Fatalf("cliff ZeroCrossing = %v, want 10", got)
+	}
+
+	step := Fn{V: 100, Deadline: 10, Shape: ShapeStep, Window: 5, StepFrac: 0.4}
+	if step.At(9) != 100 || step.At(12) != 40 || step.At(16) != 0 {
+		t.Fatalf("step: At(9)=%v At(12)=%v At(16)=%v", step.At(9), step.At(12), step.At(16))
+	}
+	if got := step.ZeroCrossing(); got != 15 {
+		t.Fatalf("step ZeroCrossing = %v, want 15", got)
+	}
+	// A zero-fraction step degenerates to a cliff.
+	zstep := Fn{V: 100, Deadline: 10, Shape: ShapeStep, Window: 5, StepFrac: 0}
+	if got := zstep.ZeroCrossing(); got != 10 {
+		t.Fatalf("zero-frac step ZeroCrossing = %v, want 10", got)
+	}
+
+	ren := Fn{V: 100, Deadline: 10, Shape: ShapeRenewal, Window: 2, Renewals: 3}
+	for _, c := range []struct{ t, want float64 }{
+		{9, 100}, {10, 100}, {11, 50}, {12.5, 25}, {14.5, 12.5}, {16.5, 0}, {100, 0},
+	} {
+		if got := ren.At(c.t); got != c.want {
+			t.Fatalf("renewal At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if got := ren.ZeroCrossing(); got != 16 {
+		t.Fatalf("renewal ZeroCrossing = %v, want 16", got)
+	}
+}
+
+// Property: every shape is monotone non-increasing past the deadline and
+// non-positive from its zero-crossing onward.
+func TestShapedFamiliesMonotone(t *testing.T) {
+	fns := []Fn{
+		{V: 7, Deadline: 1, Gradient: 3},
+		{V: 7, Deadline: 1, Shape: ShapeCliff},
+		{V: 7, Deadline: 1, Shape: ShapeStep, Window: 0.5, StepFrac: 0.9},
+		{V: 7, Deadline: 1, Shape: ShapeRenewal, Window: 0.25, Renewals: 8},
+	}
+	for i, f := range fns {
+		prev := math.Inf(1)
+		for x := 1.0; x < 5; x += 0.01 {
+			v := f.At(x)
+			if v > prev+1e-12 {
+				t.Fatalf("fn %d increases at t=%v: %v > %v", i, x, v, prev)
+			}
+			prev = v
+		}
+		zc := f.ZeroCrossing()
+		if math.IsInf(zc, 1) {
+			continue
+		}
+		for _, dt := range []float64{1e-9, 0.1, 10} {
+			if v := f.At(zc + dt); v > 0 {
+				t.Fatalf("fn %d still worth %v past its zero-crossing %v", i, v, zc)
+			}
+		}
+	}
+}
+
 func TestZeroCrossing(t *testing.T) {
 	f := Fn{V: 100, Deadline: 10, Gradient: 5}
 	if got := f.ZeroCrossing(); got != 30 {

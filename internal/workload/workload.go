@@ -19,6 +19,52 @@ type Config struct {
 	ArrivalRate float64 // transactions per second (Poisson)
 	Classes     []model.Class
 	Seed        int64
+
+	// Keys selects how page accesses spread over the keyspace; the zero
+	// value is the paper's uniform choice.
+	Keys KeyDist
+	// Think describes client think time between a session's operations;
+	// the zero value is no think time. The simulator ignores it — it is
+	// consumed by live-server session drivers via NextThink.
+	Think ThinkTime
+}
+
+// Key-distribution kinds for KeyDist.Kind.
+const (
+	KeyUniform = "uniform"
+	KeyZipf    = "zipf"
+	KeyHot     = "hot"
+)
+
+// KeyDist selects the access skew over the DBPages keyspace.
+type KeyDist struct {
+	// Kind is "" or KeyUniform (uniform without replacement), KeyZipf
+	// (Zipfian ranks, page 0 hottest), or KeyHot (a fixed hot set
+	// absorbing a fixed fraction of accesses).
+	Kind string
+	// Theta is the Zipfian skew in [0, 1) (KeyZipf only; YCSB's default
+	// contention setting is 0.99).
+	Theta float64
+	// HotKeys and HotFrac configure KeyHot: HotFrac of accesses land
+	// uniformly in pages {0..HotKeys-1}, the rest uniformly in the cold
+	// remainder.
+	HotKeys int
+	HotFrac float64
+}
+
+// Think-time kinds for ThinkTime.Kind.
+const (
+	ThinkNone  = "none"
+	ThinkFixed = "fixed"
+	ThinkExp   = "exp"
+)
+
+// ThinkTime describes the pause an interactive session takes between
+// operations: none, a fixed Mean, or exponential with the given Mean
+// (an open "user" keying in the next request).
+type ThinkTime struct {
+	Kind string
+	Mean float64 // seconds
 }
 
 // Baseline returns the Sec. 4 baseline model: one class, 1000 pages, 16
@@ -113,6 +159,30 @@ func (c Config) Validate() error {
 	if total <= 0 {
 		return fmt.Errorf("workload: class frequencies sum to %v", total)
 	}
+	switch c.Keys.Kind {
+	case "", KeyUniform:
+	case KeyZipf:
+		if c.Keys.Theta < 0 || c.Keys.Theta >= 1 {
+			return fmt.Errorf("workload: zipf theta = %v (want [0, 1))", c.Keys.Theta)
+		}
+	case KeyHot:
+		if c.Keys.HotKeys <= 0 || c.Keys.HotKeys >= c.DBPages {
+			return fmt.Errorf("workload: hot set %d of %d pages", c.Keys.HotKeys, c.DBPages)
+		}
+		if c.Keys.HotFrac < 0 || c.Keys.HotFrac > 1 {
+			return fmt.Errorf("workload: hot fraction = %v", c.Keys.HotFrac)
+		}
+	default:
+		return fmt.Errorf("workload: unknown key distribution %q", c.Keys.Kind)
+	}
+	switch c.Think.Kind {
+	case "", ThinkNone, ThinkFixed, ThinkExp:
+		if c.Think.Mean < 0 {
+			return fmt.Errorf("workload: think mean = %v", c.Think.Mean)
+		}
+	default:
+		return fmt.Errorf("workload: unknown think-time kind %q", c.Think.Kind)
+	}
 	return nil
 }
 
@@ -120,6 +190,7 @@ func (c Config) Validate() error {
 type Generator struct {
 	cfg     Config
 	rng     *dist.RNG
+	zipf    *dist.Zipf
 	next    sim.Time
 	nextID  model.TxnID
 	cumFreq []float64
@@ -132,6 +203,9 @@ func NewGenerator(cfg Config) *Generator {
 		panic(err)
 	}
 	g := &Generator{cfg: cfg, rng: dist.NewRNG(cfg.Seed), nextID: 1}
+	if cfg.Keys.Kind == KeyZipf {
+		g.zipf = g.rng.Zipf(cfg.DBPages, cfg.Keys.Theta)
+	}
 	total := 0.0
 	for _, cl := range cfg.Classes {
 		total += cl.Frequency
@@ -155,16 +229,70 @@ func (g *Generator) pickClass() int {
 	return len(g.cumFreq) - 1
 }
 
+// drawPages returns k distinct pages per the configured key
+// distribution. Skewed kinds draw with replacement and dedupe — a hot
+// page re-drawn within one transaction is the same access — falling back
+// to a deterministic upward probe if the skew is so extreme that fresh
+// pages stop appearing (k <= DBPages is guaranteed by Validate).
+func (g *Generator) drawPages(k int) []int {
+	if g.cfg.Keys.Kind == "" || g.cfg.Keys.Kind == KeyUniform {
+		return g.rng.SampleWithoutReplacement(g.cfg.DBPages, k)
+	}
+	n := g.cfg.DBPages
+	drawOne := func() int {
+		if g.zipf != nil {
+			return g.zipf.Next()
+		}
+		// KeyHot.
+		if g.rng.Float64() < g.cfg.Keys.HotFrac {
+			return g.rng.Intn(g.cfg.Keys.HotKeys)
+		}
+		return g.cfg.Keys.HotKeys + g.rng.Intn(n-g.cfg.Keys.HotKeys)
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]bool, k)
+	for tries := 0; len(out) < k && tries < 32*k; tries++ {
+		if p := drawOne(); !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for p := 0; len(out) < k; p = (p + 1) % n {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NextThink draws one think-time pause in seconds from the configured
+// distribution. It shares the generator's RNG, so a fixed seed fixes the
+// interleaved arrival/page/think stream as one deterministic sequence.
+func (g *Generator) NextThink() float64 {
+	switch g.cfg.Think.Kind {
+	case ThinkFixed:
+		return g.cfg.Think.Mean
+	case ThinkExp:
+		if g.cfg.Think.Mean <= 0 {
+			return 0
+		}
+		return g.rng.Exp(g.cfg.Think.Mean)
+	}
+	return 0
+}
+
 // Next returns the next transaction in arrival order. Arrival gaps are
-// exponential with mean 1/rate; pages are chosen uniformly without
-// replacement; each access is a write with the class's WriteProb; the
-// actual per-op time is the class mean scaled by a truncated-normal jitter
-// factor (the scheduler only ever sees the class mean).
+// exponential with mean 1/rate; pages are chosen per the key
+// distribution (uniform without replacement by default); each access is
+// a write with the class's WriteProb; the actual per-op time is the
+// class mean scaled by a truncated-normal jitter factor (the scheduler
+// only ever sees the class mean).
 func (g *Generator) Next() *model.Txn {
 	g.next += sim.Time(g.rng.Exp(1 / g.cfg.ArrivalRate))
 	cl := &g.cfg.Classes[g.pickClass()]
 
-	pages := g.rng.SampleWithoutReplacement(g.cfg.DBPages, cl.NumOps)
+	pages := g.drawPages(cl.NumOps)
 	ops := make([]model.Op, cl.NumOps)
 	for i, p := range pages {
 		ops[i] = model.Op{Page: model.PageID(p), Write: g.rng.Float64() < cl.WriteProb}

@@ -159,6 +159,144 @@ func TestClassMixMatches(t *testing.T) {
 	}
 }
 
+func TestZipfKeySkewConcentratesAccesses(t *testing.T) {
+	cfg := Baseline(100, 11)
+	cfg.Keys = KeyDist{Kind: KeyZipf, Theta: 0.99}
+	g := NewGenerator(cfg)
+	counts := make(map[model.PageID]int)
+	total := 0
+	for i := 0; i < 3000; i++ {
+		tx := g.Next()
+		seen := map[model.PageID]bool{}
+		for _, op := range tx.Ops {
+			if seen[op.Page] {
+				t.Fatalf("txn %d accesses page %d twice", tx.ID, op.Page)
+			}
+			seen[op.Page] = true
+			counts[op.Page]++
+			total++
+		}
+	}
+	// The 10 hottest ranks must absorb far more than their uniform share
+	// (10/1000 = 1%); with theta=0.99 and per-txn dedupe it is >> 10%.
+	hot := 0
+	for p := model.PageID(0); p < 10; p++ {
+		hot += counts[p]
+	}
+	if frac := float64(hot) / float64(total); frac < 0.10 {
+		t.Fatalf("hottest 10 pages absorb %v of accesses, want skewed >> 0.01", frac)
+	}
+	// And the ordering must be Zipfian: rank 0 strictly hotter than rank 50.
+	if counts[0] <= counts[50] {
+		t.Fatalf("rank 0 (%d draws) not hotter than rank 50 (%d draws)", counts[0], counts[50])
+	}
+}
+
+func TestHotSetKeyDistribution(t *testing.T) {
+	cfg := Baseline(100, 13)
+	cfg.Keys = KeyDist{Kind: KeyHot, HotKeys: 20, HotFrac: 0.8}
+	g := NewGenerator(cfg)
+	hot, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		for _, op := range g.Next().Ops {
+			total++
+			if op.Page < 20 {
+				hot++
+			}
+		}
+	}
+	// Per-transaction dedupe trims repeats inside the tiny hot set, so
+	// the realized hot fraction sits below the raw 0.8 draw probability;
+	// it must still be far above the uniform 2%.
+	if frac := float64(hot) / float64(total); frac < 0.5 {
+		t.Fatalf("hot-set fraction = %v, want >> 0.02", frac)
+	}
+}
+
+func TestThinkTimeMomentsAndDeterminism(t *testing.T) {
+	const n = 100000
+	// Fixed: every draw is exactly the mean.
+	cfg := Baseline(100, 17)
+	cfg.Think = ThinkTime{Kind: ThinkFixed, Mean: 0.25}
+	g := NewGenerator(cfg)
+	for i := 0; i < 100; i++ {
+		if got := g.NextThink(); got != 0.25 {
+			t.Fatalf("fixed think = %v, want 0.25", got)
+		}
+	}
+	// Exponential: mean and second moment (E[X^2] = 2*mean^2 for exp).
+	cfg.Think = ThinkTime{Kind: ThinkExp, Mean: 0.1}
+	g = NewGenerator(cfg)
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := g.NextThink()
+		if x < 0 {
+			t.Fatalf("negative think time %v", x)
+		}
+		sum += x
+		sum2 += x * x
+	}
+	if mean := sum / n; math.Abs(mean-0.1) > 0.005 {
+		t.Fatalf("exp think mean = %v, want ~0.1", mean)
+	}
+	if m2 := sum2 / n; math.Abs(m2-0.02) > 0.003 {
+		t.Fatalf("exp think second moment = %v, want ~2*mean^2 = 0.02", m2)
+	}
+	// None: always zero.
+	cfg.Think = ThinkTime{}
+	g = NewGenerator(cfg)
+	if g.NextThink() != 0 {
+		t.Fatal("zero-value think time must draw 0")
+	}
+	// Determinism: the interleaved Next/NextThink stream replays exactly
+	// under a fixed seed.
+	cfg = Baseline(50, 23)
+	cfg.Keys = KeyDist{Kind: KeyZipf, Theta: 0.9}
+	cfg.Think = ThinkTime{Kind: ThinkExp, Mean: 0.05}
+	a, b := NewGenerator(cfg), NewGenerator(cfg)
+	for i := 0; i < 500; i++ {
+		ta, tb := a.Next(), b.Next()
+		if ta.Arrival != tb.Arrival {
+			t.Fatalf("arrivals diverged at %d", i)
+		}
+		for j := range ta.Ops {
+			if ta.Ops[j] != tb.Ops[j] {
+				t.Fatalf("ops diverged at txn %d op %d", i, j)
+			}
+		}
+		if a.NextThink() != b.NextThink() {
+			t.Fatalf("think stream diverged at %d", i)
+		}
+	}
+}
+
+func TestKeyAndThinkValidation(t *testing.T) {
+	base := Baseline(100, 1)
+	bad := []func(*Config){
+		func(c *Config) { c.Keys = KeyDist{Kind: "weird"} },
+		func(c *Config) { c.Keys = KeyDist{Kind: KeyZipf, Theta: 1} },
+		func(c *Config) { c.Keys = KeyDist{Kind: KeyZipf, Theta: -0.5} },
+		func(c *Config) { c.Keys = KeyDist{Kind: KeyHot, HotKeys: 0, HotFrac: 0.5} },
+		func(c *Config) { c.Keys = KeyDist{Kind: KeyHot, HotKeys: 1000, HotFrac: 0.5} },
+		func(c *Config) { c.Keys = KeyDist{Kind: KeyHot, HotKeys: 10, HotFrac: 1.5} },
+		func(c *Config) { c.Think = ThinkTime{Kind: "sometimes"} },
+		func(c *Config) { c.Think = ThinkTime{Kind: ThinkExp, Mean: -1} },
+	}
+	for i, mut := range bad {
+		cfg := base
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid key/think config accepted", i)
+		}
+	}
+	good := base
+	good.Keys = KeyDist{Kind: KeyZipf, Theta: 0.99}
+	good.Think = ThinkTime{Kind: ThinkExp, Mean: 0.01}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
 func TestInvalidConfigPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {

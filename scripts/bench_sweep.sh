@@ -12,6 +12,15 @@ ADDR=127.0.0.1:7399
 SCRATCH=$(mktemp -d)
 SERVER_PID=
 
+# The artifact stamps the core count the sweep ran on: bench numbers
+# from different machines are only comparable at the same parallelism,
+# and a GOMAXPROCS=1 run (cgroup-capped CI, taskset) serializes the
+# server and the load generator onto one core — flag it loudly.
+CPUS=${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}
+if [ "$CPUS" -le 1 ]; then
+    echo "bench-sweep: WARNING: running with 1 CPU (GOMAXPROCS=${GOMAXPROCS:-unset}); throughput and latency are not comparable to multi-core artifacts" >&2
+fi
+
 cleanup() {
     [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
     rm -rf "$SCRATCH"
@@ -75,7 +84,7 @@ run durable-cross-intents \
     "-clients 32 -ops 200 -mix low -pipeline 16"
 
 {
-    printf '{\n  "schema": "scc-bench-sweep/v1",\n  "runs": [\n'
+    printf '{\n  "schema": "scc-bench-sweep/v1",\n  "cpus": %d,\n  "runs": [\n' "$CPUS"
     for i in "${!FILES[@]}"; do
         [ "$i" -gt 0 ] && printf ',\n'
         printf '    {\n      "name": "%s",\n      "result":\n' "${NAMES[$i]}"
