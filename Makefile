@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-sweep bench-race fuzz e2e e2e-recover e2e-interactive e2e-chaos scenario-matrix lint docs clean-data
+.PHONY: check build vet test race bench bench-sweep bench-race bench-compare fuzz e2e e2e-recover e2e-interactive e2e-chaos scenario-matrix lint docs clean-data
 
 check: build vet race
 
@@ -36,6 +36,14 @@ BENCH_OUT ?= BENCH.json
 bench-sweep:
 	bash scripts/bench_sweep.sh $(BENCH_OUT)
 
+# bench-compare is the machine-checked regression gate: diff a fresh
+# sweep artifact (BENCH_OUT) against the newest checked-in
+# BENCH_<pr>.json per scenario — warn at 5%, fail at 15% p99 regression
+# or throughput drop. BENCH_BASE pins a specific baseline.
+BENCH_BASE ?=
+bench-compare:
+	$(GO) run ./scripts -new $(BENCH_OUT) $(if $(BENCH_BASE),-base $(BENCH_BASE))
+
 # bench-race is the CI guard that the instrumented hot path stays
 # race-clean under benchmark load: one pass of the pipelined benchmark
 # with the race detector on.
@@ -45,6 +53,7 @@ bench-race:
 fuzz:
 	$(GO) test ./internal/server -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime 30s
 	$(GO) test ./internal/server/opts -run '^$$' -fuzz '^FuzzParseToken$$' -fuzztime 30s
+	$(GO) test ./internal/obs -run '^$$' -fuzz '^FuzzParseTrace$$' -fuzztime 30s
 
 # scenario-matrix runs the full workload × value-function grid against
 # live in-process servers (internal/scenario via sccload -matrix): every

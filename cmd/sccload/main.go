@@ -64,6 +64,7 @@ import (
 
 	"repro/internal/model"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/scenario"
 	"repro/internal/server/client"
 	"repro/internal/stats"
@@ -261,7 +262,26 @@ func main() {
 	matrix := flag.String("matrix", "", "run a scenario-matrix preset (smoke | full) instead of a single load: boots one in-process server per cell (ignoring -addr), drives the grid, audits every cell, and emits one scc-scenario/v1 JSON artifact")
 	matrixOut := flag.String("matrix-out", "", "with -matrix: write the scc-scenario/v1 artifact to this file instead of stdout")
 	cellDuration := flag.Duration("cell-duration", 0, "with -matrix: override each cell's load duration (0 = the preset's own)")
+	eventsMerge := flag.Bool("events-merge", false, "merge the flight-recorder dump files named as positional arguments (from <data-dir>/flight on primary and replicas) into one causal timeline on stdout, grouped by global commit epoch; no load is run")
 	flag.Parse()
+
+	if *eventsMerge {
+		if flag.NArg() == 0 {
+			log.Fatal("sccload: -events-merge needs one or more dump files (usage: sccload -events-merge <dump.events>...)")
+		}
+		dumps := make([]flight.Dump, 0, flag.NArg())
+		for _, path := range flag.Args() {
+			d, err := flight.ParseDumpFile(path)
+			if err != nil {
+				log.Fatalf("sccload: -events-merge: %v", err)
+			}
+			dumps = append(dumps, d)
+		}
+		if err := flight.MergeTimeline(dumps, os.Stdout); err != nil {
+			log.Fatalf("sccload: -events-merge: %v", err)
+		}
+		return
+	}
 
 	if *matrix != "" {
 		if err := runMatrix(*matrix, *cellDuration, *matrixOut); err != nil {

@@ -75,6 +75,7 @@ func main() {
 	ckptEvery := flag.Int("ckpt-every", 4096, "checkpoint a shard after this many WAL records, highest pending-value shard first (0 = only on the CKPT verb)")
 	txnIdle := flag.Duration("txn-idle", 30*time.Second, "reap interactive TXN sessions with no operation for this long (negative = no idle cap — an abandoned no-deadline session then pins its admission slot; value zero-crossing reaping always runs)")
 	statsEvery := flag.Duration("stats", 0, "log engine stats at this interval (0 = off)")
+	flightSample := flag.Int("flight-sample", 0, "flight recorder lifecycle sampling: 1-in-N untraced requests stamp their stages into the EVENTS ring (trace=1 requests and durability/replication/shed events always record; 0 = default 8, 1 = every request)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address serving GET /metrics (Prometheus text exposition of the same registry as the METRICS wire verb) and /debug/pprof (empty = off)")
 	logLevel := flag.String("log-level", "info", "structured-log verbosity on stderr: debug | info | warn | error")
 	resumeFile := flag.String("repl-resume", "", "replica: file persisting the primary's per-shard applied indices so a restart resumes the stream instead of re-bootstrapping via SNAP (default <data-dir>/replica.resume when -data-dir is set)")
@@ -142,7 +143,8 @@ func main() {
 			Gate:    gate,
 			Retain:  *replRetain,
 		},
-		Txn: server.TxnConfig{MaxIdle: *txnIdle},
+		Txn:          server.TxnConfig{MaxIdle: *txnIdle},
+		FlightSample: *flightSample,
 		Durable: durable.Options{
 			Dir:       *dataDir,
 			Fsync:     fsyncPolicy,
@@ -153,6 +155,9 @@ func main() {
 	if err != nil {
 		fatal("sccserve: open", "err", err)
 	}
+	// The flight recorder's node name joins dumps from different
+	// processes in one merged timeline, so make it the listen address.
+	srv.Flight().SetNode(strings.ReplaceAll(*addr, " ", "_"))
 	if d := srv.Durable(); d != nil {
 		slog.Info("sccserve: durable", "dir", *dataDir, "fsync", fsyncPolicy.String(),
 			"ckpt_every", *ckptEvery, "recovered_records", d.RecoveredIndex())
@@ -172,6 +177,7 @@ func main() {
 			Snapshot:   *replSnapshot,
 			ResumePath: resume,
 			Metrics:    server.NewReplicaMetrics(srv.Metrics()),
+			Flight:     srv.Flight().Repl(),
 		})
 		if err != nil {
 			fatal("sccserve: replication", "err", err)
@@ -191,6 +197,14 @@ func main() {
 		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 			srv.Metrics().Expose(w)
+		})
+		// /debug/events serves the flight recorder's retained window in
+		// the same dump format the fault paths write to <data-dir>/flight.
+		http.HandleFunc("/debug/events", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			if err := srv.Flight().WriteTo(w, "http"); err != nil {
+				slog.Warn("sccserve: /debug/events", "err", err)
+			}
 		})
 		mlis, err := net.Listen("tcp", *metricsAddr)
 		if err != nil {
@@ -231,6 +245,25 @@ func main() {
 			}
 		}()
 	}
+
+	// SIGQUIT is the operator's black-box pull: dump the flight
+	// recorder's retained window and keep serving (unlike the Go
+	// runtime's default stack-dump-and-exit, which SIGABRT still gives).
+	quit := make(chan os.Signal, 1)
+	signal.Notify(quit, syscall.SIGQUIT)
+	go func() {
+		for range quit {
+			if *dataDir != "" {
+				if path, err := srv.Flight().DumpDir(filepath.Join(*dataDir, "flight"), "sigquit"); err != nil {
+					slog.Error("sccserve: flight dump failed", "err", err)
+				} else {
+					slog.Info("sccserve: flight dump", "path", path)
+				}
+			} else if err := srv.Flight().WriteTo(os.Stderr, "sigquit"); err != nil {
+				slog.Error("sccserve: flight dump failed", "err", err)
+			}
+		}
+	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/repl"
 	"repro/internal/shard"
 )
@@ -61,6 +62,12 @@ type Options struct {
 	// every install path also surfaces the same failure synchronously in
 	// its verdict.
 	OnError func(error)
+	// Flight, when non-nil, receives durability events (fsync, intent,
+	// decision, checkpoint, reconciliation) on its per-shard rings, and
+	// is dumped to <Dir>/flight/ on the failure paths: the first sticky
+	// WAL failure (before OnError fail-stops the process) and a boot
+	// that discarded undecided cross-shard epochs.
+	Flight *flight.Recorder
 }
 
 // Metrics are the durability layer's instruments, registered by the
@@ -108,15 +115,27 @@ type Manager struct {
 	done   chan struct{}
 }
 
-// fail reports a sticky WAL failure to the OnError hook, once. The
-// callback runs on its own goroutine: fail is called from under shard
-// latches and WAL locks, and the hook (typically a fail-stop shutdown)
-// must not re-enter them.
+// fail reports a sticky WAL failure, once: the flight recorder is
+// dumped (the black box survives the fail-stop), then the OnError hook
+// runs. Both happen on their own goroutine — fail is called from under
+// shard latches and WAL locks, and neither the dump's file I/O nor the
+// hook (typically a fail-stop shutdown) may re-enter them; the dump
+// strictly precedes the hook so it completes before any process exit.
 func (m *Manager) fail(err error) {
-	if err == nil || m.opts.OnError == nil {
+	if err == nil {
 		return
 	}
-	m.failOnce.Do(func() { go m.opts.OnError(err) })
+	m.failOnce.Do(func() {
+		fl, dir, hook := m.opts.Flight, filepath.Join(m.opts.Dir, "flight"), m.opts.OnError
+		go func() {
+			if _, derr := fl.DumpDir(dir, "walfail"); derr != nil {
+				slog.Warn("durable: flight dump on WAL failure failed", "err", derr)
+			}
+			if hook != nil {
+				hook(err)
+			}
+		}()
+	})
 }
 
 // managedShard is one shard's durability state. It implements
@@ -140,7 +159,8 @@ type managedShard struct {
 	idx     int
 	dir     string
 	wal     *WAL
-	replLog *repl.Log // nil without a feed
+	flight  *flight.Ring // this shard's flight ring (nil-safe)
+	replLog *repl.Log    // nil without a feed
 
 	mu           sync.Mutex
 	next         uint64              // next commit-log index (lockstep with wal and replLog)
@@ -269,6 +289,7 @@ func Open(opts Options, store *shard.Store, feed *repl.Feed) (*Manager, error) {
 			idx:      i,
 			dir:      b.dir,
 			wal:      b.wal,
+			flight:   opts.Flight.Shard(i),
 			next:     b.head + 1,
 			synced:   b.head,
 			maxEpoch: b.lastEpoch,
@@ -286,6 +307,15 @@ func Open(opts Options, store *shard.Store, feed *repl.Feed) (*Manager, error) {
 		m.shards = append(m.shards, ms)
 		m.recovered += b.head
 		store.Shard(i).SetCommitLog(ms)
+	}
+	// A boot that discarded torn commits is itself a fault worth a black
+	// box: the reconcile events recorded during replay (plus whatever the
+	// rings already hold) are dumped so the merge tool can line the
+	// discards up against the pre-crash primary's walfail dump by epoch.
+	if len(discard) > 0 {
+		if _, err := opts.Flight.DumpDir(filepath.Join(opts.Dir, "flight"), "reconcile"); err != nil {
+			slog.Warn("durable: flight dump after reconciliation failed", "err", err)
+		}
 	}
 	go m.checkpointLoop()
 	return m, nil
@@ -400,6 +430,7 @@ func (m *Manager) replayShard(i int, b *shardBoot, discard map[uint64]bool) erro
 		}
 		head = rec.Index
 		if rec.Cross() && discard[rec.Epoch] {
+			m.opts.Flight.Shard(i).Record(flight.EvReconcileDiscard, 0, i, rec.Epoch)
 			continue
 		}
 		eng.ApplyLocked(rec.Writes)
@@ -456,6 +487,7 @@ func (ms *managedShard) appendRecord(writes map[string][]byte, value float64, ep
 	err := ms.wal.Append(rec)
 	if err != nil {
 		ms.m.errs.Add(1)
+		ms.flight.Record(flight.EvWalError, 0, ms.idx, epoch)
 	} else {
 		if cross {
 			ms.gated[epoch] = struct{}{}
@@ -486,9 +518,12 @@ func (ms *managedShard) AppendIntent(epoch uint64, shards []int) error {
 	err := ms.wal.AppendIntent(epoch, shards)
 	if err != nil {
 		ms.m.errs.Add(1)
+		ms.flight.Record(flight.EvWalError, 0, ms.idx, epoch)
 		ms.m.fail(err)
+		return err
 	}
-	return err
+	ms.flight.Record(flight.EvIntent, 0, ms.idx, epoch)
+	return nil
 }
 
 // AppendDecision writes the epoch's decision record — the cross-shard
@@ -499,9 +534,12 @@ func (ms *managedShard) AppendDecision(epoch uint64) error {
 	err := ms.wal.AppendDecision(epoch)
 	if err != nil {
 		ms.m.errs.Add(1)
+		ms.flight.Record(flight.EvWalError, 0, ms.idx, epoch)
 		ms.m.fail(err)
+		return err
 	}
-	return err
+	ms.flight.Record(flight.EvDecision, 0, ms.idx, epoch)
+	return nil
 }
 
 // ReleaseCross un-gates the epoch's record for replication shipping: its
@@ -543,6 +581,16 @@ func (ms *managedShard) shipLocked() {
 	}
 }
 
+// LastEpoch implements engine.EpochReporter: the newest commit epoch
+// appended to this shard's WAL. The engine reads it under the shard
+// latch right after an install, so for a standalone commit it is
+// exactly the epoch appendRecord just allocated for that install.
+func (ms *managedShard) LastEpoch() uint64 {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	return ms.maxEpoch
+}
+
 // Sync implements engine.CommitSyncer: one WAL sync per commit batch,
 // then publication of the newly covered records to the replication log.
 // The engine (and the cross-shard/replica apply paths) call it before
@@ -555,9 +603,25 @@ func (ms *managedShard) shipLocked() {
 func (ms *managedShard) Sync() error {
 	ms.mu.Lock()
 	last := ms.next - 1
+	watermark := ms.maxEpoch
 	ms.mu.Unlock()
 	if err := ms.wal.Sync(); err != nil {
 		ms.m.errs.Add(1)
+		// Tag the failing sync in the flight ring: once with the shard's
+		// epoch watermark, then once per cross-shard epoch still gated
+		// (undecided) here — exactly the epochs recovery will reconcile,
+		// so the walfail dump names them before the fail-stop.
+		ms.flight.Record(flight.EvFsyncError, 0, ms.idx, watermark)
+		ms.mu.Lock()
+		gated := make([]uint64, 0, len(ms.gated))
+		for e := range ms.gated {
+			gated = append(gated, e)
+		}
+		ms.mu.Unlock()
+		sort.Slice(gated, func(i, j int) bool { return gated[i] < gated[j] })
+		for _, e := range gated {
+			ms.flight.Record(flight.EvFsyncError, 0, ms.idx, e)
+		}
 		// A broken WAL also stops shipping: replicas must not apply
 		// records this primary can no longer recover. The queue is
 		// simply never drained further — the WAL is sticky-broken, the
@@ -565,6 +629,7 @@ func (ms *managedShard) Sync() error {
 		ms.m.fail(err)
 		return err
 	}
+	ms.flight.Record(flight.EvFsync, 0, ms.idx, watermark)
 	ms.mu.Lock()
 	if last > ms.synced {
 		ms.synced = last
@@ -713,6 +778,7 @@ func (m *Manager) checkpointShard(ms *managedShard) error {
 		m.errs.Add(1)
 		return err
 	}
+	ms.flight.Record(flight.EvCheckpoint, 0, ms.idx, epoch)
 	ms.mu.Lock()
 	prev := ms.ckptIdx
 	ms.ckptIdx = head

@@ -124,6 +124,17 @@ type ValuedCommitLog interface {
 	AppendValued(writes map[string][]byte, value float64)
 }
 
+// EpochReporter is an optional CommitLog extension: LastEpoch returns
+// the global commit epoch of the newest record the sink has accepted.
+// Sinks that allocate standalone epochs (repl.Log, the durable WAL
+// sink) implement it; the engine reads it right after an install, still
+// under the commit latch, to stamp the committing transaction's trace
+// with its epoch — the join key between a client-held trace and the
+// flight recorder's cross-node timeline.
+type EpochReporter interface {
+	LastEpoch() uint64
+}
+
 // CommitSyncer is an optional CommitLog extension: when implemented, the
 // engine calls Sync once per commit batch that installed writes — after
 // releasing the store latch and before any commit verdict of the batch is
@@ -210,6 +221,7 @@ type Store struct {
 	gc  *groupCommitter // nil unless Config.GroupCommit.Enabled
 
 	mu        sync.Mutex
+	epochRep  EpochReporter // cfg.CommitLog's epoch view, cached (nil if none)
 	committed map[string]versioned
 	active    map[*txnHandle]struct{}
 	stats     Stats
@@ -231,6 +243,7 @@ func Open(cfg Config) *Store {
 		committed: make(map[string]versioned),
 		active:    make(map[*txnHandle]struct{}),
 	}
+	s.epochRep, _ = cfg.CommitLog.(EpochReporter)
 	if cfg.GroupCommit.Enabled {
 		s.gc = newGroupCommitter(s, cfg.GroupCommit)
 	}
@@ -756,6 +769,12 @@ func (s *Store) commitLocked(a *attempt) bool {
 	}
 	s.installLocked(a.writes, h.value, 0, nil)
 	s.stats.Commits++
+	if h.tr != nil && s.epochRep != nil && len(a.writes) > 0 {
+		// The sink allocated this install's standalone epoch under the
+		// latch we hold, so its newest epoch IS ours. Stamp it before
+		// the install stage so the flight event carries it too.
+		h.tr.SetEpoch(s.epochRep.LastEpoch())
+	}
 	h.tr.Event(obs.StageInstall)
 	return true
 }

@@ -151,6 +151,7 @@ func (s *Store) RangeLocked(fn func(key string, val []byte) bool) {
 func (s *Store) SetCommitLog(cl CommitLog) {
 	s.mu.Lock()
 	s.cfg.CommitLog = cl
+	s.epochRep, _ = cl.(EpochReporter)
 	s.mu.Unlock()
 }
 

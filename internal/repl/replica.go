@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/shard"
 )
 
@@ -74,6 +75,11 @@ type ReplicaConfig struct {
 	// Metrics, when non-nil, receives apply-path observations. All
 	// fields must be populated.
 	Metrics *ReplicaMetrics
+	// Flight, when non-nil, receives one event per apply batch — the
+	// replica half of the cross-node causal timeline: the event carries
+	// the batch's newest commit epoch, so a merged flight dump joins it
+	// to the primary's intent/decision events for the same epoch.
+	Flight *flight.Ring
 }
 
 // ReplicaMetrics are the replica's instruments, registered by the
@@ -101,6 +107,7 @@ type Replica struct {
 	w          *bufio.Writer
 	resumePath string
 	met        *ReplicaMetrics
+	flight     *flight.Ring
 
 	mu        sync.Mutex
 	applied   []uint64
@@ -151,6 +158,7 @@ func StartReplica(cfg ReplicaConfig) (*Replica, error) {
 		maxBatch:   cfg.MaxBatch,
 		resumePath: cfg.ResumePath,
 		met:        cfg.Metrics,
+		flight:     cfg.Flight,
 		applied:    make([]uint64, cfg.Store.NumShards()),
 		acked:      make([]uint64, cfg.Store.NumShards()),
 		lastEpoch:  make([]uint64, cfg.Store.NumShards()),
@@ -728,6 +736,12 @@ func (r *Replica) install(fn func() error, nrecs int, shards []int, last []Recor
 	if r.met != nil {
 		r.met.ApplySeconds.Observe(int64(took))
 		r.met.ApplyBatch.Observe(int64(nrecs))
+	}
+	// One flight event per batch, stamped with its newest epoch (the
+	// epoch is the cross-node join key; txn carries the batch size).
+	if len(last) > 0 {
+		newest := last[len(last)-1]
+		r.flight.Record(flight.EvReplApply, uint64(nrecs), shards[0], newest.Epoch)
 	}
 	perShard := nrecs
 	if len(shards) > 1 {

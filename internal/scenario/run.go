@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/history"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/server/client"
@@ -211,17 +212,32 @@ func realizedValue(o client.TxOpts, elapsed time.Duration) float64 {
 	return v
 }
 
+// traceSampleEvery asks every nth transaction per worker for a
+// server-side lifecycle trace; the sampled timelines become the row's
+// per-stage latency attribution at negligible load cost.
+const traceSampleEvery = 20
+
 // workerResult accumulates one driver goroutine's client-side account.
 type workerResult struct {
 	requests, committed, shed, errs int64
 	submitted, realized             float64
 	lats                            []float64 // committed latencies, ms
 	perTenant                       map[string]*TenantRow
-	ledger                          map[string]int64 // counter key -> acked commits
+	ledger                          map[string]int64     // counter key -> acked commits
+	stages                          map[string][]float64 // stage -> sampled offsets, ms
 }
 
 func newWorkerResult() *workerResult {
-	return &workerResult{perTenant: map[string]*TenantRow{}, ledger: map[string]int64{}}
+	return &workerResult{perTenant: map[string]*TenantRow{}, ledger: map[string]int64{},
+		stages: map[string][]float64{}}
+}
+
+// accountTrace folds one sampled trace= timeline into the per-stage
+// offset samples. Malformed or empty tokens parse to nil and are dropped.
+func (r *workerResult) accountTrace(token string) {
+	for _, ev := range obs.ParseTrace(token) {
+		r.stages[ev.Stage] = append(r.stages[ev.Stage], float64(ev.At)/float64(time.Millisecond))
+	}
 }
 
 func (r *workerResult) account(o client.TxOpts, cnt string, err error, elapsed time.Duration) {
@@ -267,6 +283,9 @@ func (r *workerResult) merge(o *workerResult) {
 	r.lats = append(r.lats, o.lats...)
 	for k, v := range o.ledger {
 		r.ledger[k] += v
+	}
+	for stage, samples := range o.stages {
+		r.stages[stage] = append(r.stages[stage], samples...)
 	}
 	for name, t := range o.perTenant {
 		agg := r.perTenant[name]
@@ -339,6 +358,13 @@ func Run(c Cell) (Row, error) {
 	}
 	for _, name := range sortedTenants(agg.perTenant) {
 		row.Tenants = append(row.Tenants, *agg.perTenant[name])
+	}
+	if len(agg.stages) > 0 {
+		row.Stages = make(map[string]StageRow, len(agg.stages))
+		for stage, samples := range agg.stages {
+			p50, p99 := quantiles(samples)
+			row.Stages[stage] = StageRow{N: len(samples), P50Ms: p50, P99Ms: p99}
+		}
 	}
 
 	if cl.replica != nil {
@@ -460,10 +486,12 @@ func driveOneShot(c Cell, m *client.Mux, fam opts.Family, w int, deadline time.T
 	pick := dist.NewRNG(c.Seed*1_000_003 + int64(w))
 	r := newWorkerResult()
 	reqs := make([]client.UpdateReq, 0, c.Sessions)
+	seq := 0
 	for time.Now().Before(deadline) {
 		reqs = reqs[:0]
 		for i := 0; i < c.Sessions; i++ {
 			tx := gen.Next()
+			seq++
 			reqs = append(reqs, client.UpdateReq{
 				Ops: pageOps(tx, w, 0),
 				Opts: client.TxOpts{
@@ -471,11 +499,15 @@ func driveOneShot(c Cell, m *client.Mux, fam opts.Family, w int, deadline time.T
 					Deadline: c.Deadline,
 					Family:   fam,
 					Tenant:   c.pickTenant(pick),
+					Trace:    seq%traceSampleEvery == 0,
 				},
 			})
 		}
 		for i, out := range m.Batch(reqs) {
 			r.account(reqs[i].Opts, counterKey(w, 0), out.Err, out.Elapsed)
+			if out.Trace != "" {
+				r.accountTrace(out.Trace)
+			}
 		}
 	}
 	return r, nil
@@ -492,16 +524,20 @@ func driveInteractive(c Cell, m *client.Mux, fam opts.Family, w int, deadline ti
 			pick := dist.NewRNG(c.Seed*1_000_003 + int64(w)*257 + int64(s))
 			r := newWorkerResult()
 			cnt := counterKey(w, s)
+			seq := 0
 			for time.Now().Before(deadline) {
 				tx := gen.Next()
 				ops := pageOps(tx, w, s)
+				seq++
 				o := client.TxOpts{
 					Value:    tx.Class.Value,
 					Deadline: c.Deadline,
 					Family:   fam,
 					Tenant:   c.pickTenant(pick),
+					Trace:    seq%traceSampleEvery == 0,
 				}
 				t0 := time.Now()
+				var trace string
 				err := m.Do(o, func(t *client.Txn) error {
 					for _, op := range ops {
 						if th := gen.NextThink(); th > 0 {
@@ -518,9 +554,13 @@ func driveInteractive(c Cell, m *client.Mux, fam opts.Family, w int, deadline ti
 						}
 					}
 					_, err := t.Commit()
+					trace = t.Trace()
 					return err
 				})
 				r.account(o, cnt, err, time.Since(t0))
+				if trace != "" {
+					r.accountTrace(trace)
+				}
 			}
 			results[s] = r
 		}(s)

@@ -215,6 +215,16 @@ func skewLabel(k workload.KeyDist) string {
 	}
 }
 
+// StageRow is one lifecycle stage's latency contribution within a cell,
+// aggregated over the cell's sampled traces (every traceSampleEvery-th
+// committed transaction asks for trace=1): N samples, p50/p99 of the
+// stage's offset from submit in milliseconds.
+type StageRow struct {
+	N     int     `json:"n"`
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
 // TenantRow is one tenant's slice of a cell's outcome, as seen from the
 // client side (sheds here are replies to this tenant's tagged requests).
 type TenantRow struct {
@@ -259,6 +269,10 @@ type Row struct {
 
 	Tenants []TenantRow       `json:"tenants,omitempty"`
 	Server  map[string]string `json:"server_stats,omitempty"`
+
+	// Stages attributes latency to server-side lifecycle stages from
+	// sampled trace= timelines (stage name -> offset quantiles).
+	Stages map[string]StageRow `json:"stages,omitempty"`
 }
 
 // Artifact is the scc-scenario/v1 JSON document: one grid run.

@@ -449,6 +449,45 @@ func (c *Client) Metrics() (string, error) {
 	return b.String(), nil
 }
 
+// Events fetches up to max flight-recorder events (the EVENTS verb:
+// "OK <nlines>" then that many event lines, oldest first; max <= 0 asks
+// for the server's full retained window). Like METRICS it is
+// bare-framing only, so it exists on Client, not Mux.
+func (c *Client) Events(max int) ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return nil, c.err
+	}
+	req := "EVENTS"
+	if max > 0 {
+		req += " " + strconv.Itoa(max)
+	}
+	resp, err := c.exchangeLocked(req)
+	if err != nil {
+		c.err = fmt.Errorf("client: connection desynced: %w", err)
+		return nil, err
+	}
+	body, err := parse(resp)
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(body)
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("client: malformed EVENTS header %q", resp)
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.r.ReadString('\n')
+		if err != nil {
+			c.err = fmt.Errorf("client: connection desynced: %w", err)
+			return nil, err
+		}
+		out = append(out, strings.TrimSpace(line))
+	}
+	return out, nil
+}
+
 func statsCall(d doer) (map[string]string, error) {
 	resp, err := d.do("STATS")
 	if err != nil {

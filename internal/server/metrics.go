@@ -23,6 +23,7 @@
 package server
 
 import (
+	"runtime"
 	"strings"
 	"time"
 
@@ -141,6 +142,25 @@ func (s *Server) registerDerived() {
 		func() float64 { return float64(s.store.NumShards()) })
 	reg.CounterFunc("scc_requests_total", "Wire requests dispatched (the STATS reqs counter).",
 		func() float64 { return float64(s.requests.Load()) })
+	reg.CounterFunc("scc_flight_events_total", "Events recorded by the always-on flight recorder.",
+		func() float64 { return float64(s.flight.Seq()) })
+
+	// Go runtime health, sampled at exposition time only (ReadMemStats
+	// stops the world briefly — never on the request path).
+	reg.GaugeFunc("scc_go_goroutines", "Live goroutines in the server process.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("scc_go_heap_inuse_bytes", "Bytes of heap memory in use (runtime.MemStats.HeapInuse).",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.HeapInuse)
+		})
+	reg.CounterFunc("scc_go_gc_total", "Completed garbage-collection cycles.",
+		func() float64 {
+			var ms runtime.MemStats
+			runtime.ReadMemStats(&ms)
+			return float64(ms.NumGC)
+		})
 
 	reg.CounterFunc("scc_commits_total", "Committed transactions across all shards.",
 		func() float64 { return float64(s.store.Stats().TotalCommits()) })

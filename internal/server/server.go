@@ -32,6 +32,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/repl"
 	"repro/internal/server/opts"
 	"repro/internal/shard"
@@ -64,7 +65,22 @@ type Config struct {
 	// recovery of the data directory at startup — construction then goes
 	// through Open, which can fail on unreadable or corrupt directories.
 	Durable durable.Options
+	// FlightSample thins the flight recorder's lifecycle feed: one in
+	// every FlightSample untraced requests/sessions (deterministic, by
+	// request id) records its stage stamps into the server ring. trace=1
+	// requests always record, and durability, recovery, replication, and
+	// admission-shed events are always recorded regardless — sampling
+	// only applies to per-stage stamps of untraced requests. 0 uses the
+	// default (8); 1 records every request.
+	FlightSample int
 }
+
+// defaultFlightSample is the lifecycle sampling rate when
+// Config.FlightSample is unset: one in eight untraced requests stamps
+// its stages into the flight ring. Dense enough that the ring always
+// holds recent full lifecycles, sparse enough that the median request
+// pays nothing for the always-on journal.
+const defaultFlightSample = 8
 
 // ReplOptions selects a server's replication role. Both may be set: a
 // primary-and-replica server relays its applied stream downstream
@@ -100,6 +116,9 @@ type Server struct {
 	gate          *repl.LagGate    // non-nil on read replicas
 	durable       *durable.Manager // non-nil with a data directory
 	met           *serverMetrics   // telemetry registry (metrics.go), always non-nil
+	flight        *flight.Recorder // always-on black-box event journal, always non-nil
+	flightSample  uint64           // lifecycle stamps for 1-in-N untraced requests
+	reqID         atomic.Uint64    // request/session ids tagging flight events
 
 	// mu guards connection lifecycle only; per-request counters use
 	// their own synchronization so requests never serialize on it.
@@ -151,7 +170,16 @@ func Open(cfg Config) (*Server, error) {
 		// the replication feed is sized to the store it logs.
 		cfg.Shards = shard.DefaultShards
 	}
+	if cfg.FlightSample <= 0 {
+		cfg.FlightSample = defaultFlightSample
+	}
 	met := newServerMetrics()
+	// The flight recorder exists before any subsystem so every layer —
+	// durability recovery included — records into it from its first
+	// event. It is always on: each ring is a fixed-size pointer-free
+	// buffer whose writers pay one atomic add and one uncontended mutex
+	// hold, cheap enough to leave running under benchmark load.
+	fl := flight.New(cfg.Shards, 0)
 	// One global commit-epoch counter spans the store, the replication
 	// feed, and durable recovery: every commit-log record everywhere is
 	// stamped from it, so a cross-shard commit's records carry one epoch
@@ -176,6 +204,7 @@ func Open(cfg Config) (*Server, error) {
 			FsyncSeconds:      met.stage.With("wal_fsync"),
 			CheckpointSeconds: met.stage.With("checkpoint"),
 		}
+		cfg.Durable.Flight = fl
 		var err error
 		man, err = durable.Open(cfg.Durable, store, feed)
 		if err != nil {
@@ -195,6 +224,8 @@ func Open(cfg Config) (*Server, error) {
 		gate:          cfg.Repl.Gate,
 		durable:       man,
 		met:           met,
+		flight:        fl,
+		flightSample:  uint64(cfg.FlightSample),
 		conns:         make(map[net.Conn]struct{}),
 		lat:           stats.NewSample(4096, 1),
 	}
@@ -214,6 +245,10 @@ func (s *Server) Store() *shard.Store { return s.store }
 
 // Admission exposes the admission queue.
 func (s *Server) Admission() *Admission { return s.adm }
+
+// Flight exposes the always-on flight recorder (EVENTS verb source;
+// operator binaries dump it on fault signals and serve /debug/events).
+func (s *Server) Flight() *flight.Recorder { return s.flight }
 
 // ListenAndServe listens on addr and serves until Close.
 func (s *Server) ListenAndServe(addr string) error {
@@ -441,6 +476,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			// is bare-framing only: "OK <nlines>" then exactly that many
 			// exposition lines.
 			s.handleMetrics(out)
+		case "EVENTS":
+			// The flight recorder's merged event snapshot spans many
+			// lines, so like METRICS it is bare-framing only.
+			s.handleEvents(fields[1:], out)
 		default:
 			out <- s.dispatch(fields)
 		}
@@ -625,6 +664,33 @@ func (s *Server) handleMetrics(out chan<- string) {
 	}
 }
 
+// handleEvents serves the EVENTS verb: the flight recorder's rings
+// merged into one sequence-ordered snapshot, framed for the line
+// protocol as "OK <n>" followed by exactly n event lines (the dump
+// line format, docs/PROTOCOL.md "Flight recorder"). An optional
+// argument caps the reply at the newest that many events.
+func (s *Server) handleEvents(args []string, out chan<- string) {
+	s.requests.Add(1)
+	max := 0
+	if len(args) > 1 {
+		out <- "ERR usage: EVENTS [n]"
+		return
+	}
+	if len(args) == 1 {
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n <= 0 {
+			out <- "ERR bad event cap " + args[0]
+			return
+		}
+		max = n
+	}
+	events := s.flight.Snapshot(max)
+	out <- "OK " + strconv.Itoa(len(events))
+	for _, e := range events {
+		out <- e.Line()
+	}
+}
+
 // parseReplArgs validates "<shard> <index>" for REPL (from-index) and ACK
 // (applied-index).
 func parseReplArgs(verb string, args []string, shards int) (int, uint64, error) {
@@ -780,8 +846,8 @@ func (s *Server) dispatchVerb(verb string, args []string) string {
 			return "ERR checkpoint: " + err.Error()
 		}
 		return "OK " + strconv.Itoa(len(order))
-	case "REPL", "ACK", "SNAP", "METRICS":
-		// Bare REPL/ACK/SNAP/METRICS are intercepted by serveConn;
+	case "REPL", "ACK", "SNAP", "METRICS", "EVENTS":
+		// Bare REPL/ACK/SNAP/METRICS/EVENTS are intercepted by serveConn;
 		// reaching dispatch means REQ framing (or the fuzzer), where a
 		// push stream or multi-line reply cannot be correlated.
 		return "ERR " + verb + " requires bare framing on a dedicated connection"
@@ -932,9 +998,19 @@ func (s *Server) handleTXN(args []string) string {
 // realized and what was lost, so the conservation invariant holds.
 func (s *Server) runUpdate(o opts.T, ops []op) string {
 	f := s.adm.FnOf(o)
+	// trace=1 requests always record their lifecycle into the flight
+	// recorder's server ring; untraced requests record a deterministic
+	// 1-in-FlightSample slice (by request id) so the black box always
+	// holds recent full lifecycles at near-zero per-request cost. The
+	// rest carry a nil trace — every stamp is a no-op branch. The trace=
+	// reply token stays opt-in (retain only when asked).
+	id := s.reqID.Add(1)
 	var tr *obs.Trace
+	if o.Trace || id%s.flightSample == 0 {
+		tr = obs.NewRecordedTrace(time.Now(), s.flight.Server(), id, o.Trace)
+		defer tr.Flush()
+	}
 	if o.Trace {
-		tr = obs.NewTrace(time.Now())
 		s.met.traces.Inc()
 	}
 	v0 := clampValue(f.At(s.adm.now()))
@@ -952,10 +1028,13 @@ func (s *Server) runUpdate(o opts.T, ops []op) string {
 		}
 		if err := s.gate.Admit(f, s.adm.now()); err != nil {
 			s.met.lostValue(obs.LossReplicaLag, v0)
+			s.flight.Admission().Record(flight.EvReplShed, id, -1, 0)
 			return "SHED"
 		}
 	}
-	tr.Event(obs.StageEnqueue)
+	// The enqueue stamp is the submit instant — the trace's own start,
+	// no clock read needed.
+	tr.EventOff(obs.StageEnqueue, 0)
 	admitStart := time.Now()
 	if err := s.adm.AcquireTenant(f, len(ops), o.Tenant); err != nil {
 		if errors.Is(err, ErrTenantShed) {
@@ -963,11 +1042,12 @@ func (s *Server) runUpdate(o opts.T, ops []op) string {
 		} else {
 			s.met.lostValue(obs.LossAdmissionShed, v0)
 		}
+		s.flight.Admission().Record(obs.StageShed, id, -1, 0)
 		return "SHED"
 	}
 	start := time.Now()
 	s.met.admitWait.Observe(int64(start.Sub(admitStart)))
-	tr.Event(obs.StageAdmit)
+	tr.EventAt(obs.StageAdmit, start)
 	out := s.execAdmitted(f, ops, tr)
 	elapsed := time.Since(start)
 	if out.holding {
@@ -982,6 +1062,7 @@ func (s *Server) runUpdate(o opts.T, ops []op) string {
 	if out.err != nil {
 		if errors.Is(out.err, ErrShed) {
 			s.met.lostValue(obs.LossCrossShed, v0)
+			s.flight.Admission().Record(obs.StageShed, id, -1, 0)
 			return "SHED"
 		}
 		s.met.lostValue(lossReason(out.err), v0)
@@ -992,7 +1073,7 @@ func (s *Server) runUpdate(o opts.T, ops []op) string {
 	s.met.lostValue(obs.LossExecution, v0-vEnd)
 	tr.Event(obs.StageCommit)
 	reply := okResults(out.results)
-	if tr != nil {
+	if tr.Retained() {
 		reply += " trace=" + tr.String()
 	}
 	return reply

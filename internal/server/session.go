@@ -45,6 +45,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/server/opts"
 	"repro/internal/shard"
 	"repro/internal/value"
@@ -278,6 +279,7 @@ func (st *sessionTable) reapLoop() {
 			// the decayed part out of the conservation invariant.
 			st.srv.met.lostValue(obs.LossReap, clampValue(ss.val))
 			ss.tr.Event(obs.StageReap)
+			ss.tr.Flush()
 			go func(ss *session, ld chan struct{}) {
 				if ld != nil {
 					<-ld // let the engine transaction unwind first
@@ -444,9 +446,16 @@ func (ss *session) replaySpecLocked() {
 // the admission queue sees it.
 func (s *Server) txnBegin(o opts.T) string {
 	f := s.adm.FnOf(o)
+	// Sessions sample into the flight recorder like one-shot requests:
+	// trace=1 always records, untraced sessions record 1-in-FlightSample
+	// (the rest carry a nil trace), the trace= reply stays opt-in.
+	id := s.reqID.Add(1)
 	var tr *obs.Trace
+	if o.Trace || id%s.flightSample == 0 {
+		tr = obs.NewRecordedTrace(time.Now(), s.flight.Server(), id, o.Trace)
+		defer tr.Flush()
+	}
 	if o.Trace {
-		tr = obs.NewTrace(time.Now())
 		s.met.traces.Inc()
 	}
 	v0 := clampValue(f.At(s.adm.now()))
@@ -454,10 +463,11 @@ func (s *Server) txnBegin(o opts.T) string {
 	if s.gate != nil {
 		if err := s.gate.Admit(f, s.adm.now()); err != nil {
 			s.met.lostValue(obs.LossReplicaLag, v0)
+			s.flight.Admission().Record(flight.EvReplShed, id, -1, 0)
 			return "SHED"
 		}
 	}
-	tr.Event(obs.StageEnqueue)
+	tr.EventOff(obs.StageEnqueue, 0)
 	admitStart := time.Now()
 	// The slot estimate for an interactive transaction is a guess (the
 	// op list does not exist yet); 2 ops is the workload's short-txn
@@ -468,10 +478,12 @@ func (s *Server) txnBegin(o opts.T) string {
 		} else {
 			s.met.lostValue(obs.LossAdmissionShed, v0)
 		}
+		s.flight.Admission().Record(obs.StageShed, id, -1, 0)
 		return "SHED"
 	}
-	s.met.admitWait.Observe(int64(time.Since(admitStart)))
-	tr.Event(obs.StageAdmit)
+	admitEnd := time.Now()
+	s.met.admitWait.Observe(int64(admitEnd.Sub(admitStart)))
+	tr.EventAt(obs.StageAdmit, admitEnd)
 	ss := s.sessions.add(f, f.At(s.adm.now()), tr)
 	s.txnBegun.Add(1)
 	return "OK " + ss.wireID()
@@ -637,7 +649,7 @@ func (s *Server) txnCommit(ss *session) string {
 		s.met.realized.Add(vEnd)
 		s.met.lostValue(obs.LossExecution, clampValue(ss.val)-vEnd)
 		ss.tr.Event(obs.StageCommit)
-		if ss.tr != nil {
+		if ss.tr.Retained() {
 			reply += " trace=" + ss.tr.String()
 		}
 	} else {
@@ -645,6 +657,7 @@ func (s *Server) txnCommit(ss *session) string {
 		ss.tr.Event(obs.StageAbort)
 		s.met.lostValue(commitLossReason(reply), clampValue(ss.val))
 	}
+	ss.tr.Flush()
 	return reply
 }
 
@@ -702,5 +715,6 @@ func (s *Server) txnAbort(ss *session) string {
 	s.met.sessionOps.Observe(int64(nOps))
 	s.met.lostValue(obs.LossClientAbort, clampValue(ss.val))
 	ss.tr.Event(obs.StageAbort)
+	ss.tr.Flush()
 	return "OK"
 }

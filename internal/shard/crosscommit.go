@@ -44,6 +44,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // crossVerdict is one request's outcome: ok reports validation, err (only
@@ -60,6 +62,7 @@ type crossReq struct {
 	reads  map[int]map[string]uint64 // read versions, grouped by shard
 	writes map[int]map[string][]byte // writes, grouped by shard (nil = validate only)
 	value  float64                   // transaction value, forwarded to the shards' commit logs
+	tr     *obs.Trace                // epoch-stamped by the combiner (nil-safe)
 	done   chan crossVerdict
 }
 
@@ -103,8 +106,8 @@ func signature(involved []int) string {
 // combiner (possibly the caller) delivers the verdict. A non-nil error
 // means the transaction was installed but could not be made durable; the
 // caller must fail it and must not retry.
-func (s *Store) commitCross(involved []int, c *crossTx, apply bool) (bool, error) {
-	req := crossReq{reads: s.groupReads(c.reads), value: c.value, done: make(chan crossVerdict, 1)}
+func (s *Store) commitCross(involved []int, c *crossTx, apply bool, tr *obs.Trace) (bool, error) {
+	req := crossReq{reads: s.groupReads(c.reads), value: c.value, tr: tr, done: make(chan crossVerdict, 1)}
 	if apply {
 		req.writes = make(map[int]map[string][]byte)
 		for key, val := range c.writes {
@@ -192,6 +195,7 @@ func (s *Store) combineCross(q *crossQueue) {
 				// WAL sees INTENT before its data and no other commit
 				// interleaves.
 				epoch := s.epochs.Next()
+				req.tr.SetEpoch(epoch)
 				for _, idx := range parts {
 					s.shards[idx].AppendIntentLocked(epoch, parts)
 				}

@@ -389,13 +389,13 @@ func (s *Store) updateCross(value float64, involved []int, gate RetryGate, tr *o
 			// produced it; otherwise retry like any validation failure.
 			// (A validate-only pass installs nothing, so it cannot fail
 			// durability.)
-			if ok, _ := s.commitCross(involved, c, false); len(c.reads) > 0 && !ok {
+			if ok, _ := s.commitCross(involved, c, false, nil); len(c.reads) > 0 && !ok {
 				s.crossRestarts.Add(1)
 				continue
 			}
 			return nil, err
 		}
-		ok, cerr := s.commitCross(involved, c, true)
+		ok, cerr := s.commitCross(involved, c, true, tr)
 		if cerr != nil {
 			// Installed but never decided durable: the verdict is an
 			// error, and the transaction must not be retried — its writes

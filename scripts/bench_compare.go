@@ -1,0 +1,182 @@
+// Command bench_compare is the machine-checked bench regression gate:
+// it diffs a freshly produced `make bench-sweep` artifact against a
+// checked-in BENCH_<pr>.json baseline, scenario by scenario, and turns
+// the comparison into an exit code CI can act on.
+//
+//	go run ./scripts/bench_compare.go -new BENCH.json
+//	go run ./scripts/bench_compare.go -base BENCH_7.json -new BENCH.json
+//
+// Without -base the newest checked-in BENCH_<n>.json (highest n) is the
+// baseline. Per scenario the gate compares committed-transaction
+// throughput and p50/p99 latency: a p99 regression or throughput drop
+// past the warn threshold (5%) prints a warning, past the fail
+// threshold (15%) fails the run. Latency p50 is reported but never
+// gates (it is the noisiest of the three under CI scheduling jitter).
+// Artifacts from different core counts are incomparable, so when both
+// artifacts carry a "cpus" stamp and they disagree — or either ran on a
+// single core — failures downgrade to warnings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+type sweep struct {
+	Schema string `json:"schema"`
+	CPUs   int    `json:"cpus"`
+	Runs   []struct {
+		Name   string `json:"name"`
+		Result struct {
+			Throughput float64 `json:"throughput_txn_per_sec"`
+			P50Ms      float64 `json:"latency_p50_ms"`
+			P99Ms      float64 `json:"latency_p99_ms"`
+			Committed  int64   `json:"committed"`
+		} `json:"result"`
+	} `json:"runs"`
+}
+
+func load(path string) (sweep, error) {
+	var s sweep
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if s.Schema != "scc-bench-sweep/v1" {
+		return s, fmt.Errorf("%s: schema %q, want scc-bench-sweep/v1", path, s.Schema)
+	}
+	return s, nil
+}
+
+// newestBaseline picks the checked-in BENCH_<n>.json with the highest n.
+func newestBaseline() (string, error) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		return "", err
+	}
+	re := regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+	best, bestN := "", -1
+	for _, p := range paths {
+		m := re.FindStringSubmatch(filepath.Base(p))
+		if m == nil {
+			continue
+		}
+		if n, _ := strconv.Atoi(m[1]); n > bestN {
+			best, bestN = p, n
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no checked-in BENCH_<n>.json baseline found")
+	}
+	return best, nil
+}
+
+func pct(base, now float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (now - base) / base * 100
+}
+
+func main() {
+	basePath := flag.String("base", "", "baseline artifact (default: newest checked-in BENCH_<n>.json)")
+	newPath := flag.String("new", "BENCH.json", "fresh artifact to gate")
+	warnPct := flag.Float64("warn", 5, "warn threshold: p99 regression or throughput drop, percent")
+	failPct := flag.Float64("fail", 15, "fail threshold: p99 regression or throughput drop, percent")
+	flag.Parse()
+
+	if *basePath == "" {
+		p, err := newestBaseline()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-compare:", err)
+			os.Exit(2)
+		}
+		*basePath = p
+	}
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench-compare:", err)
+		os.Exit(2)
+	}
+
+	// Old artifacts predate the cpus stamp (0 when absent): compare
+	// unconditionally but say so. Mismatched or single-core runs cannot
+	// gate — CI cgroup caps would turn scheduling noise into failures.
+	advisory := false
+	if base.CPUs == 0 || fresh.CPUs == 0 {
+		fmt.Printf("bench-compare: note: cpus stamp missing (base=%d new=%d)\n", base.CPUs, fresh.CPUs)
+	} else if base.CPUs != fresh.CPUs {
+		advisory = true
+		fmt.Printf("bench-compare: cpus differ (base=%d new=%d); artifacts are not comparable, gating is advisory\n",
+			base.CPUs, fresh.CPUs)
+	}
+	if base.CPUs == 1 || fresh.CPUs == 1 {
+		advisory = true
+		fmt.Println("bench-compare: single-core run (server and load share the core); gating is advisory")
+	}
+
+	baseRuns := make(map[string]int, len(base.Runs))
+	for i, r := range base.Runs {
+		baseRuns[r.Name] = i
+	}
+	names := make([]string, 0, len(fresh.Runs))
+	for _, r := range fresh.Runs {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("bench-compare: %s vs %s (warn %.0f%%, fail %.0f%%)\n", *newPath, *basePath, *warnPct, *failPct)
+	failed := false
+	seen := make(map[string]bool)
+	for _, r := range fresh.Runs {
+		seen[r.Name] = true
+		bi, ok := baseRuns[r.Name]
+		if !ok {
+			fmt.Printf("  %-28s NEW (no baseline scenario)\n", r.Name)
+			continue
+		}
+		b := base.Runs[bi].Result
+		n := r.Result
+		dTps := pct(b.Throughput, n.Throughput)
+		dP50 := pct(b.P50Ms, n.P50Ms)
+		dP99 := pct(b.P99Ms, n.P99Ms)
+		verdict := "ok"
+		if dP99 > *failPct || dTps < -*failPct {
+			verdict = "FAIL"
+			if advisory {
+				verdict = "fail (advisory)"
+			} else {
+				failed = true
+			}
+		} else if dP99 > *warnPct || dTps < -*warnPct {
+			verdict = "warn"
+		}
+		fmt.Printf("  %-28s tps %+6.1f%%  p50 %+6.1f%%  p99 %+6.1f%%  (%.0f -> %.0f tps, %.2f -> %.2f ms p99)  %s\n",
+			r.Name, dTps, dP50, dP99, b.Throughput, n.Throughput, b.P99Ms, n.P99Ms, verdict)
+	}
+	for name := range baseRuns {
+		if !seen[name] {
+			fmt.Printf("  %-28s DROPPED (in baseline, missing from new artifact)\n", name)
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Println("bench-compare: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("bench-compare: pass")
+}

@@ -16,8 +16,17 @@
 #      the apply barrier means every replica read shows transfers
 #      all-shards-at-once, so conservation holds mid-catch-up too.
 #
+# Round 2 also audits the flight recorder's black-box duty: the failing
+# server must auto-dump its event journal to <data-dir>/flight before
+# fail-stopping, boot reconciliation must dump again when it discards
+# undecided epochs, and `sccload -events-merge` must join the dumps into
+# one causal timeline. Set CHAOS_OUT to a directory to keep the dumps
+# (CI uploads them as a workflow artifact).
+#
 # Run via `make e2e-chaos`.
 set -euo pipefail
+
+CHAOS_OUT=${CHAOS_OUT:-}
 
 ADDR=127.0.0.1:7099
 REPL_ADDR=127.0.0.1:7199
@@ -95,7 +104,11 @@ done
 # restart.
 RUN_ID=7110
 echo "e2e-chaos: round 2: fsync failures after 200 syncs (run-id $RUN_ID)"
-SCC_FAULT_FSYNC_ERR_AFTER=200 "$SCRATCH/sccserve" "${SERVE_FLAGS[@]}" \
+# The fsync delay widens the intent-durable/decision-durable window so
+# the injected failure lands with cross-shard epochs in flight — the
+# flight dumps below then carry the full intent/failure/discard story.
+SCC_FAULT_FSYNC_ERR_AFTER=200 SCC_FAULT_FSYNC_DELAY_MS=2 \
+    "$SCRATCH/sccserve" "${SERVE_FLAGS[@]}" \
     >"$SCRATCH/server.fsync.log" 2>&1 &
 SERVER_PID=$!
 wait_ready "$ADDR"
@@ -117,6 +130,12 @@ grep -q "write-ahead log failed" "$SCRATCH/server.fsync.log" || {
     cat "$SCRATCH/server.fsync.log" >&2
     exit 1
 }
+# The black box must have dumped itself before the fail-stop.
+ls "$DATA"/flight/*-walfail.events >/dev/null 2>&1 || {
+    echo "e2e-chaos: failing server left no walfail flight dump in $DATA/flight" >&2
+    exit 1
+}
+echo "e2e-chaos: round 2: walfail flight dump written"
 
 echo "e2e-chaos: round 2: restart + audit (acked before the fault must survive)"
 "$SCRATCH/sccserve" "${SERVE_FLAGS[@]}" &
@@ -124,6 +143,32 @@ SERVER_PID=$!
 wait_ready "$ADDR"
 "$SCRATCH/sccload" -addr "$ADDR" -verify-only -run-id "$RUN_ID" \
     -keys "$KEYS" -acked-in "$SCRATCH/acked.fsync" -expect-recovered
+
+# Merge every dump the fault sequence produced into one causal timeline.
+# When boot reconciliation discarded undecided epochs it dumped too, and
+# the merged view must then show the discard joined with the pre-crash
+# intent on the same epoch (the Go test TestFlightDumpsAndMergedTimeline
+# pins that join deterministically; here it rides real fault timing).
+"$SCRATCH/sccload" -events-merge "$DATA"/flight/*.events >"$SCRATCH/timeline.txt"
+grep -q "dump node=.*reason=walfail" "$SCRATCH/timeline.txt" || {
+    echo "e2e-chaos: merged timeline lost the walfail dump:" >&2
+    cat "$SCRATCH/timeline.txt" >&2
+    exit 1
+}
+if ls "$DATA"/flight/*-reconcile.events >/dev/null 2>&1; then
+    grep -q "reconcile_discard" "$SCRATCH/timeline.txt" || {
+        echo "e2e-chaos: reconcile dump exists but no discard in the merged timeline" >&2
+        exit 1
+    }
+    echo "e2e-chaos: round 2: merged timeline joins walfail + reconcile dumps"
+else
+    echo "e2e-chaos: round 2: merged timeline ok (no undecided epochs this run)"
+fi
+if [ -n "$CHAOS_OUT" ]; then
+    mkdir -p "$CHAOS_OUT"
+    cp "$DATA"/flight/*.events "$CHAOS_OUT"/ 2>/dev/null || true
+    cp "$SCRATCH/timeline.txt" "$CHAOS_OUT"/ 2>/dev/null || true
+fi
 
 # ---- Round 3: stalled replica, audited mid-catch-up. ------------------
 # The primary from round 2 keeps serving. The replica applies with a
