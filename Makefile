@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race bench bench-sweep bench-race bench-compare fuzz e2e e2e-recover e2e-interactive e2e-chaos scenario-matrix lint docs clean-data
+.PHONY: check build vet test race bench bench-sweep bench-race bench-compare fuzz e2e e2e-recover e2e-failover e2e-interactive e2e-chaos scenario-matrix lint docs clean-data
 
 check: build vet race
 
@@ -73,6 +73,14 @@ e2e:
 # commit (conservation + recovered_index); see scripts/e2e_recover.sh.
 e2e-recover:
 	bash scripts/e2e_recover.sh
+
+# e2e-failover SIGKILLs the primary of a clustered primary+replica pair
+# mid-load and asserts the replica promotes itself under a higher
+# fencing epoch, the load rides the ERR not-primary redirects with no
+# acked commit lost, and a restarted old primary fences itself; see
+# scripts/e2e_failover.sh.
+e2e-failover:
+	bash scripts/e2e_failover.sh
 
 # e2e-chaos injects faults (kill -9 mid-cross-shard-commit loops, fsync
 # errors, stalled replica apply via the SCC_FAULT_* env hooks) and

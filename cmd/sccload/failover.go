@@ -1,0 +1,217 @@
+// Failover-aware dialing for sccload: -addr accepts a comma-separated
+// list of cluster members, and the per-round-trip load path follows the
+// servers' ERR not-primary redirects — re-pointing every worker at the
+// new primary when a replica promotes mid-run — instead of booking them
+// as errors. Redirects followed and connections re-dialed are counted
+// and reported in the run summary, so a failover run shows exactly how
+// much client-visible churn the promotion caused.
+package main
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server/client"
+)
+
+// retryBudget bounds how long one transaction keeps chasing the primary
+// across redirects, elections, and dead connections before its error is
+// surfaced. It must comfortably cover a lease expiry plus catch-up
+// replay (default lease 750ms; e2e runs use shorter ones).
+const retryBudget = 20 * time.Second
+
+// addrPool is the shared view of the cluster across all load workers:
+// the -addr list plus the index of the member currently believed to be
+// primary. A redirect observed by any worker re-points the whole pool,
+// so the rest stop burning a round trip each on the deposed node.
+type addrPool struct {
+	mu    sync.Mutex
+	addrs []string
+	cur   int
+
+	redirects atomic.Int64 // ERR not-primary redirects followed
+	reconns   atomic.Int64 // transport failures survived by re-dialing
+}
+
+func newAddrPool(list string) *addrPool {
+	p := &addrPool{}
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			p.addrs = append(p.addrs, a)
+		}
+	}
+	return p
+}
+
+// multi reports whether failover handling is active: with a single
+// address there is nowhere to redirect to, and the classic
+// fail-fast behavior (which the chaos harness depends on) is kept.
+func (p *addrPool) multi() bool { return len(p.addrs) > 1 }
+
+// primary returns the member currently believed to be primary.
+func (p *addrPool) primary() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.addrs[p.cur]
+}
+
+// redirect re-points the pool at addr, learned from an ERR not-primary
+// reply; a member not yet in the list is adopted. An empty addr (the
+// replying node knows no primary — mid-election) rotates to the next
+// candidate instead.
+func (p *addrPool) redirect(addr string) {
+	p.redirects.Add(1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if addr == "" {
+		p.cur = (p.cur + 1) % len(p.addrs)
+		return
+	}
+	for i, a := range p.addrs {
+		if a == addr {
+			p.cur = i
+			return
+		}
+	}
+	p.addrs = append(p.addrs, addr)
+	p.cur = len(p.addrs) - 1
+}
+
+// rotate moves past a member whose connection died, unless another
+// worker already re-pointed the pool elsewhere.
+func (p *addrPool) rotate(failed string) {
+	p.reconns.Add(1)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.addrs[p.cur] == failed {
+		p.cur = (p.cur + 1) % len(p.addrs)
+	}
+}
+
+// dial connects to the believed primary, falling back through the rest
+// of the list; used by the verify/stats paths, which need any live
+// member rather than a write-accepting one.
+func (p *addrPool) dial() (*client.Client, error) {
+	var lastErr error
+	for range p.snapshot() {
+		addr := p.primary()
+		c, err := client.DialTimeout(addr, 2*time.Second)
+		if err == nil {
+			return c, nil
+		}
+		lastErr = err
+		p.rotate(addr)
+	}
+	return nil, lastErr
+}
+
+func (p *addrPool) snapshot() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.addrs...)
+}
+
+// transient reports whether err is a transport failure worth re-dialing
+// around, as opposed to a clean protocol error on a healthy connection.
+func transient(err error) bool {
+	var ne net.Error
+	return errors.Is(err, io.EOF) || errors.As(err, &ne) ||
+		strings.Contains(err.Error(), "connection desynced")
+}
+
+// failoverClient is one worker's connection with redirect-following: do
+// runs a round trip against the believed primary, chasing ERR
+// not-primary redirects and re-dialing around dead connections until
+// the exchange lands or retryBudget runs out. Verdicts (OK/SHED) and
+// ordinary protocol errors pass straight through.
+//
+// A retried transaction can double-apply when the crash swallowed the
+// first attempt's ack: that is exactly the counter > acked case the
+// audit tolerates, and the balanced deltas keep conservation at zero
+// regardless of how many times they land.
+type failoverClient struct {
+	pool *addrPool
+	c    *client.Client
+	addr string
+}
+
+func (f *failoverClient) close() {
+	if f.c != nil {
+		f.c.Close()
+		f.c = nil
+	}
+}
+
+func (f *failoverClient) do(fn func(*client.Client) error) error {
+	if !f.pool.multi() {
+		// Single-address runs keep the classic fail-fast contract: no
+		// retries, a dead connection just gets re-dialed next call.
+		if f.c == nil {
+			addr := f.pool.primary()
+			c, err := client.DialTimeout(addr, 2*time.Second)
+			if err != nil {
+				return err
+			}
+			f.c, f.addr = c, addr
+		}
+		err := fn(f.c)
+		if err != nil && transient(err) {
+			f.close()
+		}
+		return err
+	}
+	deadline := time.Now().Add(retryBudget)
+	backoff := 25 * time.Millisecond
+	retry := func(err error) (bool, error) {
+		if time.Now().After(deadline) {
+			return false, err
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 250*time.Millisecond {
+			backoff = 250 * time.Millisecond
+		}
+		return true, nil
+	}
+	for {
+		if f.c == nil {
+			addr := f.pool.primary()
+			c, err := client.DialTimeout(addr, 2*time.Second)
+			if err != nil {
+				f.pool.rotate(addr)
+				if again, err := retry(err); !again {
+					return err
+				}
+				continue
+			}
+			f.c, f.addr = c, addr
+		}
+		err := fn(f.c)
+		var np *client.NotPrimaryError
+		switch {
+		case err == nil, errors.Is(err, client.ErrShed):
+			return err
+		case errors.As(err, &np):
+			// The deposed node answered cleanly but cannot take writes;
+			// drop the connection so the next attempt dials the member
+			// it named (or the next candidate, when it named none).
+			f.close()
+			f.pool.redirect(np.Addr)
+			if again, err := retry(err); !again {
+				return err
+			}
+		case transient(err):
+			f.close()
+			f.pool.rotate(f.addr)
+			if again, err := retry(err); !again {
+				return err
+			}
+		default:
+			return err
+		}
+	}
+}

@@ -34,6 +34,14 @@
 // self-conflicts on its own audit key) must sum to its
 // committed-transaction count (a lost update breaks it).
 //
+// Against a cluster, -addr takes the comma-separated member list. The
+// per-round-trip path then follows ERR not-primary redirects: when the
+// primary dies mid-run and a replica promotes, every worker re-points at
+// the member the redirect names (re-dialing around dead connections with
+// a bounded budget) and the summary reports how many redirects and
+// reconnects the failover cost. A retried transaction that double-lands
+// is exactly the counter > acked case the audit tolerates.
+//
 // The conservation invariant also audits crash recovery: run a load with
 // a pinned -run-id against a durable server, SIGKILL and restart the
 // server, then re-run with -verify-only -run-id <id> (plus
@@ -213,6 +221,11 @@ type benchOutput struct {
 	ValueSum   float64 `json:"value_sum"`
 	MaxValue   float64 `json:"value_max"`
 
+	// Failover accounting for multi-address -addr runs: redirects the
+	// load followed and connections it re-dialed across a promotion.
+	Redirects  int64 `json:"redirects_followed,omitempty"`
+	Reconnects int64 `json:"reconnects,omitempty"`
+
 	// Server-side counters snapshot (STATS verb) after the run.
 	Server map[string]string `json:"server,omitempty"`
 
@@ -241,7 +254,7 @@ type clientResult struct {
 }
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "sccserve address")
+	addr := flag.String("addr", "127.0.0.1:7070", "sccserve address, or a comma-separated cluster member list (the per-round-trip path then follows ERR not-primary redirects across failover)")
 	clients := flag.Int("clients", 64, "concurrent closed-loop clients")
 	ops := flag.Int("ops", 200, "transactions per client")
 	keys := flag.Int("keys", 256, "keyspace size for the low/two mixes")
@@ -288,6 +301,11 @@ func main() {
 			log.Fatalf("sccload: matrix: %v", err)
 		}
 		return
+	}
+
+	pool := newAddrPool(*addr)
+	if len(pool.addrs) == 0 {
+		log.Fatal("sccload: -addr needs at least one address")
 	}
 
 	// Every key carries a per-run nonce: counters so each run audits its
@@ -337,7 +355,7 @@ func main() {
 				log.Fatalf("sccload: -acked-in: %v", err)
 			}
 		}
-		if failed := verify(*addr, pages, runID, slots, acked); failed {
+		if failed := verify(pool, pages, runID, slots, acked); failed {
 			fmt.Println("  invariants FAIL")
 			os.Exit(1)
 		}
@@ -346,7 +364,7 @@ func main() {
 			fmt.Printf("sccload: acked-commit audit over %d clients: no acked commit lost\n", len(acked))
 		}
 		if *expectRecovered {
-			if failed := checkRecovered(*addr); failed {
+			if failed := checkRecovered(pool); failed {
 				os.Exit(1)
 			}
 		}
@@ -520,7 +538,7 @@ func main() {
 				}
 
 				if *pipeline > 0 {
-					m, err := client.DialMux(*addr)
+					m, err := client.DialMux(pool.primary())
 					if err != nil {
 						log.Printf("sccload: client %d: %v", w, err)
 						res.errors = *ops
@@ -544,7 +562,7 @@ func main() {
 					swg.Wait()
 					return
 				}
-				c, err := client.Dial(*addr)
+				c, err := client.Dial(pool.primary())
 				if err != nil {
 					log.Printf("sccload: client %d: %v", w, err)
 					res.errors = *ops
@@ -558,7 +576,7 @@ func main() {
 			}
 
 			if *pipeline > 0 {
-				m, err := client.DialMux(*addr)
+				m, err := client.DialMux(pool.primary())
 				if err != nil {
 					log.Printf("sccload: client %d: %v", w, err)
 					res.errors = *ops
@@ -601,13 +619,8 @@ func main() {
 				return
 			}
 
-			c, err := client.Dial(*addr)
-			if err != nil {
-				log.Printf("sccload: client %d: %v", w, err)
-				res.errors = *ops
-				return
-			}
-			defer c.Close()
+			fc := &failoverClient{pool: pool}
+			defer fc.close()
 			for i := 0; i < *ops; i++ {
 				t := gen.Next()
 				if takeReplica() {
@@ -619,10 +632,17 @@ func main() {
 				var err error
 				if sampleTrace() {
 					var tr string
-					_, tr, err = c.UpdateTraced(wireOps, txOpts(t))
+					err = fc.do(func(c *client.Client) error {
+						var e error
+						_, tr, e = c.UpdateTraced(wireOps, txOpts(t))
+						return e
+					})
 					traces.add(tr)
 				} else {
-					_, err = c.Update(wireOps, txOpts(t))
+					err = fc.do(func(c *client.Client) error {
+						_, e := c.Update(wireOps, txOpts(t))
+						return e
+					})
 				}
 				record(t, time.Since(t0).Seconds(), err)
 			}
@@ -679,6 +699,10 @@ func main() {
 	}
 	fmt.Printf("  deadlines  missed %.1f%%  avg tardiness %.2fms\n", m.MissedRatio(), m.AvgTardiness()*1000)
 	fmt.Printf("  value      accrued %.1f%% of max (%.0f / %.0f)\n", m.SystemValuePct(), m.ValueSum, m.MaxValueSum)
+	if pool.multi() {
+		fmt.Printf("  failover   redirects followed %d, reconnects %d (primary %s)\n",
+			pool.redirects.Load(), pool.reconns.Load(), pool.primary())
+	}
 	if *replicaAddr != "" {
 		fmt.Printf("  replica    reads %d (shed %d, errors %d)", replReads, replShed, replErrs)
 		if replAll.N() > 0 {
@@ -720,13 +744,13 @@ func main() {
 			log.Printf("sccload: -acked-out: %v", err)
 		}
 	}
-	if failed := verify(*addr, pages, runID, slots, ackedCounts); failed {
+	if failed := verify(pool, pages, runID, slots, ackedCounts); failed {
 		fmt.Println("  invariants FAIL")
 		os.Exit(1)
 	}
 	fmt.Println("  invariants PASS (value conserved, no lost updates)")
 	var serverStats map[string]string
-	if c, err := client.Dial(*addr); err == nil {
+	if c, err := pool.dial(); err == nil {
 		if st, err := c.Stats(); err == nil {
 			serverStats = st
 			fmt.Printf("  server     cross=%s cross_restarts=%s cross_shed=%s shed=%s commit_batches=%s commits=%s\n",
@@ -757,6 +781,8 @@ func main() {
 			ValuePct:   m.SystemValuePct(),
 			ValueSum:   m.ValueSum,
 			MaxValue:   m.MaxValueSum,
+			Redirects:  pool.redirects.Load(),
+			Reconnects: pool.reconns.Load(),
 			Server:     serverStats,
 		}
 		if all.N() > 0 {
@@ -785,7 +811,7 @@ func main() {
 		}
 		fmt.Printf("  bench-out  %s\n", *benchOut)
 	}
-	if *expectRecovered && checkRecovered(*addr) {
+	if *expectRecovered && checkRecovered(pool) {
 		os.Exit(1)
 	}
 }
@@ -793,8 +819,8 @@ func main() {
 // checkRecovered asserts the server reports a nonzero recovered_index —
 // the kill-and-restart e2e's proof that the serving process actually
 // rebuilt its state from the data directory. Returns true on failure.
-func checkRecovered(addr string) bool {
-	c, err := client.Dial(addr)
+func checkRecovered(pool *addrPool) bool {
+	c, err := pool.dial()
 	if err != nil {
 		log.Printf("sccload: recovered check: %v", err)
 		return true
@@ -906,8 +932,8 @@ func loadAcked(path string, runID int64) ([]int64, int, error) {
 // number of per-client audit-counter keys (the pipeline depth); acked is
 // each client's acknowledged-commit count (nil skips the counter audit —
 // the bare -verify-only shape, where no acks survived the restart).
-func verify(addr string, keys int, runID int64, slots int, acked []int64) bool {
-	c, err := client.Dial(addr)
+func verify(pool *addrPool, keys int, runID int64, slots int, acked []int64) bool {
+	c, err := pool.dial()
 	if err != nil {
 		log.Printf("sccload: verify: %v", err)
 		return true

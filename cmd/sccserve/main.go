@@ -3,6 +3,8 @@
 //	sccserve -addr :7070 -shards 16 -mode scc-2s -concurrency 64
 //	sccserve -addr :7070 -shards 16 -data-dir ./data -fsync group
 //	sccserve -addr :7071 -shards 16 -replica-of 127.0.0.1:7070
+//	sccserve -addr :7071 -replica-of 127.0.0.1:7070 \
+//	  -cluster-self 127.0.0.1:7071 -cluster-peers 127.0.0.1:7070,127.0.0.1:7072
 //
 // The store hash-partitions keys across independent SCC engines behind a
 // value-cognizant admission queue. A primary (default) keeps per-shard
@@ -14,7 +16,18 @@
 // commit is written to a per-shard WAL before it is acknowledged (fsync
 // policy per -fsync), shards are checkpointed highest-pending-value
 // first, and a restart recovers checkpoint + WAL suffix — a SIGKILL
-// loses nothing acknowledged. See docs/PROTOCOL.md for the wire protocol
+// loses nothing acknowledged.
+//
+// With -cluster-self and -cluster-peers the server joins the failover
+// monitor: replicas heartbeat the primary and, when the lease expires,
+// the most-caught-up replica promotes itself under a freshly minted
+// fencing epoch; a deposed primary fences itself (dumping its flight
+// ring like a WAL failure) and redirects clients to the new primary via
+// ERR not-primary. -repl-sync makes the primary semi-synchronous: each
+// OK is held until a replica acked the commit's log records, degrading
+// to async past -repl-sync-timeout.
+//
+// See docs/PROTOCOL.md for the wire protocol
 // and docs/ARCHITECTURE.md for the system layout; cmd/sccload is the
 // matching load generator.
 package main
@@ -31,9 +44,11 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/repl"
@@ -79,6 +94,11 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address serving GET /metrics (Prometheus text exposition of the same registry as the METRICS wire verb) and /debug/pprof (empty = off)")
 	logLevel := flag.String("log-level", "info", "structured-log verbosity on stderr: debug | info | warn | error")
 	resumeFile := flag.String("repl-resume", "", "replica: file persisting the primary's per-shard applied indices so a restart resumes the stream instead of re-bootstrapping via SNAP (default <data-dir>/replica.resume when -data-dir is set)")
+	clusterSelf := flag.String("cluster-self", "", "this node's advertised client address, as peers should dial it; enables the cluster failover monitor (lease heartbeats, elections, fencing epochs)")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated client addresses of the other cluster members")
+	clusterLease := flag.Duration("cluster-lease", 750*time.Millisecond, "failover lease: how long the primary may go unreachable before replicas run an election")
+	replSync := flag.Bool("repl-sync", false, "primary: semi-synchronous replication — hold each commit's OK until a replica acknowledged its log records (degrades to async past -repl-sync-timeout; counted in STATS repl_sync_degraded)")
+	replSyncTimeout := flag.Duration("repl-sync-timeout", 5*time.Second, "with -repl-sync: longest a verdict waits for a replica ack before degrading to asynchronous")
 	flag.Parse()
 
 	lvl, err := parseLogLevel(*logLevel)
@@ -114,6 +134,27 @@ func main() {
 	if *replicaOf != "" {
 		gate = repl.NewLagGate(*shards, *replLagBudget, 0)
 	}
+	// The cluster state must exist before the server opens: the fenced
+	// commit-log sinks are installed at Open against the boot epoch.
+	var cstate *cluster.State
+	if *clusterSelf != "" {
+		var peers []string
+		for _, p := range strings.Split(*clusterPeers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peers = append(peers, p)
+			}
+		}
+		cstate = cluster.NewState(*clusterSelf, peers)
+		if *replicaOf == "" {
+			if err := cstate.BecomePrimary(1); err != nil {
+				fatal("sccserve: cluster", "err", err)
+			}
+		} else {
+			cstate.SetReplica(*replicaOf)
+		}
+	} else if *clusterPeers != "" {
+		fatal("sccserve: -cluster-peers needs -cluster-self (this node's advertised address)")
+	}
 	// Fail-stop on a broken WAL, synchronously: the durability manager
 	// invokes this the moment a sync fails, after the failing batch's
 	// verdicts have already been converted to ERR in-line — so no OK ever
@@ -139,10 +180,13 @@ func main() {
 		},
 		PipelineDepth: *pipelineDepth,
 		Repl: server.ReplOptions{
-			Primary: *replLog,
-			Gate:    gate,
-			Retain:  *replRetain,
+			Primary:     *replLog,
+			Gate:        gate,
+			Retain:      *replRetain,
+			SyncAcks:    *replSync,
+			SyncTimeout: *replSyncTimeout,
 		},
+		Cluster:      cstate,
 		Txn:          server.TxnConfig{MaxIdle: *txnIdle},
 		FlightSample: *flightSample,
 		Durable: durable.Options{
@@ -163,15 +207,25 @@ func main() {
 			"ckpt_every", *ckptEvery, "recovered_records", d.RecoveredIndex())
 	}
 
+	// rep is the live replication stream; the failover hooks swap it (a
+	// promotion consumes it, a follow re-points it), so access goes
+	// through repMu. takeRep detaches it for a consumer.
+	var repMu sync.Mutex
 	var rep *repl.Replica
-	if *replicaOf != "" {
+	takeRep := func() *repl.Replica {
+		repMu.Lock()
+		defer repMu.Unlock()
+		r := rep
+		rep = nil
+		return r
+	}
+	startRepl := func(primary string) error {
 		resume := *resumeFile
 		if resume == "" && *dataDir != "" {
 			resume = filepath.Join(*dataDir, "replica.resume")
 		}
-		var err error
-		rep, err = repl.StartReplica(repl.ReplicaConfig{
-			Primary:    *replicaOf,
+		r, err := repl.StartReplica(repl.ReplicaConfig{
+			Primary:    primary,
 			Store:      srv.Store(),
 			Gate:       gate,
 			Snapshot:   *replSnapshot,
@@ -180,15 +234,50 @@ func main() {
 			Flight:     srv.Flight().Repl(),
 		})
 		if err != nil {
-			fatal("sccserve: replication", "err", err)
+			return err
 		}
-		defer rep.Close()
+		repMu.Lock()
+		rep = r
+		repMu.Unlock()
 		go func() {
-			<-rep.Done()
-			if err := rep.Err(); err != nil {
+			<-r.Done()
+			if err := r.Err(); err != nil {
 				slog.Warn("sccserve: replication stream ended; serving frozen snapshot", "err", err)
 			}
 		}()
+		return nil
+	}
+	if *replicaOf != "" {
+		if err := startRepl(*replicaOf); err != nil {
+			fatal("sccserve: replication", "err", err)
+		}
+		defer func() {
+			if r := takeRep(); r != nil {
+				r.Close()
+			}
+		}()
+	}
+	if cstate != nil {
+		// Elections rank candidates by catch-up position, read straight
+		// off the replication stream.
+		cstate.SetProgress(func() (uint64, uint64) {
+			repMu.Lock()
+			r := rep
+			repMu.Unlock()
+			if r == nil {
+				return 0, 0
+			}
+			var mark, sum uint64
+			for _, m := range r.Watermarks() {
+				if m > mark {
+					mark = m
+				}
+			}
+			for _, a := range r.Applied() {
+				sum += a
+			}
+			return mark, sum
+		})
 	}
 
 	if *metricsAddr != "" {
@@ -230,6 +319,10 @@ func main() {
 	if *replicaOf != "" {
 		role = fmt.Sprintf("replica of %s (lag budget %s)", *replicaOf, *replLagBudget)
 	}
+	if cstate != nil {
+		role += fmt.Sprintf(" [clustered self=%s peers=%d lease=%s epoch=%d]",
+			*clusterSelf, len(cstate.Peers()), *clusterLease, cstate.Epoch())
+	}
 	slog.Info("sccserve: serving", "mode", m.String(), "shards", *shards, "addr", lis.Addr().String(),
 		"role", role, "slots", *concurrency, "queue", *queue, "group_commit", gc)
 
@@ -246,6 +339,21 @@ func main() {
 		}()
 	}
 
+	// dumpFlight pulls the flight recorder's retained window: to
+	// <data-dir>/flight when durable, stderr otherwise. Shared by the
+	// operator's SIGQUIT pull and the automatic dump on demotion.
+	dumpFlight := func(reason string) {
+		if *dataDir != "" {
+			if path, err := srv.Flight().DumpDir(filepath.Join(*dataDir, "flight"), reason); err != nil {
+				slog.Error("sccserve: flight dump failed", "err", err)
+			} else {
+				slog.Info("sccserve: flight dump", "path", path)
+			}
+		} else if err := srv.Flight().WriteTo(os.Stderr, reason); err != nil {
+			slog.Error("sccserve: flight dump failed", "err", err)
+		}
+	}
+
 	// SIGQUIT is the operator's black-box pull: dump the flight
 	// recorder's retained window and keep serving (unlike the Go
 	// runtime's default stack-dump-and-exit, which SIGABRT still gives).
@@ -253,21 +361,54 @@ func main() {
 	signal.Notify(quit, syscall.SIGQUIT)
 	go func() {
 		for range quit {
-			if *dataDir != "" {
-				if path, err := srv.Flight().DumpDir(filepath.Join(*dataDir, "flight"), "sigquit"); err != nil {
-					slog.Error("sccserve: flight dump failed", "err", err)
-				} else {
-					slog.Info("sccserve: flight dump", "path", path)
-				}
-			} else if err := srv.Flight().WriteTo(os.Stderr, "sigquit"); err != nil {
-				slog.Error("sccserve: flight dump failed", "err", err)
-			}
+			dumpFlight("sigquit")
 		}
 	}()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan error, 1)
+
+	// The failover monitor starts between listen and serve: the listener
+	// already exists (early connections queue in the accept backlog), and
+	// Start's synchronous boot probe runs before the first write is
+	// served — a restarted old primary discovers the higher fencing epoch
+	// and fences itself before it can acknowledge anything.
+	if cstate != nil {
+		node := cluster.NewNode(cluster.Config{
+			State: cstate,
+			Lease: *clusterLease,
+			Hooks: cluster.Hooks{
+				Promote: func(epoch uint64) error {
+					if err := srv.Promote(takeRep(), epoch); err != nil {
+						return err
+					}
+					slog.Warn("sccserve: promoted to primary", "epoch", epoch)
+					return nil
+				},
+				Follow: func(primary string) error {
+					if r := takeRep(); r != nil {
+						r.Close()
+					}
+					slog.Info("sccserve: following new primary", "primary", primary)
+					return startRepl(primary)
+				},
+				Demote: func(epoch uint64, primary string) {
+					// The state already flipped to fenced; this is the
+					// black-box moment — record it like a WAL failure.
+					slog.Error("sccserve: deposed by higher fencing epoch; fenced",
+						"epoch", epoch, "primary", primary)
+					srv.Demote(epoch, primary)
+					dumpFlight("demote")
+				},
+				Logf: func(format string, args ...any) {
+					slog.Info(fmt.Sprintf(format, args...))
+				},
+			},
+		})
+		node.Start()
+		defer node.Close()
+	}
 	go func() { done <- srv.Serve(lis) }()
 
 	select {

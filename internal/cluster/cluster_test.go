@@ -1,0 +1,319 @@
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestElectLeaderRanking(t *testing.T) {
+	cases := []struct {
+		name  string
+		cands []candidate
+		want  string
+	}{
+		{"empty", nil, ""},
+		{"watermark wins over applied",
+			[]candidate{{"a", 1, 999}, {"b", 2, 1}}, "b"},
+		{"applied breaks watermark tie",
+			[]candidate{{"a", 2, 10}, {"b", 2, 20}}, "b"},
+		{"address breaks full tie",
+			[]candidate{{"b", 2, 20}, {"a", 2, 20}}, "a"},
+		{"single", []candidate{{"only", 0, 0}}, "only"},
+	}
+	for _, c := range cases {
+		if got := electLeader(c.cands); got != c.want {
+			t.Errorf("%s: electLeader = %q, want %q", c.name, got, c.want)
+		}
+	}
+	// Determinism across input order: every permutation of a slate
+	// elects the same leader.
+	slate := []candidate{{"n1", 3, 5}, {"n2", 3, 9}, {"n3", 2, 100}}
+	perms := [][]candidate{
+		{slate[0], slate[1], slate[2]},
+		{slate[2], slate[1], slate[0]},
+		{slate[1], slate[0], slate[2]},
+	}
+	for i, p := range perms {
+		if got := electLeader(p); got != "n2" {
+			t.Errorf("perm %d: electLeader = %q, want n2", i, got)
+		}
+	}
+}
+
+func TestStateObserveAndFence(t *testing.T) {
+	st := NewState("n1:7070", []string{"n2:7070", "n1:7070"})
+	if got := st.Peers(); len(got) != 1 || got[0] != "n2:7070" {
+		t.Fatalf("peers = %v, want self filtered out", got)
+	}
+	if err := st.BecomePrimary(1); err != nil {
+		t.Fatalf("BecomePrimary(1): %v", err)
+	}
+	if st.Observe(1, "n2:7070") {
+		t.Fatal("equal epoch must not depose")
+	}
+	if !st.Observe(2, "n2:7070") {
+		t.Fatal("higher epoch must depose a primary")
+	}
+	if e, r, p := st.Snapshot(); e != 2 || r != RoleFenced || p != "n2:7070" {
+		t.Fatalf("after deposition: epoch=%d role=%v primary=%q", e, r, p)
+	}
+	// A fenced node stays fenced on further observations and cannot
+	// reclaim with a stale epoch.
+	st.Observe(3, "n2:7070")
+	if st.Role() != RoleFenced {
+		t.Fatal("fenced node must stay fenced")
+	}
+	if err := st.BecomePrimary(2); err == nil {
+		t.Fatal("BecomePrimary with deposed epoch must be refused")
+	}
+	if err := st.BecomePrimary(4); err != nil {
+		t.Fatalf("BecomePrimary(4): %v", err)
+	}
+}
+
+func TestTopoReplyRoundTrip(t *testing.T) {
+	in := TopoReply{Role: "replica", Epoch: 7, Primary: "n1:7070", Self: "n2:7070", Watermark: 6, Applied: 1234}
+	got, err := ParseTopoReply(in.Format())
+	if err != nil {
+		t.Fatalf("ParseTopoReply: %v", err)
+	}
+	if got != in {
+		t.Fatalf("round trip: got %+v, want %+v", got, in)
+	}
+	noPrimary := TopoReply{Role: "replica", Epoch: 1, Self: "n2:7070"}
+	if !strings.Contains(noPrimary.Format(), "primary=-") {
+		t.Fatalf("empty primary must render as '-': %q", noPrimary.Format())
+	}
+	back, err := ParseTopoReply(noPrimary.Format())
+	if err != nil || back.Primary != "" {
+		t.Fatalf("primary=- must parse to empty, got %+v err=%v", back, err)
+	}
+	if _, err := ParseTopoReply("ERR not clustered"); err == nil {
+		t.Fatal("ERR line must not parse as a TOPO reply")
+	}
+}
+
+func TestPlanPlacementDeterministicAndBalancing(t *testing.T) {
+	values := []float64{90, 10, 5, 5, 40, 30}
+	assign := []string{"a", "a", "a", "a", "a", "b"}
+	nodes := []string{"a", "b"}
+	plan := PlanPlacement(values, assign, nodes)
+	if len(plan) == 0 {
+		t.Fatal("imbalanced cluster must yield moves")
+	}
+	// Plans are ranked most-valuable first.
+	for i := 1; i < len(plan); i++ {
+		if plan[i].Value > plan[i-1].Value {
+			t.Fatalf("plan not ranked by value: %+v", plan)
+		}
+	}
+	// Applying the plan strictly shrinks the value spread.
+	load := func(owner []string) (la, lb float64) {
+		for i, o := range owner {
+			if o == "a" {
+				la += values[i]
+			} else {
+				lb += values[i]
+			}
+		}
+		return
+	}
+	owner := append([]string(nil), assign...)
+	la0, lb0 := load(owner)
+	for _, m := range plan {
+		if owner[m.Shard] != m.From {
+			t.Fatalf("move %+v from wrong owner %s", m, owner[m.Shard])
+		}
+		owner[m.Shard] = m.To
+	}
+	la1, lb1 := load(owner)
+	spread0, spread1 := la0-lb0, la1-lb1
+	if spread0 < 0 {
+		spread0 = -spread0
+	}
+	if spread1 < 0 {
+		spread1 = -spread1
+	}
+	if spread1 >= spread0 {
+		t.Fatalf("plan did not shrink spread: %v -> %v", spread0, spread1)
+	}
+	// Determinism: identical inputs plan the identical sequence.
+	again := PlanPlacement(values, assign, nodes)
+	if len(again) != len(plan) {
+		t.Fatalf("plan not deterministic: %v vs %v", plan, again)
+	}
+	for i := range plan {
+		if plan[i] != again[i] {
+			t.Fatalf("plan not deterministic at %d: %+v vs %+v", i, plan[i], again[i])
+		}
+	}
+	// Balanced input plans nothing.
+	if p := PlanPlacement([]float64{10, 10}, []string{"a", "b"}, nodes); len(p) != 0 {
+		t.Fatalf("balanced cluster planned %v", p)
+	}
+	// Single node cannot rebalance.
+	if p := PlanPlacement(values, assign, []string{"a"}); p != nil {
+		t.Fatalf("single node planned %v", p)
+	}
+}
+
+func TestAssignmentEpochFence(t *testing.T) {
+	a := NewAssignment(4, "n1")
+	m := Move{Shard: 2, From: "n1", To: "n2", Value: 5}
+	if err := a.Apply(m, 3); err != nil {
+		t.Fatalf("Apply epoch 3: %v", err)
+	}
+	if a.Owner(2) != "n2" {
+		t.Fatalf("owner = %q, want n2", a.Owner(2))
+	}
+	// A move stamped with a deposed epoch is refused: the zombie
+	// primary's leftover plan can never flip ownership.
+	stale := Move{Shard: 1, From: "n1", To: "n3", Value: 1}
+	if err := a.Apply(stale, 2); err == nil {
+		t.Fatal("deposed-epoch move must be refused")
+	}
+	if a.Owner(1) != "n1" {
+		t.Fatalf("refused move mutated table: owner = %q", a.Owner(1))
+	}
+	// Stale From (shard moved since planning) is refused as well.
+	if err := a.Apply(Move{Shard: 2, From: "n1", To: "n3"}, 4); err == nil {
+		t.Fatal("stale-From move must be refused")
+	}
+	table, epoch := a.Table()
+	if epoch != 3 || table[2] != "n2" {
+		t.Fatalf("table = %v epoch = %d", table, epoch)
+	}
+}
+
+// fakePeer answers TOPO with a fixed reply, counting probes.
+func fakePeer(t *testing.T, reply TopoReply) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				r := bufio.NewReader(c)
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if strings.TrimSpace(line) == "TOPO" {
+						fmt.Fprintf(c, "%s\n", reply.Format())
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func TestNodeBootProbeFencesRestartedPrimary(t *testing.T) {
+	// A peer advertises itself as primary at epoch 2. A restarted old
+	// primary booting at epoch 1 must discover it during the
+	// synchronous boot probe and fence itself before serving anything.
+	addr, stop := fakePeer(t, TopoReply{Role: "primary", Epoch: 2, Self: "new-primary", Watermark: 9, Applied: 9})
+	defer stop()
+	st := NewState("127.0.0.1:1", []string{addr})
+	if err := st.BecomePrimary(1); err != nil {
+		t.Fatal(err)
+	}
+	demoted := make(chan uint64, 1)
+	n := NewNode(Config{
+		State: st,
+		Lease: 200 * time.Millisecond,
+		Hooks: Hooks{Demote: func(epoch uint64, primary string) { demoted <- epoch }},
+	})
+	n.Start() // synchronous boot probe
+	defer n.Close()
+	select {
+	case e := <-demoted:
+		if e != 2 {
+			t.Fatalf("demoted at epoch %d, want 2", e)
+		}
+	default:
+		t.Fatal("boot probe did not demote the restarted old primary")
+	}
+	if st.Role() != RoleFenced {
+		t.Fatalf("role = %v, want fenced", st.Role())
+	}
+}
+
+func TestNodeElectsSelfWhenPrimaryDies(t *testing.T) {
+	// Single replica, primary address points nowhere: the lease expires
+	// and the lone candidate promotes itself at epoch 2.
+	st := NewState("127.0.0.1:9", nil)
+	st.SetReplica("127.0.0.1:1") // unreachable
+	st.SetProgress(func() (uint64, uint64) { return 1, 42 })
+	promoted := make(chan uint64, 1)
+	n := NewNode(Config{
+		State:    st,
+		Lease:    100 * time.Millisecond,
+		Interval: 25 * time.Millisecond,
+		Hooks: Hooks{Promote: func(epoch uint64) error {
+			select {
+			case promoted <- epoch:
+			default:
+			}
+			return st.BecomePrimary(epoch)
+		}},
+	})
+	n.Start()
+	defer n.Close()
+	select {
+	case e := <-promoted:
+		if e != 2 {
+			t.Fatalf("promoted at epoch %d, want 2", e)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("lease expiry did not trigger promotion")
+	}
+	if !st.IsPrimary() {
+		t.Fatal("state not primary after promotion")
+	}
+}
+
+func TestNodeElectionDefersToMoreCaughtUpPeer(t *testing.T) {
+	// A peer replica with a higher watermark exists: self must NOT
+	// promote; it defers and waits for the peer's claim.
+	addr, stop := fakePeer(t, TopoReply{Role: "replica", Epoch: 1, Self: "zz-but-more-caught-up", Watermark: 5, Applied: 500})
+	defer stop()
+	st := NewState("127.0.0.1:9", []string{addr})
+	st.SetReplica("127.0.0.1:1") // unreachable primary
+	st.SetProgress(func() (uint64, uint64) { return 1, 42 })
+	promoted := make(chan struct{}, 1)
+	n := NewNode(Config{
+		State:    st,
+		Lease:    100 * time.Millisecond,
+		Interval: 25 * time.Millisecond,
+		Hooks: Hooks{Promote: func(epoch uint64) error {
+			select {
+			case promoted <- struct{}{}:
+			default:
+			}
+			return st.BecomePrimary(epoch)
+		}},
+	})
+	n.Start()
+	defer n.Close()
+	select {
+	case <-promoted:
+		t.Fatal("promoted despite a more caught-up peer")
+	case <-time.After(600 * time.Millisecond):
+	}
+	if st.IsPrimary() {
+		t.Fatal("state flipped primary despite deferring")
+	}
+}

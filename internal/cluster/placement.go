@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Move is one planned shard relocation, ranked by the pending value it
+// carries — the same expected-value currency the admission queue and
+// checkpoint scheduler already spend. Higher-value moves come first in
+// a plan: rebalancing the hottest shard buys the most before the next
+// decision point, exactly as admitting the highest-value transaction
+// does.
+type Move struct {
+	Shard int
+	From  string
+	To    string
+	Value float64 // pending value riding on the shard when planned
+}
+
+// PlanPlacement balances shards across nodes by pending value. values
+// is the per-shard pending-value accounting (durable.Manager
+// .PendingValues, or any proxy for expected value at stake); assign is
+// the current owner of each shard; nodes is the member set to balance
+// over. The planner is greedy and deterministic: it repeatedly takes
+// the highest-value shard on the most loaded node and offers it to the
+// least loaded node, accepting the move only if it strictly shrinks
+// the value spread. Ties break by shard index then address so every
+// node plans the identical sequence.
+//
+// The returned moves are ordered most-valuable first and are a *plan*:
+// applying them is the Assignment's job, fenced by epoch, and the data
+// plane follows via SNAP bootstrap on the receiving node.
+func PlanPlacement(values []float64, assign []string, nodes []string) []Move {
+	if len(values) != len(assign) || len(nodes) < 2 {
+		return nil
+	}
+	owner := append([]string(nil), assign...)
+	nodeSet := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		nodeSet[n] = true
+	}
+	load := func() map[string]float64 {
+		l := make(map[string]float64, len(nodes))
+		for _, n := range nodes {
+			l[n] = 0
+		}
+		for i, o := range owner {
+			if nodeSet[o] {
+				l[o] += values[i]
+			}
+		}
+		return l
+	}
+	extremes := func(l map[string]float64) (hi, lo string) {
+		ns := append([]string(nil), nodes...)
+		sort.Strings(ns)
+		hi, lo = ns[0], ns[0]
+		for _, n := range ns[1:] {
+			if l[n] > l[hi] {
+				hi = n
+			}
+			if l[n] < l[lo] {
+				lo = n
+			}
+		}
+		return hi, lo
+	}
+	var moves []Move
+	for range owner { // at most one move per shard terminates the loop
+		l := load()
+		hi, lo := extremes(l)
+		spread := l[hi] - l[lo]
+		if spread <= 0 {
+			break
+		}
+		// Highest-value shard on the hot node whose transfer shrinks
+		// the spread: moving v flips the gap to |spread - 2v|.
+		best, bestVal := -1, 0.0
+		for i, o := range owner {
+			if o != hi || values[i] <= 0 {
+				continue
+			}
+			if values[i] > bestVal && 2*values[i] < 2*spread {
+				best, bestVal = i, values[i]
+			}
+		}
+		if best < 0 {
+			break
+		}
+		moves = append(moves, Move{Shard: best, From: hi, To: lo, Value: bestVal})
+		owner[best] = lo
+	}
+	sort.SliceStable(moves, func(i, j int) bool { return moves[i].Value > moves[j].Value })
+	return moves
+}
+
+// Assignment is the epoch-fenced shard-ownership table. Ownership
+// changes carry the fencing epoch that authorised them; a move stamped
+// with a deposed epoch is refused, so a zombie primary's leftover
+// rebalancing plan can never flip ownership after a failover.
+type Assignment struct {
+	mu    sync.Mutex
+	owner []string
+	epoch uint64 // epoch of the last applied change
+}
+
+// NewAssignment starts with every shard owned by def.
+func NewAssignment(shards int, def string) *Assignment {
+	owner := make([]string, shards)
+	for i := range owner {
+		owner[i] = def
+	}
+	return &Assignment{owner: owner}
+}
+
+// Owner returns the current owner of shard ("" if out of range).
+func (a *Assignment) Owner(shard int) string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if shard < 0 || shard >= len(a.owner) {
+		return ""
+	}
+	return a.owner[shard]
+}
+
+// Table returns a copy of the full ownership table and the epoch of
+// the last applied change.
+func (a *Assignment) Table() ([]string, uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.owner...), a.epoch
+}
+
+// Apply installs one move under the given fencing epoch. Moves stamped
+// with an epoch older than one already applied are refused — the
+// deposed-plan fence. A stale From (the shard moved since planning)
+// is refused too, so plans can't clobber each other.
+func (a *Assignment) Apply(m Move, epoch uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if epoch < a.epoch {
+		return fmt.Errorf("cluster: placement move for shard %d stamped with deposed epoch %d (current %d)", m.Shard, epoch, a.epoch)
+	}
+	if m.Shard < 0 || m.Shard >= len(a.owner) {
+		return fmt.Errorf("cluster: placement move for unknown shard %d", m.Shard)
+	}
+	if a.owner[m.Shard] != m.From {
+		return fmt.Errorf("cluster: placement move for shard %d expects owner %s, have %s", m.Shard, m.From, a.owner[m.Shard])
+	}
+	a.owner[m.Shard] = m.To
+	a.epoch = epoch
+	return nil
+}

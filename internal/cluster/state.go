@@ -1,0 +1,201 @@
+// Package cluster is the multi-node topology layer: lease-based
+// failover with fencing epochs, and value-cognizant shard placement.
+//
+// The design extends the paper's economics from admission to topology.
+// Admission decides which transaction deserves a slot by expected
+// value; placement decides which node deserves a shard by the same
+// ranking, using the per-shard pending-value accounting the checkpoint
+// scheduler already maintains. Failover is the liveness half: replicas
+// heartbeat the primary over the same control-connection machinery the
+// lag gate's HEAD polling uses, and when the lease expires the
+// most-caught-up replica promotes itself under a freshly minted
+// *fencing epoch*. Every write path compares fencing epochs, so a
+// zombie primary — alive but deposed — can install nothing that gets
+// acknowledged: its verdicts fail at the commit-sync fence exactly like
+// a failed WAL sync ("installed but never acknowledged").
+//
+// The protocol is deliberately not a quorum consensus: with the
+// repository's single-primary chains there is no membership to agree
+// on, only a total order of fencing epochs, and ties (two replicas
+// electing in the same epoch) break deterministically by address. The
+// cost of that simplicity is a documented window: a network-partitioned
+// primary keeps serving reads (never writes that ack) until its first
+// peer probe finds the higher epoch. docs/ARCHITECTURE.md ("Cluster")
+// states the invariants; internal/server enforces them on the wire.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Role is a node's position in the topology.
+type Role int
+
+const (
+	// RoleReplica follows a primary read-only (promotable).
+	RoleReplica Role = iota
+	// RolePrimary owns writes under the current fencing epoch.
+	RolePrimary
+	// RoleFenced is a deposed primary: a node that discovered a higher
+	// fencing epoch than the one it served under. It rejects writes and
+	// replication subscriptions and redirects clients to the new
+	// primary. A fenced node never promotes itself again; restart it as
+	// a replica of the new primary to rejoin.
+	RoleFenced
+)
+
+// String renders the role as the TOPO verb spells it.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleFenced:
+		return "fenced"
+	default:
+		return "replica"
+	}
+}
+
+// State is one node's view of the cluster: its fencing epoch, role, and
+// best-known primary address. The server consults it on every write
+// (entry fence), at every commit verdict (sync fence), and in the TOPO
+// reply; the Node (node.go) transitions it. A nil *State means the
+// server is not clustered and all fencing is off.
+type State struct {
+	self  string
+	peers []string
+
+	mu       sync.Mutex
+	epoch    uint64
+	role     Role
+	primary  string
+	progress func() (watermark, applied uint64)
+}
+
+// NewState returns a replica-role state at fencing epoch 1 with an
+// unknown primary. self is this node's client address as peers should
+// dial it; peers are the other nodes' client addresses.
+func NewState(self string, peers []string) *State {
+	ps := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p != "" && p != self {
+			ps = append(ps, p)
+		}
+	}
+	return &State{self: self, peers: ps, epoch: 1, role: RoleReplica}
+}
+
+// Self returns this node's advertised client address.
+func (s *State) Self() string { return s.self }
+
+// Peers returns the other nodes' client addresses.
+func (s *State) Peers() []string { return s.peers }
+
+// Members returns every known node address, self first — the node set
+// the placement planner balances over.
+func (s *State) Members() []string {
+	return append([]string{s.self}, s.peers...)
+}
+
+// Epoch returns the current fencing epoch.
+func (s *State) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
+
+// Role returns the node's current role.
+func (s *State) Role() Role {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.role
+}
+
+// IsPrimary reports whether the node currently owns writes.
+func (s *State) IsPrimary() bool { return s.Role() == RolePrimary }
+
+// Primary returns the best-known primary address ("" if unknown).
+func (s *State) Primary() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.primary
+}
+
+// Snapshot returns epoch, role, and primary as one consistent read.
+func (s *State) Snapshot() (uint64, Role, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch, s.role, s.primary
+}
+
+// BecomePrimary installs this node as primary under epoch. The epoch
+// must not regress: a caller trying to claim with a stale epoch (it
+// lost an election race it didn't see) is refused so the higher fence
+// stands.
+func (s *State) BecomePrimary(epoch uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch < s.epoch {
+		return fmt.Errorf("cluster: cannot claim primary under deposed epoch %d (current %d)", epoch, s.epoch)
+	}
+	s.epoch = epoch
+	s.role = RolePrimary
+	s.primary = s.self
+	return nil
+}
+
+// SetReplica marks the node a replica following primary (boot wiring
+// for -replica-of servers).
+func (s *State) SetReplica(primary string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.role = RoleReplica
+	s.primary = primary
+}
+
+// Observe folds in another node's claim: a higher fencing epoch always
+// wins. If this node was primary, it is deposed to RoleFenced and the
+// return value is true — the caller must dump its flight ring and stop
+// acknowledging. A replica just re-points at the new primary. Equal or
+// lower epochs change nothing (the deterministic same-epoch tiebreak
+// happens at election time, before anyone claims).
+func (s *State) Observe(epoch uint64, primary string) (deposed bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if epoch <= s.epoch || primary == s.self {
+		return false
+	}
+	s.epoch = epoch
+	s.primary = primary
+	if s.role == RolePrimary {
+		s.role = RoleFenced
+		return true
+	}
+	if s.role != RoleFenced {
+		s.role = RoleReplica
+	}
+	return false
+}
+
+// SetProgress installs the node's catch-up reporter: the replica's
+// epoch watermark (max over shards) and total applied records. The TOPO
+// verb and elections rank candidates by it. Safe to call any time; a
+// nil fn reports zeros.
+func (s *State) SetProgress(fn func() (watermark, applied uint64)) {
+	s.mu.Lock()
+	s.progress = fn
+	s.mu.Unlock()
+}
+
+// Progress returns the node's current catch-up position (zeros without
+// a reporter).
+func (s *State) Progress() (watermark, applied uint64) {
+	s.mu.Lock()
+	fn := s.progress
+	s.mu.Unlock()
+	if fn == nil {
+		return 0, 0
+	}
+	return fn()
+}

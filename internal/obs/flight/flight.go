@@ -70,6 +70,19 @@ const (
 	EvReplApply = "repl_apply"
 	// EvReplShed is a replica read shed by the lag gate.
 	EvReplShed = "repl_shed"
+	// EvPromote is a replica promoting itself to primary; the epoch is
+	// the fencing epoch the promotion minted.
+	EvPromote = "promote"
+	// EvDemote is a primary fencing itself after discovering a higher
+	// fencing epoch (a newer primary exists); the epoch is the deposing
+	// epoch. Operator binaries dump the flight ring on this event, like
+	// the walfail path.
+	EvDemote = "demote"
+	// EvFenceReject is traffic refused because it reached a node that is
+	// not the primary under the current fencing epoch: a write on a
+	// demoted or fenced node, or a commit whose verdict was failed by the
+	// fence because the node was deposed mid-flight.
+	EvFenceReject = "fence_reject"
 )
 
 // DefaultSize is the per-ring capacity used when New is given size <= 0.
@@ -128,6 +141,7 @@ func init() {
 	for _, n := range []string{
 		EvFsync, EvFsyncError, EvWalError, EvIntent, EvDecision,
 		EvCheckpoint, EvReconcileDiscard, EvReplApply, EvReplShed,
+		EvPromote, EvDemote, EvFenceReject,
 		"enqueue", "admit", "fork", "park", "resume", "promotion",
 		"restart", "defer", "deferred", "install", "commit", "abort",
 		"shed", "reap",

@@ -22,7 +22,9 @@ package repl
 
 import (
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 )
@@ -302,8 +304,10 @@ func (l *Log) Trimmed() int64 {
 type Feed struct {
 	logs []*Log
 
-	mu   sync.Mutex
-	subs map[*Sub]struct{}
+	mu          sync.Mutex
+	subs        map[*Sub]struct{}
+	everTracked []bool        // shards some subscriber has tracked at least once
+	ackWake     chan struct{} // closed and replaced on every ack-state change
 }
 
 // NewFeed returns a feed with one empty log per shard, all stamping
@@ -311,8 +315,10 @@ type Feed struct {
 // epoch 0; pass the store's counter on any real primary).
 func NewFeed(shards int, epochs *engine.Epochs) *Feed {
 	f := &Feed{
-		logs: make([]*Log, shards),
-		subs: make(map[*Sub]struct{}),
+		logs:        make([]*Log, shards),
+		subs:        make(map[*Sub]struct{}),
+		everTracked: make([]bool, shards),
+		ackWake:     make(chan struct{}),
 	}
 	for i := range f.logs {
 		f.logs[i] = NewLog(epochs)
@@ -341,6 +347,19 @@ func (f *Feed) Heads() []uint64 {
 		out[i] = l.Head()
 	}
 	return out
+}
+
+// EpochWatermark returns the highest commit epoch any shard log has
+// recorded — the head token of HEAD replies. Lease and caught-up-ness
+// decisions (cluster failover) read it without a REPL subscription.
+func (f *Feed) EpochWatermark() uint64 {
+	var max uint64
+	for _, l := range f.logs {
+		if e := l.LastEpoch(); e > max {
+			max = e
+		}
+	}
+	return max
 }
 
 // Trimmed returns the total records trimmed across all shard logs — the
@@ -384,6 +403,76 @@ func (f *Feed) refloor(shard int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.logs[shard].SetAckFloor(f.ackFloorLocked(shard))
+	// Ack state changed: wake WaitAcked callers blocked on subscriber
+	// progress (a broadcast — each re-checks its own condition).
+	close(f.ackWake)
+	f.ackWake = make(chan struct{})
+}
+
+// maxAckedLocked returns the HIGHEST acked index over subscribers
+// tracking shard and how many track it. Where the trim floor needs the
+// minimum (nothing a subscriber still owes may be dropped), semi-sync
+// ack gating needs the maximum: a commit is replicated once at least
+// one replica holds it. Caller holds f.mu.
+func (f *Feed) maxAckedLocked(shard int) (uint64, int) {
+	var best uint64
+	tracking := 0
+	for s := range f.subs {
+		s.mu.Lock()
+		if s.tracked[shard] {
+			tracking++
+			if s.acked[shard] > best {
+				best = s.acked[shard]
+			}
+		}
+		s.mu.Unlock()
+	}
+	return best, tracking
+}
+
+// WaitAcked blocks until at least one subscriber tracking shard has
+// acked its log through index, or the timeout expires. It is the
+// semi-synchronous replication gate: a primary calls it after a commit
+// installs and before the verdict is acknowledged, so an OK implies the
+// write survives the primary's death. A shard that has never had a
+// tracking subscriber returns immediately — a primary running alone (or
+// freshly promoted, before any replica re-follows) degrades to
+// asynchronous acks rather than stalling every write; the at-least-one
+// semantics pair with most-caught-up promotion, which elects exactly a
+// replica that holds the acked prefix. A shard whose subscriber
+// *vanished*, though, waits out the timeout: a dying replica connection
+// must not instantly open an unreplicated-ack window (the caller counts
+// the eventual timeout as a degrade) — by then a client whose
+// connection died with the failover has already treated the commit as
+// unacknowledged.
+func (f *Feed) WaitAcked(shard int, index uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		f.mu.Lock()
+		best, tracking := f.maxAckedLocked(shard)
+		ever := f.everTracked[shard]
+		wake := f.ackWake
+		f.mu.Unlock()
+		if tracking > 0 && best >= index {
+			return nil
+		}
+		if tracking == 0 && !ever {
+			return nil
+		}
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("repl: shard %d record %d not acked by any replica within %s (best %d)",
+				shard, index, timeout, best)
+		}
+		t := time.NewTimer(remain)
+		select {
+		case <-wake:
+			t.Stop()
+		case <-t.C:
+			return fmt.Errorf("repl: shard %d record %d not acked by any replica within %s (best %d)",
+				shard, index, timeout, best)
+		}
+	}
 }
 
 // Subscribe registers a replica connection for ack tracking. Mark each
@@ -457,6 +546,9 @@ func (s *Sub) Track(shard int) {
 	s.mu.Lock()
 	s.tracked[shard] = true
 	s.mu.Unlock()
+	s.feed.mu.Lock()
+	s.feed.everTracked[shard] = true
+	s.feed.mu.Unlock()
 	s.feed.refloor(shard)
 }
 

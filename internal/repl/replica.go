@@ -486,10 +486,14 @@ func (r *Replica) pollHeads(addr string, every time.Duration) {
 			return
 		}
 		fields := strings.Fields(strings.TrimSpace(raw))
-		if len(fields) == 0 || fields[0] != "OK" {
+		// HEAD replies carry the primary's epoch watermark first, then
+		// the per-shard heads: "OK <epoch-watermark> <head0> <head1> ..."
+		// (docs/PROTOCOL.md, "Replication"). The gate wants the heads;
+		// the watermark serves lease/promotion decisions elsewhere.
+		if len(fields) < 2 || fields[0] != "OK" {
 			continue
 		}
-		for i, f := range fields[1:] {
+		for i, f := range fields[2:] {
 			if h, err := strconv.ParseUint(f, 10, 64); err == nil {
 				r.gate.ObserveHead(i, h)
 			}
@@ -780,6 +784,18 @@ func (r *Replica) Applied() []uint64 {
 	defer r.mu.Unlock()
 	out := make([]uint64, len(r.applied))
 	copy(out, r.applied)
+	return out
+}
+
+// Watermarks returns the per-shard commit-epoch watermark: the newest
+// wire epoch applied on each shard (seeded by snapshot bootstrap or a
+// resume file). Promotion uses it to reset the new primary's log epochs
+// and to raise the global epoch counter past everything replicated.
+func (r *Replica) Watermarks() []uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]uint64, len(r.lastEpoch))
+	copy(out, r.lastEpoch)
 	return out
 }
 

@@ -33,6 +33,13 @@ const (
 	RolePrimary        = "primary"
 	RoleDurable        = "durable"
 	RolePrimaryReplica = "primary+replica"
+	// RoleFailover boots a clustered primary+replica pair with a
+	// lease-based failover monitor on the replica, kills the primary at
+	// half the cell duration, and keeps driving: workers follow the ERR
+	// not-primary redirects onto the promoted replica, the row records
+	// the kill-to-promotion latency, and the ledger audit runs in its
+	// >= form (retries may double-land; lost acked commits still fail).
+	RoleFailover = "primary+replica+failover"
 )
 
 // Tenant is one admission-budget tenant in a cell's traffic mix: Weight
@@ -112,6 +119,12 @@ func (c Cell) withDefaults() Cell {
 	if c.Duration <= 0 {
 		c.Duration = 2 * time.Second
 	}
+	if c.Role == RoleFailover && c.Duration < 2*time.Second {
+		// The kill lands at Duration/2 and the post-kill half must cover
+		// lease expiry, election, and catch-up; shorter cells (e.g. a
+		// grid-wide -cell-duration override) would measure only noise.
+		c.Duration = 2 * time.Second
+	}
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
@@ -139,6 +152,10 @@ func (c Cell) family() (opts.Family, error) {
 func (c Cell) validate() error {
 	switch c.Role {
 	case RolePrimary, RoleDurable, RolePrimaryReplica:
+	case RoleFailover:
+		if c.Interactive || c.Oracle {
+			return fmt.Errorf("cell %q: failover cells drive one-shot loads only", c.Name)
+		}
 	default:
 		return fmt.Errorf("cell %q: unknown role %q", c.Name, c.Role)
 	}
@@ -267,6 +284,12 @@ type Row struct {
 	LedgerOK       bool  `json:"ledger_ok"`
 	OracleOK       *bool `json:"oracle_ok,omitempty"`
 
+	// Failover cells: latency from the primary's kill to the replica's
+	// successful promotion, and the ERR not-primary redirects workers
+	// followed while chasing the new primary.
+	PromoteMs float64 `json:"promote_ms,omitempty"`
+	Redirects int64   `json:"redirects,omitempty"`
+
 	Tenants []TenantRow       `json:"tenants,omitempty"`
 	Server  map[string]string `json:"server_stats,omitempty"`
 
@@ -291,7 +314,8 @@ func Presets() []string { return []string{"smoke", "full"} }
 // "smoke" is the two-cell tier-1 grid (one one-shot uniform cell, one
 // interactive Zipfian cell) kept fast enough for go test ./...; "full"
 // is the nightly matrix: the 3×3 skew × family core plus renewal,
-// think-time, durable, replica, tenant-fairness, and oracle cells.
+// think-time, durable, replica, tenant-fairness, oracle, and failover
+// cells.
 func Grid(preset string) ([]Cell, error) {
 	switch preset {
 	case "smoke":
@@ -361,6 +385,13 @@ func Grid(preset string) ([]Cell, error) {
 				Interactive: true,
 				Oracle:      true,
 				Deadline:    10 * time.Second,
+			},
+			Cell{
+				Name:     "failover-z90",
+				Role:     RoleFailover,
+				Skew:     workload.KeyDist{Kind: workload.KeyZipf, Theta: 0.90},
+				Deadline: 5 * time.Second,
+				Duration: 3 * time.Second,
 			},
 		)
 		return cells, nil

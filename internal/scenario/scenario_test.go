@@ -109,6 +109,38 @@ func TestTenantFairness(t *testing.T) {
 	}
 }
 
+// TestFailoverCell runs the primary+replica+failover cell: the primary
+// is killed at half the duration, the replica's lease monitor promotes
+// it, the workers ride the redirects, and the row carries the measured
+// promotion latency with both audits green.
+func TestFailoverCell(t *testing.T) {
+	row, err := Run(Cell{
+		Name:     "failover",
+		Role:     RoleFailover,
+		Skew:     workload.KeyDist{Kind: workload.KeyZipf, Theta: 0.90},
+		Deadline: 5 * time.Second,
+		Duration: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Committed == 0 {
+		t.Fatal("failover cell committed nothing")
+	}
+	if !row.ConservationOK {
+		t.Error("conservation audit failed across the failover")
+	}
+	if !row.LedgerOK {
+		t.Error("acked-commit ledger audit failed across the failover")
+	}
+	if row.PromoteMs <= 0 {
+		t.Errorf("promotion latency %.2fms, want > 0", row.PromoteMs)
+	}
+	if row.Redirects == 0 {
+		t.Error("no redirects followed; the workers never chased the new primary")
+	}
+}
+
 // TestOracleCell replays a high-contention interactive Zipfian cell
 // (θ=0.99 over a small hot set) through the serializability oracle
 // against the live server.

@@ -24,6 +24,22 @@ import (
 // and when an interactive transaction session was reaped server-side.
 var ErrShed = errors.New("client: transaction shed by admission control")
 
+// NotPrimaryError is returned when a clustered node refuses a write (or a
+// replication verb) because it is not the primary. Addr is the address the
+// node believes is primary, or "" when it does not know one — e.g. a
+// freshly fenced node mid-election. Callers that follow failover redirect
+// to Addr (or re-discover the topology when it is empty).
+type NotPrimaryError struct {
+	Addr string
+}
+
+func (e *NotPrimaryError) Error() string {
+	if e.Addr == "" {
+		return "client: not primary (no known primary)"
+	}
+	return "client: not primary, redirect to " + e.Addr
+}
+
 // Client is one protocol connection.
 type Client struct {
 	mu   sync.Mutex
@@ -149,6 +165,12 @@ func parse(resp string) (string, error) {
 	switch {
 	case resp == "SHED":
 		return "", ErrShed
+	case strings.HasPrefix(resp, "ERR not-primary"):
+		addr := strings.TrimSpace(strings.TrimPrefix(resp, "ERR not-primary"))
+		if addr == "-" {
+			addr = ""
+		}
+		return "", &NotPrimaryError{Addr: addr}
 	case strings.HasPrefix(resp, "ERR"):
 		return "", errors.New("client: server error: " + strings.TrimSpace(strings.TrimPrefix(resp, "ERR")))
 	case resp == "OK":

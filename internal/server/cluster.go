@@ -1,0 +1,251 @@
+// Cluster integration: fencing epochs on the commit path, the promotion
+// and demotion transitions, and the TOPO/PLACE verbs. The cluster
+// package owns topology decisions (leases, elections, placement plans);
+// this file is where those decisions meet the engine — the fenced
+// commit-log sink that turns a deposed primary's verdicts into errors,
+// and the replica-to-primary handoff that rebases the replication feed
+// onto the applied prefix.
+package server
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/obs/flight"
+	"repro/internal/repl"
+)
+
+// errFenced is the commit-sync failure a deposed node's in-flight
+// commits surface: the write may be installed in local memory, but the
+// verdict becomes ERR — installed but never acknowledged, exactly the
+// WAL-failure contract — so nothing a zombie primary accepts after
+// deposition is ever acked as durable.
+type errFenced struct {
+	installed uint64 // fencing epoch the sink was installed under
+	current   uint64 // fencing epoch the cluster has moved to
+	primary   string
+}
+
+func (e *errFenced) Error() string {
+	return fmt.Sprintf("fenced: epoch %d deposed by %d (primary %s)", e.installed, e.current, primaryToken(e.primary))
+}
+
+// fencedLog wraps a clustered primary's per-shard replication log with
+// the fencing check, implementing CommitSyncer so the engine consults
+// the cluster state once per commit batch — after install, before any
+// verdict. Appends pass through untouched (they run under the store
+// latch and must stay fast); the fence is enforced where it matters,
+// at the acknowledgement boundary.
+type fencedLog struct {
+	log   *repl.Log
+	state *cluster.State
+	epoch uint64 // fencing epoch this sink was installed under
+	fl    *flight.Recorder
+	shard int
+}
+
+func (f *fencedLog) Append(writes map[string][]byte) { f.log.Append(writes) }
+
+func (f *fencedLog) AppendCross(writes map[string][]byte, value float64, epoch uint64, shards []int) {
+	f.log.AppendCross(writes, value, epoch, shards)
+}
+
+func (f *fencedLog) LastEpoch() uint64 { return f.log.LastEpoch() }
+
+// Sync is the fence: it fails when the cluster moved past the fencing
+// epoch this sink was installed under (or the node stopped being
+// primary), converting every verdict of the batch to an error.
+func (f *fencedLog) Sync() error {
+	epoch, role, primary := f.state.Snapshot()
+	if role == cluster.RolePrimary && epoch == f.epoch {
+		return nil
+	}
+	f.fl.Server().Record(flight.EvFenceReject, 0, f.shard, f.epoch)
+	return &errFenced{installed: f.epoch, current: epoch, primary: primary}
+}
+
+// primaryToken renders a primary address for ERR not-primary replies:
+// "-" when unknown, so the reply always has the same field count.
+func primaryToken(addr string) string {
+	if addr == "" {
+		return "-"
+	}
+	return addr
+}
+
+// notPrimary is the redirect reply a clustered non-primary answers to
+// writes (and a fenced node answers to replication verbs): clients
+// follow the address; "-" means the new primary is not yet known.
+func (s *Server) notPrimary() string {
+	return "ERR not-primary " + primaryToken(s.cluster.Primary())
+}
+
+// fenceWrite is the entry fence: every write on a clustered node checks
+// it before touching admission. Non-nil means the caller must return
+// the redirect reply instead of executing.
+func (s *Server) fenceWrite(id uint64) (string, bool) {
+	cs := s.cluster
+	if cs == nil || cs.IsPrimary() {
+		return "", false
+	}
+	s.flight.Server().Record(flight.EvFenceReject, id, -1, cs.Epoch())
+	return s.notPrimary(), true
+}
+
+// fencedReplVerb reports whether a replication-serving verb (REPL, ACK,
+// SNAP, HEAD) must be refused because this node is a deposed primary:
+// its logs are frozen history a joiner must not bootstrap from.
+func (s *Server) fencedReplVerb() (string, bool) {
+	if cs := s.cluster; cs != nil && cs.Role() == cluster.RoleFenced {
+		return s.notPrimary(), true
+	}
+	return "", false
+}
+
+// Promote turns this replica server into the primary under the given
+// fencing epoch — the PROMOTE protocol's server half. rep is the
+// replication stream to tear down (nil if already stopped). The steps
+// are ordered so no window accepts unfenced writes:
+//
+//  1. stop the apply stream (the barrier queue has already delivered
+//     every complete epoch; incomplete trailing epochs are discarded —
+//     they were never applied, so the store is a clean prefix),
+//  2. claim the state (writes arriving now pass the entry fence but
+//     commit through the fenced sink installed next — until it is
+//     installed the old gate still rejects them),
+//  3. rebase a fresh replication feed at the applied indices and epoch
+//     watermarks, so downstream joiners resume the primary numbering,
+//  4. install the fenced commit-log sinks under the new epoch,
+//  5. lift the lag gate and publish the feed.
+func (s *Server) Promote(rep *repl.Replica, epoch uint64) error {
+	cs := s.cluster
+	if cs == nil {
+		return fmt.Errorf("server: not clustered")
+	}
+	if s.durable != nil {
+		// Promotion installs the in-memory fenced sinks, which would
+		// silently replace the WAL sink — refuse rather than drop
+		// durability; the monitor keeps this node a replica.
+		return fmt.Errorf("server: promoting a durable replica is not supported (WAL sink would be replaced)")
+	}
+	var applied, marks []uint64
+	if rep != nil {
+		rep.Close()
+		applied = rep.Applied()
+		marks = rep.Watermarks()
+	}
+	if err := cs.BecomePrimary(epoch); err != nil {
+		return err
+	}
+	shards := s.store.NumShards()
+	feed := s.Feed()
+	if feed == nil {
+		feed = repl.NewFeed(shards, s.epochs)
+		if s.retain > 0 {
+			feed.SetRetention(s.retain)
+		}
+		var maxMark uint64
+		for i := 0; i < shards; i++ {
+			var base, mark uint64
+			if i < len(applied) {
+				base = applied[i]
+			}
+			if i < len(marks) {
+				mark = marks[i]
+			}
+			if mark > maxMark {
+				maxMark = mark
+			}
+			feed.Log(i).ResetBase(base, mark)
+		}
+		// New commits must stamp epochs above everything replicated
+		// history used, or the apply barrier downstream would conflate
+		// old and new cross-shard commits.
+		s.epochs.Observe(maxMark)
+	}
+	for i := 0; i < shards; i++ {
+		s.store.Shard(i).SetCommitLog(&fencedLog{
+			log: feed.Log(i), state: cs, epoch: epoch, fl: s.flight, shard: i,
+		})
+	}
+	s.feedP.Store(feed)
+	s.gateP.Store(nil)
+	s.flight.Server().Record(flight.EvPromote, 0, -1, epoch)
+	return nil
+}
+
+// Demote records a deposed primary's fencing into the flight ring. The
+// cluster state has already flipped to RoleFenced (the Node's Observe
+// did it atomically with discovering the higher epoch); from that
+// instant every in-flight commit fails at the fenced sink and every new
+// write bounces at the entry fence — this is bookkeeping, not the
+// fence itself.
+func (s *Server) Demote(epoch uint64, primary string) {
+	s.flight.Server().Record(flight.EvDemote, 0, -1, epoch)
+}
+
+// handleTopo serves the TOPO verb: one k=v line describing this node's
+// topology view, the discovery surface replicas' lease probes, clients'
+// redirect logic, and operators all share.
+func (s *Server) handleTopo() string {
+	cs := s.cluster
+	if cs == nil {
+		return "ERR not clustered"
+	}
+	epoch, role, primary := cs.Snapshot()
+	watermark, applied := cs.Progress()
+	if feed := s.Feed(); feed != nil && role == cluster.RolePrimary {
+		// A primary's catch-up position is its own feed.
+		watermark = feed.EpochWatermark()
+		var sum uint64
+		for _, h := range feed.Heads() {
+			sum += h
+		}
+		applied = sum
+	}
+	return cluster.TopoReply{
+		Role:      role.String(),
+		Epoch:     epoch,
+		Primary:   primary,
+		Self:      cs.Self(),
+		Watermark: watermark,
+		Applied:   applied,
+	}.Format()
+}
+
+// handlePlace serves the PLACE verb: plan value-cognizant shard moves
+// from the durability layer's per-shard pending-value accounting and
+// apply them to the epoch-fenced assignment table. The reply lists the
+// applied moves, most valuable first:
+//
+//	OK <n> [<shard>|<from>|<to>|<value> ...]
+//
+// Placement needs the pending-value signal, which only the checkpoint
+// scheduler maintains — so like CKPT, PLACE requires durability.
+func (s *Server) handlePlace() string {
+	cs := s.cluster
+	if cs == nil {
+		return "ERR not clustered"
+	}
+	if s.durable == nil {
+		return "ERR durability disabled"
+	}
+	if !cs.IsPrimary() {
+		return s.notPrimary()
+	}
+	assign, _ := s.assign.Table()
+	moves := cluster.PlanPlacement(s.durable.PendingValues(), assign, cs.Members())
+	epoch := cs.Epoch()
+	var b strings.Builder
+	applied := 0
+	for _, m := range moves {
+		if err := s.assign.Apply(m, epoch); err != nil {
+			continue
+		}
+		applied++
+		fmt.Fprintf(&b, " %d|%s|%s|%s", m.Shard, m.From, m.To, strconv.FormatFloat(m.Value, 'g', -1, 64))
+	}
+	return "OK " + strconv.Itoa(applied) + b.String()
+}

@@ -1,0 +1,308 @@
+// Cluster fencing and failover tests: the deterministic deposed-epoch
+// proofs (entry fence and commit-sync fence), the TOPO/PLACE verb
+// surfaces, and an in-process replica-to-primary promotion over a live
+// replication stream.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/durable"
+	"repro/internal/engine"
+	"repro/internal/repl"
+	"repro/internal/server/client"
+	"repro/internal/shard"
+)
+
+// clusteredPrimary starts an in-memory clustered primary claiming
+// fencing epoch 1.
+func clusteredPrimary(t *testing.T, shards int, peers []string) (*Server, string, *cluster.State) {
+	t.Helper()
+	cs := cluster.NewState("127.0.0.1:0", peers)
+	if err := cs.BecomePrimary(1); err != nil {
+		t.Fatal(err)
+	}
+	srv, addr := startServer(t, Config{Shards: shards, Repl: ReplOptions{Primary: true}, Cluster: cs})
+	return srv, addr, cs
+}
+
+// TestDeposedEpochWriteNeverAcked is the fencing invariant's
+// deterministic proof, layer by layer:
+//
+//  1. entry fence — after deposition every new write draws the
+//     not-primary redirect and installs nothing;
+//  2. commit-sync fence — a commit already past the entry fence when
+//     deposition lands (the zombie-primary window) installs through the
+//     engine but its verdict is converted to an error at the
+//     commit-sync boundary, so it is never acknowledged.
+//
+// Together: a write under a deposed fencing epoch can never install
+// silently or be acked durable.
+func TestDeposedEpochWriteNeverAcked(t *testing.T) {
+	srv, addr, cs := clusteredPrimary(t, 2, nil)
+
+	// While primary, writes commit normally.
+	if got := srv.dispatchLine("ADD fencekey 7"); got != "OK 7" {
+		t.Fatalf("write on live primary = %q", got)
+	}
+
+	// Depose: a peer claims epoch 2.
+	if !cs.Observe(2, "10.0.0.9:7070") {
+		t.Fatal("Observe(2) must depose the primary")
+	}
+
+	// Layer 1: the entry fence. The write is refused with a redirect
+	// before admission; nothing installs.
+	got := srv.dispatchLine("ADD fencekey 1")
+	if got != "ERR not-primary 10.0.0.9:7070" {
+		t.Fatalf("write on deposed node = %q, want ERR not-primary 10.0.0.9:7070", got)
+	}
+	if got := srv.dispatchLine("GET fencekey"); got != "OK 7" {
+		t.Fatalf("fenced write mutated state: GET = %q, want OK 7", got)
+	}
+	// TXN writes hit the same fence.
+	begin := srv.dispatchLine("TXN BEGIN")
+	id := strings.TrimPrefix(begin, "OK ")
+	if got := srv.dispatchLine("TXN W " + id + " fencekey 1"); got != "ERR not-primary 10.0.0.9:7070" {
+		t.Fatalf("TXN W on deposed node = %q", got)
+	}
+
+	// Layer 2: the commit-sync fence. Drive a commit directly through
+	// the store — the deterministic stand-in for a request that passed
+	// the entry fence before deposition landed. The install goes
+	// through, but the fenced sink fails Sync, so the verdict is a
+	// *engine.SyncError: installed, never acknowledged — exactly the
+	// failed-WAL-sync contract.
+	_, err := srv.Store().UpdateTracedResult(1.0, []string{"fencekey"}, func(int) error { return nil }, nil,
+		func(tx shard.Tx) error { return tx.Set("fencekey", []byte("99")) })
+	if err == nil {
+		t.Fatal("zombie commit was acknowledged")
+	}
+	var se *engine.SyncError
+	if !errors.As(err, &se) {
+		t.Fatalf("zombie commit error = %v (%T), want *engine.SyncError", err, err)
+	}
+	if !strings.Contains(err.Error(), "fenced") {
+		t.Fatalf("zombie commit error %q does not name the fence", err)
+	}
+
+	// The fenced node's replication surface is frozen too.
+	for _, verb := range []string{"HEAD", "SNAP 0", "REPL 0 1", "ACK 0 1"} {
+		rc := dialRaw(t, addr)
+		rc.send(verb)
+		if got := rc.recv(); got != "ERR not-primary 10.0.0.9:7070" {
+			t.Errorf("%s on fenced node = %q, want ERR not-primary", verb, got)
+		}
+	}
+}
+
+// TestTopoVerb pins the TOPO surface: ERR off-cluster, a parseable
+// k=v reply on members, and role/epoch tracking across deposition.
+func TestTopoVerb(t *testing.T) {
+	plain, _ := startServer(t, Config{Shards: 2})
+	if got := plain.dispatchLine("TOPO"); got != "ERR not clustered" {
+		t.Fatalf("TOPO off-cluster = %q", got)
+	}
+
+	srv, addr, cs := clusteredPrimary(t, 2, []string{"10.0.0.9:7070"})
+	srv.dispatchLine("ADD topokey 1")
+	rep, err := cluster.ParseTopoReply(srv.dispatchLine("TOPO"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "primary" || rep.Epoch != 1 || rep.Self != "127.0.0.1:0" || rep.Primary != "127.0.0.1:0" {
+		t.Fatalf("TOPO on primary = %+v", rep)
+	}
+	if rep.Applied == 0 {
+		t.Fatal("primary TOPO must report its feed position as applied")
+	}
+
+	cs.Observe(2, "10.0.0.9:7070")
+	rep, err = cluster.ParseTopoReply(srv.dispatchLine("TOPO"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Role != "fenced" || rep.Epoch != 2 || rep.Primary != "10.0.0.9:7070" {
+		t.Fatalf("TOPO after deposition = %+v", rep)
+	}
+
+	// TOPO is single-line, so REQ framing is allowed.
+	rc := dialRaw(t, addr)
+	rc.send("REQ 7 TOPO")
+	if got := rc.recv(); !strings.HasPrefix(got, "RES 7 OK role=fenced") {
+		t.Fatalf("framed TOPO = %q", got)
+	}
+}
+
+// TestPlaceVerb pins the PLACE surface: ERR off-cluster, ERR without
+// durability (no pending-value signal), and a value-ranked,
+// epoch-fenced plan on a durable clustered primary.
+func TestPlaceVerb(t *testing.T) {
+	plain, _ := startServer(t, Config{Shards: 2})
+	if got := plain.dispatchLine("PLACE"); got != "ERR not clustered" {
+		t.Fatalf("PLACE off-cluster = %q", got)
+	}
+
+	mem, _, _ := clusteredPrimary(t, 2, []string{"10.0.0.9:7070"})
+	if got := mem.dispatchLine("PLACE"); got != "ERR durability disabled" {
+		t.Fatalf("PLACE without durability = %q", got)
+	}
+
+	cs := cluster.NewState("127.0.0.1:0", []string{"10.0.0.9:7070"})
+	if err := cs.BecomePrimary(1); err != nil {
+		t.Fatal(err)
+	}
+	srv, _ := startServer(t, Config{
+		Shards:  2,
+		Repl:    ReplOptions{Primary: true},
+		Cluster: cs,
+		Durable: durable.Options{Dir: t.TempDir()},
+	})
+	// Accrue pending value on the local shards, then plan: with a
+	// zero-loaded peer every loaded shard is a candidate move.
+	for i := 0; i < 16; i++ {
+		if got := srv.dispatchLine(fmt.Sprintf("ADD pk%d 1", i)); !strings.HasPrefix(got, "OK") {
+			t.Fatalf("seed write = %q", got)
+		}
+	}
+	got := srv.dispatchLine("PLACE")
+	if !strings.HasPrefix(got, "OK ") {
+		t.Fatalf("PLACE on durable clustered primary = %q", got)
+	}
+	fields := strings.Fields(got)
+	if fields[1] == "0" {
+		t.Fatalf("PLACE planned no moves against an empty peer: %q", got)
+	}
+	for _, mv := range fields[2:] {
+		if !strings.Contains(mv, "|127.0.0.1:0|10.0.0.9:7070|") {
+			t.Fatalf("move %q does not go self -> peer", mv)
+		}
+	}
+
+	// A deposed node cannot plan.
+	cs.Observe(2, "10.0.0.9:7070")
+	if got := srv.dispatchLine("PLACE"); got != "ERR not-primary 10.0.0.9:7070" {
+		t.Fatalf("PLACE on deposed node = %q", got)
+	}
+}
+
+// TestPromoteTakesOver wires a real primary/replica pair, kills the
+// primary, promotes the replica in-process (the server half the cluster
+// Node drives), and checks the full handoff: replicated state retained,
+// gate lifted, writes accepted under the new fencing epoch, feed
+// rebased at the replica's applied indices, and the TOPO/HEAD surfaces
+// flipped to the primary shape.
+func TestPromoteTakesOver(t *testing.T) {
+	gate := repl.NewLagGate(4, time.Hour, time.Millisecond)
+	pri, priAddr := startServer(t, Config{Shards: 4, Repl: ReplOptions{Primary: true}})
+	cs := cluster.NewState("127.0.0.1:0", nil)
+	cs.SetReplica(priAddr)
+	rep, repAddr := startServer(t, Config{Shards: 4, Repl: ReplOptions{Gate: gate}, Cluster: cs})
+	r, err := repl.StartReplica(repl.ReplicaConfig{Primary: priAddr, Store: rep.Store(), Gate: gate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	c, err := client.Dial(priAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := c.Add(fmt.Sprintf("ck%d", i), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A cross-shard transfer so the epoch watermark is nonzero.
+	if _, err := c.Update([]client.Op{
+		{Key: "ck0", Delta: -1, Write: true},
+		{Key: "ck1", Delta: 1, Write: true},
+	}, client.TxOpts{}); err != nil {
+		t.Fatal(err)
+	}
+	waitCaughtUp(t, pri, r)
+	c.Close()
+	priHeads := pri.Feed().Heads()
+	pri.Close()
+
+	// Writes on the replica bounce with a redirect before promotion.
+	if got := rep.dispatchLine("ADD ck0 1"); got != "ERR not-primary "+priAddr {
+		t.Fatalf("pre-promotion write = %q", got)
+	}
+
+	if err := rep.Promote(r, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Role, epoch, and primary flipped.
+	topo, err := cluster.ParseTopoReply(rep.dispatchLine("TOPO"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Role != "primary" || topo.Epoch != 2 {
+		t.Fatalf("post-promotion TOPO = %+v", topo)
+	}
+
+	// Replicated state retained, gate lifted, writes accepted.
+	rc, err := client.Dial(repAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if n, ok, err := rc.Get("ck5"); err != nil || !ok || n != 5 {
+		t.Fatalf("promoted Get(ck5) = %d, %v, %v; want 5", n, ok, err)
+	}
+	if n, err := rc.Add("ck5", 10); err != nil || n != 15 {
+		t.Fatalf("promoted Add(ck5, 10) = %d, %v; want 15", n, err)
+	}
+
+	// The new feed resumes the old primary's numbering: heads start at
+	// the replica's applied indices, not at zero.
+	newHeads := rep.Feed().Heads()
+	for i, h := range newHeads {
+		if h < priHeads[i] {
+			t.Fatalf("promoted head[%d] = %d regressed below old primary's %d", i, h, priHeads[i])
+		}
+	}
+
+	// HEAD serves the primary grammar now, and a fresh replica can
+	// bootstrap off the promoted node above the rebased base.
+	raw := dialRaw(t, repAddr)
+	raw.send("HEAD")
+	if got := raw.recv(); !strings.HasPrefix(got, "OK ") || len(strings.Fields(got)) != 6 {
+		t.Fatalf("HEAD on promoted node = %q, want OK <watermark> + 4 heads", got)
+	}
+	gate2 := repl.NewLagGate(4, time.Hour, time.Millisecond)
+	rep2, _ := startServer(t, Config{Shards: 4, Repl: ReplOptions{Gate: gate2}})
+	r2, err := repl.StartReplica(repl.ReplicaConfig{Primary: repAddr, Store: rep2.Store(), Gate: gate2, Snapshot: true})
+	if err != nil {
+		t.Fatalf("joining the promoted primary: %v", err)
+	}
+	defer r2.Close()
+	waitCaughtUp(t, rep, r2)
+	if v, ok := rep2.Store().Get("ck5"); !ok || string(v) != "15" {
+		t.Fatalf("second-generation replica ck5 = %q, %v; want 15", v, ok)
+	}
+}
+
+// TestSyncAcksDegradesWithoutSubscriber proves a semi-sync primary with
+// no tracking replica does not stall: WaitAcked degrades to async
+// immediately and the write acks.
+func TestSyncAcksDegradesWithoutSubscriber(t *testing.T) {
+	srv, _ := startServer(t, Config{Shards: 2, Repl: ReplOptions{Primary: true, SyncAcks: true, SyncTimeout: 30 * time.Second}})
+	done := make(chan string, 1)
+	go func() { done <- srv.dispatchLine("ADD sk 1") }()
+	select {
+	case got := <-done:
+		if got != "OK 1" {
+			t.Fatalf("semi-sync lone write = %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("semi-sync write stalled with no subscriber")
+	}
+}

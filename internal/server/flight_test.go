@@ -31,6 +31,7 @@ func canonicalEventNames() []string {
 		flight.EvFsync, flight.EvFsyncError, flight.EvWalError, flight.EvIntent,
 		flight.EvDecision, flight.EvCheckpoint, flight.EvReconcileDiscard,
 		flight.EvReplApply, flight.EvReplShed,
+		flight.EvPromote, flight.EvDemote, flight.EvFenceReject,
 	}
 }
 

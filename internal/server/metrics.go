@@ -37,6 +37,7 @@ import (
 // storm cannot mint unbounded label values.
 var metricVerbs = []string{
 	"PING", "GET", "PUT", "ADD", "UPD", "SUM", "STATS", "HEAD", "CKPT", "TXN",
+	"TOPO", "PLACE",
 }
 
 // serverMetrics owns the registry and the pre-resolved hot-path series.
@@ -215,21 +216,68 @@ func (s *Server) registerDerived() {
 	reg.CounterFunc("scc_txn_reaped_total", "TXN sessions reaped by the value-cognizant reaper.",
 		func() float64 { return float64(s.txnReaped.Load()) })
 
-	if s.feed != nil {
+	// Promotion can mint a feed (and retire the gate) after registration,
+	// so clustered servers register both families unconditionally and the
+	// closures read through the atomic accessors, answering zero while
+	// the role doesn't apply.
+	if s.Feed() != nil || s.cluster != nil {
 		reg.GaugeFunc("scc_repl_subscribers", "Live replication subscriptions.",
-			func() float64 { return float64(s.feed.Subscribers()) })
+			func() float64 {
+				if feed := s.Feed(); feed != nil {
+					return float64(feed.Subscribers())
+				}
+				return 0
+			})
 		reg.GaugeFunc("scc_repl_max_lag_records", "Largest subscriber lag in log records.",
-			func() float64 { return float64(s.feed.MaxLag()) })
+			func() float64 {
+				if feed := s.Feed(); feed != nil {
+					return float64(feed.MaxLag())
+				}
+				return 0
+			})
 		reg.CounterFunc("scc_log_trimmed_total", "Commit-log records trimmed below retention/checkpoint floors.",
-			func() float64 { return float64(s.feed.Trimmed()) })
+			func() float64 {
+				if feed := s.Feed(); feed != nil {
+					return float64(feed.Trimmed())
+				}
+				return 0
+			})
 	}
-	if s.gate != nil {
+	if s.replGate() != nil {
 		reg.GaugeFunc("scc_repl_applied_records", "Replica: log records applied locally.",
-			func() float64 { return float64(s.gate.Applied()) })
+			func() float64 {
+				if gate := s.replGate(); gate != nil {
+					return float64(gate.Applied())
+				}
+				return 0
+			})
 		reg.GaugeFunc("scc_repl_lag_records", "Replica: records the primary is ahead.",
-			func() float64 { return float64(s.gate.LagRecords()) })
+			func() float64 {
+				if gate := s.replGate(); gate != nil {
+					return float64(gate.LagRecords())
+				}
+				return 0
+			})
 		reg.CounterFunc("scc_repl_shed_total", "Replica: reads shed for lag-priced value loss.",
-			func() float64 { return float64(s.gate.Shed()) })
+			func() float64 {
+				if gate := s.replGate(); gate != nil {
+					return float64(gate.Shed())
+				}
+				return 0
+			})
+	}
+	if s.cluster != nil {
+		reg.GaugeFunc("scc_cluster_epoch", "Current fencing epoch of this cluster member.",
+			func() float64 { return float64(s.cluster.Epoch()) })
+		reg.GaugeFunc("scc_cluster_primary", "1 when this node is the cluster primary, else 0.",
+			func() float64 {
+				if s.cluster.IsPrimary() {
+					return 1
+				}
+				return 0
+			})
+		reg.CounterFunc("scc_repl_sync_degraded_total", "Semi-sync ack waits that timed out (commit acked anyway).",
+			func() float64 { return float64(s.syncDegraded.Load()) })
 	}
 	if s.durable != nil {
 		reg.CounterFunc("scc_wal_appends_total", "Records appended to the per-shard WALs.",

@@ -17,6 +17,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/engine"
 	obspkg "repro/internal/obs"
@@ -268,14 +269,19 @@ func TestMetricsConformance(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The three server roles whose registries together cover every family.
+	// The four server roles whose registries together cover every family.
 	primary, _ := startServer(t, Config{Shards: 2, Repl: ReplOptions{Primary: true}})
 	dsrv, _ := startServer(t, Config{Shards: 2, Durable: durable.Options{Dir: t.TempDir()}})
 	gsrv, _ := startServer(t, Config{Shards: 2, Repl: ReplOptions{Gate: repl.NewLagGate(2, 50*time.Millisecond, 0)}})
 	NewReplicaMetrics(gsrv.Metrics()) // the replica apply-path instruments
+	cstate := cluster.NewState("127.0.0.1:0", nil)
+	if err := cstate.BecomePrimary(1); err != nil {
+		t.Fatal(err)
+	}
+	csrv, _ := startServer(t, Config{Shards: 2, Repl: ReplOptions{Primary: true, SyncAcks: true}, Cluster: cstate})
 
 	registered := make(map[string]bool)
-	for _, s := range []*Server{primary, dsrv, gsrv} {
+	for _, s := range []*Server{primary, dsrv, gsrv, csrv} {
 		for _, name := range s.Metrics().Names() {
 			registered[name] = true
 		}
@@ -310,7 +316,7 @@ func TestMetricsConformance(t *testing.T) {
 		docKeys[m[1]] = true
 	}
 	emitted := make(map[string]bool)
-	for _, s := range []*Server{primary, dsrv, gsrv} {
+	for _, s := range []*Server{primary, dsrv, gsrv, csrv} {
 		for _, kv := range strings.Fields(strings.TrimPrefix(s.statsLine(), "OK ")) {
 			k, _, ok := strings.Cut(kv, "=")
 			if !ok {

@@ -384,12 +384,13 @@ func TestReplVerbErrors(t *testing.T) {
 		}
 	}
 
-	// HEAD reports per-shard log heads on a primary.
+	// HEAD reports the epoch watermark then per-shard log heads on a
+	// primary: OK <watermark> <h0> <h1> for two shards.
 	rc.send("PUT headkey 1")
 	rc.recv()
 	rc.send("HEAD")
-	if got := rc.recv(); !strings.HasPrefix(got, "OK ") || len(strings.Fields(got)) != 3 {
-		t.Errorf("HEAD on 2-shard primary -> %q, want OK <h0> <h1>", got)
+	if got := rc.recv(); !strings.HasPrefix(got, "OK ") || len(strings.Fields(got)) != 4 {
+		t.Errorf("HEAD on 2-shard primary -> %q, want OK <watermark> <h0> <h1>", got)
 	}
 
 	// A non-primary has no feed to subscribe to or report heads for, and

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/durable"
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -57,6 +58,13 @@ type Config struct {
 	PipelineDepth int
 	// Repl configures replication roles (docs/PROTOCOL.md, "Replication").
 	Repl ReplOptions
+	// Cluster, when non-nil, makes the server a member of a failover
+	// cluster (internal/cluster): writes are fenced by the state's
+	// fencing epoch and role, the TOPO/PLACE verbs come alive, and the
+	// server can be promoted from replica to primary at runtime. The
+	// state's role and epoch must be set (BecomePrimary/SetReplica)
+	// before Open so the initial commit-log sinks carry the right fence.
+	Cluster *cluster.State
 	// Txn configures interactive transaction sessions (the TXN verbs):
 	// idle cap and reaper cadence. See session.go.
 	Txn TxnConfig
@@ -105,6 +113,20 @@ type ReplOptions struct {
 	// still trim below min(checkpoint index, min acked), so replay-from-1
 	// joiners need a retention bound or SNAP.
 	Retain uint64
+	// SyncAcks makes a primary semi-synchronous: each committed write
+	// waits (bounded by SyncTimeout) for at least one tracking replica
+	// to acknowledge the shard's log head before the OK is sent, so an
+	// acknowledged commit survives the primary's death once any replica
+	// runs. On a shard no subscriber has ever tracked the wait degrades
+	// to asynchronous immediately (a lone primary must not stall); once
+	// a shard has been tracked, a vanished subscriber waits out
+	// SyncTimeout instead — a dying replica connection must not
+	// instantly open an unreplicated-ack window. A timeout degrades —
+	// the commit is still acknowledged, and repl_sync_degraded counts
+	// the lapse.
+	SyncAcks bool
+	// SyncTimeout bounds each SyncAcks wait (default 5s).
+	SyncTimeout time.Duration
 }
 
 // Server serves a sharded store over TCP.
@@ -112,13 +134,25 @@ type Server struct {
 	store         *shard.Store
 	adm           *Admission
 	pipelineDepth int
-	feed          *repl.Feed       // non-nil on replication primaries
-	gate          *repl.LagGate    // non-nil on read replicas
-	durable       *durable.Manager // non-nil with a data directory
-	met           *serverMetrics   // telemetry registry (metrics.go), always non-nil
-	flight        *flight.Recorder // always-on black-box event journal, always non-nil
-	flightSample  uint64           // lifecycle stamps for 1-in-N untraced requests
-	reqID         atomic.Uint64    // request/session ids tagging flight events
+	epochs        *engine.Epochs // the store's global commit-epoch counter
+	// feedP/gateP hold the replication roles behind atomic pointers
+	// because promotion swaps them at runtime: a clustered replica
+	// starts with a gate and no feed, and Promote publishes a feed and
+	// retires the gate while requests are in flight. Read through
+	// Feed()/replGate(); never cache across a blocking wait.
+	feedP        atomic.Pointer[repl.Feed]    // non-nil on replication primaries
+	gateP        atomic.Pointer[repl.LagGate] // non-nil on read replicas
+	cluster      *cluster.State               // non-nil on cluster members
+	assign       *cluster.Assignment          // shard-ownership table (clustered only)
+	retain       uint64                       // Repl.Retain, reused by promotion's fresh feed
+	syncAcks     bool
+	syncTimeout  time.Duration
+	syncDegraded atomic.Int64     // SyncAcks waits that timed out (commit acked anyway)
+	durable      *durable.Manager // non-nil with a data directory
+	met          *serverMetrics   // telemetry registry (metrics.go), always non-nil
+	flight       *flight.Recorder // always-on black-box event journal, always non-nil
+	flightSample uint64           // lifecycle stamps for 1-in-N untraced requests
+	reqID        atomic.Uint64    // request/session ids tagging flight events
 
 	// mu guards connection lifecycle only; per-request counters use
 	// their own synchronization so requests never serialize on it.
@@ -213,15 +247,35 @@ func Open(cfg Config) (*Server, error) {
 		}
 	} else if feed != nil {
 		for i := 0; i < cfg.Shards; i++ {
-			store.Shard(i).SetCommitLog(feed.Log(i))
+			if cfg.Cluster != nil && cfg.Cluster.IsPrimary() {
+				// Clustered in-memory primary: the commit-log sink is the
+				// fencing wrapper, so the engine's per-batch Sync consults
+				// the cluster state before any verdict is delivered — a
+				// deposed primary's commits install but never ack. A
+				// clustered *replica* keeps the plain sink (its apply path
+				// re-logs and syncs every batch, which must keep passing);
+				// Promote swaps in the fenced sinks at takeover.
+				store.Shard(i).SetCommitLog(&fencedLog{
+					log: feed.Log(i), state: cfg.Cluster,
+					epoch: cfg.Cluster.Epoch(), fl: fl, shard: i,
+				})
+			} else {
+				store.Shard(i).SetCommitLog(feed.Log(i))
+			}
 		}
+	}
+	if cfg.Repl.SyncTimeout <= 0 {
+		cfg.Repl.SyncTimeout = 5 * time.Second
 	}
 	srv := &Server{
 		store:         store,
 		adm:           NewAdmission(cfg.Admission),
 		pipelineDepth: cfg.PipelineDepth,
-		feed:          feed,
-		gate:          cfg.Repl.Gate,
+		epochs:        epochs,
+		cluster:       cfg.Cluster,
+		retain:        cfg.Repl.Retain,
+		syncAcks:      cfg.Repl.SyncAcks,
+		syncTimeout:   cfg.Repl.SyncTimeout,
 		durable:       man,
 		met:           met,
 		flight:        fl,
@@ -229,13 +283,26 @@ func Open(cfg Config) (*Server, error) {
 		conns:         make(map[net.Conn]struct{}),
 		lat:           stats.NewSample(4096, 1),
 	}
+	srv.feedP.Store(feed)
+	srv.gateP.Store(cfg.Repl.Gate)
+	if cfg.Cluster != nil {
+		srv.assign = cluster.NewAssignment(cfg.Shards, cfg.Cluster.Self())
+	}
 	srv.sessions = newSessionTable(srv, cfg.Txn)
 	srv.registerDerived()
 	return srv, nil
 }
 
-// Feed exposes the primary's replication feed (nil unless Repl.Primary).
-func (s *Server) Feed() *repl.Feed { return s.feed }
+// Feed exposes the primary's replication feed: non-nil when the server
+// was opened with Repl.Primary or has since been promoted.
+func (s *Server) Feed() *repl.Feed { return s.feedP.Load() }
+
+// replGate returns the replica lag gate, nil once the node is promoted
+// (or was never a replica).
+func (s *Server) replGate() *repl.LagGate { return s.gateP.Load() }
+
+// Cluster exposes the node's cluster state (nil unless clustered).
+func (s *Server) Cluster() *cluster.State { return s.cluster }
 
 // Durable exposes the durability manager (nil without a data directory).
 func (s *Server) Durable() *durable.Manager { return s.durable }
@@ -508,11 +575,19 @@ func (s *Server) serveConn(conn net.Conn) {
 // position for the primary's lag accounting. Feeders stop when the
 // connection's reader loop ends (stop) and are awaited like REQ workers.
 func (s *Server) handleRepl(verb string, args []string, sub **repl.Sub, out chan<- string, stop <-chan struct{}, workers *sync.WaitGroup) {
-	if s.feed == nil {
+	if reply, fenced := s.fencedReplVerb(); fenced {
+		// A deposed primary's logs are frozen history: a joiner must not
+		// bootstrap from them, and the zombie's own replicas must
+		// re-point at the new primary.
+		out <- reply
+		return
+	}
+	feed := s.Feed()
+	if feed == nil {
 		out <- "ERR not a replication primary"
 		return
 	}
-	shardIdx, index, err := parseReplArgs(verb, args, s.feed.Shards())
+	shardIdx, index, err := parseReplArgs(verb, args, feed.Shards())
 	if err != nil {
 		out <- "ERR " + err.Error()
 		return
@@ -527,13 +602,13 @@ func (s *Server) handleRepl(verb string, args []string, sub **repl.Sub, out chan
 		return
 	}
 	if *sub == nil {
-		*sub = s.feed.Subscribe()
+		*sub = feed.Subscribe()
 	}
 	// Track before the trimmed-base check: tracking pins the shard's trim
 	// floor at this subscriber's acked index, so a base observed to be
 	// below the requested start cannot advance past it afterwards.
 	(*sub).Track(shardIdx)
-	log := s.feed.Log(shardIdx)
+	log := feed.Log(shardIdx)
 	if base := log.Base(); index <= base {
 		out <- fmt.Sprintf("ERR log trimmed through %d; SNAP %d to bootstrap, then REPL above it", base, shardIdx)
 		return
@@ -592,7 +667,12 @@ const snapBatch = 256
 // above <index>. That is harmless: log writes carry absolute values,
 // so the replica re-applying them is idempotent.
 func (s *Server) handleSnap(args []string, sub **repl.Sub, out chan<- string) {
-	if s.feed == nil {
+	if reply, fenced := s.fencedReplVerb(); fenced {
+		out <- reply
+		return
+	}
+	feed := s.Feed()
+	if feed == nil {
 		out <- "ERR not a replication primary"
 		return
 	}
@@ -601,15 +681,15 @@ func (s *Server) handleSnap(args []string, sub **repl.Sub, out chan<- string) {
 		return
 	}
 	shardIdx, err := strconv.Atoi(args[0])
-	if err != nil || shardIdx < 0 || shardIdx >= s.feed.Shards() {
-		out <- fmt.Sprintf("ERR bad shard %q (have %d shards)", args[0], s.feed.Shards())
+	if err != nil || shardIdx < 0 || shardIdx >= feed.Shards() {
+		out <- fmt.Sprintf("ERR bad shard %q (have %d shards)", args[0], feed.Shards())
 		return
 	}
 	if *sub == nil {
-		*sub = s.feed.Subscribe()
+		*sub = feed.Subscribe()
 	}
 	eng := s.store.Shard(shardIdx)
-	log := s.feed.Log(shardIdx)
+	log := feed.Log(shardIdx)
 	var pairs []string
 	eng.LockCommit()
 	head := log.Head()
@@ -820,19 +900,34 @@ func (s *Server) dispatchVerb(verb string, args []string) string {
 	case "STATS":
 		return s.statsLine()
 	case "HEAD":
-		// Per-shard commit-log heads, cheap enough to poll: replicas use
-		// it out-of-band to keep their lag estimate honest even while the
-		// replication stream itself is backpressured.
-		if s.feed == nil {
+		// Per-shard commit-log heads prefixed by the feed's epoch
+		// watermark, cheap enough to poll: replicas use it out-of-band to
+		// keep their lag estimate honest even while the replication
+		// stream itself is backpressured, and cluster lease probes read
+		// the watermark for caught-up-ness without a REPL subscription.
+		if reply, fenced := s.fencedReplVerb(); fenced {
+			return reply
+		}
+		feed := s.Feed()
+		if feed == nil {
 			return "ERR not a replication primary"
 		}
 		var b strings.Builder
-		b.WriteString("OK")
-		for _, h := range s.feed.Heads() {
+		b.WriteString("OK ")
+		b.WriteString(strconv.FormatUint(feed.EpochWatermark(), 10))
+		for _, h := range feed.Heads() {
 			b.WriteByte(' ')
 			b.WriteString(strconv.FormatUint(h, 10))
 		}
 		return b.String()
+	case "TOPO":
+		// Topology discovery: role, fencing epoch, best-known primary,
+		// and catch-up position as one k=v line (cluster.TopoReply).
+		return s.handleTopo()
+	case "PLACE":
+		// Value-cognizant placement planning over the live pending-value
+		// accounting; epoch-fenced application (cluster.Assignment).
+		return s.handlePlace()
 	case "CKPT":
 		// Operator-triggered checkpoint: capture every shard with records
 		// since its last checkpoint, highest pending-value first, and
@@ -1015,18 +1110,32 @@ func (s *Server) runUpdate(o opts.T, ops []op) string {
 	}
 	v0 := clampValue(f.At(s.adm.now()))
 	s.met.submitted.Add(v0)
-	if s.gate != nil {
+	hasWrite := false
+	for _, o := range ops {
+		if o.write {
+			hasWrite = true
+			break
+		}
+	}
+	if hasWrite && s.cluster != nil {
+		// Cluster entry fence: a write on a non-primary is refused with
+		// a redirect before it touches admission — clients follow the
+		// address to the current primary.
+		if reply, fenced := s.fenceWrite(id); fenced {
+			s.met.lostValue(obs.LossError, v0)
+			return reply
+		}
+	}
+	if gate := s.replGate(); gate != nil {
 		// Read replica: writes are rejected, and a read-only transaction
 		// is shed when its value function would cross zero before the
 		// replica's estimated catch-up — a stale read it could never
 		// deliver while it still carries value.
-		for _, o := range ops {
-			if o.write {
-				s.met.lostValue(obs.LossError, v0)
-				return "ERR read-only replica"
-			}
+		if hasWrite {
+			s.met.lostValue(obs.LossError, v0)
+			return "ERR read-only replica"
 		}
-		if err := s.gate.Admit(f, s.adm.now()); err != nil {
+		if err := gate.Admit(f, s.adm.now()); err != nil {
 			s.met.lostValue(obs.LossReplicaLag, v0)
 			s.flight.Admission().Record(flight.EvReplShed, id, -1, 0)
 			return "SHED"
@@ -1165,6 +1274,41 @@ func (s *Server) execAdmitted(f value.Fn, ops []op, tr *obs.Trace) execOutcome {
 		out.err = err
 		return out
 	}
+	if cs := s.cluster; cs != nil && !cs.IsPrimary() {
+		// Deposition landed mid-commit. The in-memory fenced sink already
+		// fails such batches at Sync, but a durable primary's WAL sink
+		// cannot be wrapped — this re-check closes that path too: the
+		// write may be installed locally, the verdict is still an error,
+		// so nothing a deposed node accepted is ever acknowledged.
+		epoch, _, primary := cs.Snapshot()
+		s.flight.Server().Record(flight.EvFenceReject, 0, -1, epoch)
+		out.err = &errFenced{installed: epoch, current: epoch, primary: primary}
+		return out
+	}
+	if s.syncAcks {
+		if feed := s.Feed(); feed != nil {
+			// Semi-sync: wait for one tracking replica to ack each written
+			// shard's log head (which covers this commit's record) before
+			// the OK leaves. The wait is replication latency, not engine
+			// service — fold it into readmitWait so the admission queue's
+			// per-op estimate stays about the engine.
+			t0 := time.Now()
+			seen := make(map[int]bool, len(ops))
+			for _, o := range ops {
+				if !o.write || seen[s.store.ShardOf(o.key)] {
+					continue
+				}
+				si := s.store.ShardOf(o.key)
+				seen[si] = true
+				if err := feed.WaitAcked(si, feed.Log(si).Head(), s.syncTimeout); err != nil {
+					// Degrade to async rather than fail a commit that is
+					// locally durable: the lapse is counted, the OK stands.
+					s.syncDegraded.Add(1)
+				}
+			}
+			out.readmitWait += time.Since(t0)
+		}
+	}
 	out.results, _ = res.([]int64)
 	return out
 }
@@ -1235,13 +1379,20 @@ func (s *Server) statsLine() string {
 	// Replication keys appear only in the role that owns them; a chained
 	// primary-and-replica reports the replica-side repl_lag (last key
 	// wins in k=v parsers).
-	if s.feed != nil {
+	if feed := s.Feed(); feed != nil {
 		line += fmt.Sprintf(" repl_subs=%d repl_lag=%d log_trimmed=%d",
-			s.feed.Subscribers(), s.feed.MaxLag(), s.feed.Trimmed())
+			feed.Subscribers(), feed.MaxLag(), feed.Trimmed())
+		if s.syncAcks {
+			line += fmt.Sprintf(" repl_sync_degraded=%d", s.syncDegraded.Load())
+		}
 	}
-	if s.gate != nil {
+	if gate := s.replGate(); gate != nil {
 		line += fmt.Sprintf(" repl_applied=%d repl_lag=%d repl_shed=%d",
-			s.gate.Applied(), s.gate.LagRecords(), s.gate.Shed())
+			gate.Applied(), gate.LagRecords(), gate.Shed())
+	}
+	if cs := s.cluster; cs != nil {
+		epoch, role, _ := cs.Snapshot()
+		line += fmt.Sprintf(" cluster_epoch=%d cluster_role=%s", epoch, role)
 	}
 	if s.durable != nil {
 		d := s.durable.Stats()

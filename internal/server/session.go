@@ -460,8 +460,8 @@ func (s *Server) txnBegin(o opts.T) string {
 	}
 	v0 := clampValue(f.At(s.adm.now()))
 	s.met.submitted.Add(v0)
-	if s.gate != nil {
-		if err := s.gate.Admit(f, s.adm.now()); err != nil {
+	if gate := s.replGate(); gate != nil {
+		if err := gate.Admit(f, s.adm.now()); err != nil {
 			s.met.lostValue(obs.LossReplicaLag, v0)
 			s.flight.Admission().Record(flight.EvReplShed, id, -1, 0)
 			return "SHED"
@@ -522,7 +522,13 @@ func (s *Server) txnOp(ss *session, o op) string {
 	case finCommit, finAbort:
 		return "ERR txn " + strconv.FormatUint(ss.id, 10) + " is finishing"
 	}
-	if s.gate != nil && o.write {
+	if o.write && s.cluster != nil && !s.cluster.IsPrimary() {
+		// Cluster entry fence for interactive sessions: same redirect as
+		// the one-shot verbs, so clients re-run the transaction against
+		// the current primary.
+		return s.notPrimary()
+	}
+	if s.replGate() != nil && o.write {
 		return "ERR read-only replica"
 	}
 	if ss.mode == sessFailed {
@@ -534,7 +540,7 @@ func (s *Server) txnOp(ss *session, o op) string {
 	ss.delivered = append(ss.delivered, false)
 	ss.lastOp = time.Now()
 	if ss.mode == sessIdle {
-		if s.gate != nil {
+		if s.replGate() != nil {
 			// Replica sessions never bind a live engine transaction:
 			// they are read-only and validate at COMMIT against the
 			// replicated state.
